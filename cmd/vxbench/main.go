@@ -1,0 +1,85 @@
+// Command vxbench regenerates the paper's evaluation tables and figures
+// (§5) against this reproduction. Each flag prints one artifact; the
+// default prints everything. EXPERIMENTS.md records the interpretation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vxa"
+	"vxa/internal/bench"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "print the decoder inventory (Table 1)")
+	t2 := flag.Bool("table2", false, "print decoder code sizes (Table 2)")
+	f7 := flag.Bool("fig7", false, "measure native vs virtualized decode time (Figure 7)")
+	ov := flag.Bool("overhead", false, "print decoder storage overhead (section 5.3)")
+	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
+	flag.Parse()
+	_ = vxa.Codecs()
+	all := !*t1 && !*t2 && !*f7 && !*ov
+
+	if *t1 || all {
+		fmt.Println("Table 1: Decoders Implemented in vxZIP/vxUnZIP")
+		fmt.Printf("  %-8s %-14s %-16s %s\n", "codec", "role", "output", "description")
+		for _, r := range bench.Table1() {
+			fmt.Printf("  %-8s %-14s %-16s %s\n", r.Codec, r.Kind, r.Output, r.Desc)
+		}
+		fmt.Println()
+	}
+	if *t2 || all {
+		rows, err := bench.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 2: Code Size of Virtualized Decoders")
+		fmt.Printf("  %-8s %9s %18s %18s %11s\n", "decoder", "total", "decoder", "runtime lib", "compressed")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %8.1fKB %10.1fKB (%2.0f%%) %10.1fKB (%2.0f%%) %9.1fKB\n",
+				r.Codec, kb(r.Total), kb(r.DecoderBytes), r.DecoderPercent,
+				kb(r.RuntimeBytes), r.RuntimePercent, kb(r.Compressed))
+		}
+		fmt.Println()
+	}
+	if *ov || all {
+		rows, err := bench.Overhead()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Section 5.3: Decoder Storage Overhead")
+		fmt.Printf("  %-26s %12s %12s %12s %9s\n", "scenario", "payload", "decoder", "archive", "overhead")
+		for _, r := range rows {
+			fmt.Printf("  %-26s %10.1fKB %10.1fKB %10.1fKB %8.2f%%\n",
+				r.Scenario, kb(r.PayloadBytes), kb(r.DecoderBytes), kb(r.ArchiveBytes), r.OverheadPct)
+		}
+		fmt.Println()
+	}
+	if *f7 || all {
+		fmt.Println("Figure 7: Performance of Virtualized Decoders")
+		fmt.Println("  (interpreted VM; see EXPERIMENTS.md for the shape comparison)")
+		rows, err := bench.Fig7(*ablate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-8s %10s %12s %12s %10s %9s\n", "decoder", "input", "native", "vx32", "slowdown", "MIPS")
+		for _, r := range rows {
+			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %9.1fx %9.1f",
+				r.Codec, kb(r.InputBytes), r.Native.Round(10e3), r.VX32.Round(10e3), r.Slowdown, r.GuestMIPS)
+			if r.VX32NoCache > 0 {
+				line += fmt.Sprintf("   (no-cache %v, %.1fx vs cached)",
+					r.VX32NoCache.Round(10e3), float64(r.VX32NoCache)/float64(r.VX32))
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+func kb(n int) float64 { return float64(n) / 1024 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxbench:", err)
+	os.Exit(1)
+}

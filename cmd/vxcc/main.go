@@ -1,0 +1,58 @@
+// Command vxcc is the VXC compiler driver: it compiles VXC source files
+// (a C subset) and links them with crt0 and the libvx runtime into a
+// static x86-32 ELF executable for the VXA virtual machine — the
+// reproduction's analog of the paper's GCC cross-compiler setup.
+//
+// Usage:
+//
+//	vxcc -o decoder.elf main.vxc [more.vxc...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vxa/internal/vxcc"
+)
+
+func main() {
+	out := flag.String("o", "a.elf", "output executable path")
+	sizes := flag.Bool("sizes", false, "print the per-function text size table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vxcc [-o out.elf] [-sizes] source.vxc...")
+		os.Exit(2)
+	}
+	var sources []vxcc.Source
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, vxcc.Source{Name: path, Text: string(text)})
+	}
+	build, err := vxcc.Compile(vxcc.Options{}, sources...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, build.ELF, 0755); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes (decoder text %d, runtime text %d)\n",
+		*out, len(build.ELF), build.UserTextBytes, build.RuntimeTextBytes)
+	if *sizes {
+		for _, f := range build.Funcs {
+			tag := ""
+			if f.Runtime {
+				tag = " [libvx]"
+			}
+			fmt.Printf("  %08x %6d %s%s\n", f.Addr, f.Size, f.Name, tag)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxcc:", err)
+	os.Exit(1)
+}

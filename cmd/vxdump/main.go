@@ -1,0 +1,96 @@
+// Command vxdump inspects VXA decoder executables: ELF structure and a
+// disassembly of the text segment in the VXA x86-32 subset.
+//
+// Usage:
+//
+//	vxdump decoder.elf
+//	vxdump -codec zlib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vxa"
+	"vxa/internal/codec"
+	"vxa/internal/elf32"
+	"vxa/internal/x86"
+)
+
+func main() {
+	codecName := flag.String("codec", "", "dump the named codec's built decoder")
+	disasm := flag.Bool("d", true, "disassemble the executable segment")
+	maxInsts := flag.Int("n", 0, "limit disassembly to n instructions (0 = all)")
+	flag.Parse()
+	_ = vxa.Codecs()
+
+	var elf []byte
+	switch {
+	case *codecName != "":
+		c, ok := codec.ByName(*codecName)
+		if !ok {
+			fatal(fmt.Errorf("unknown codec %q", *codecName))
+		}
+		var err error
+		elf, err = c.DecoderELF()
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		var err error
+		elf, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vxdump (-codec name | decoder.elf)")
+		os.Exit(2)
+	}
+
+	p, err := elf32.Parse(elf)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entry: %#x\n", p.Entry)
+	for i, s := range p.Segments {
+		prot := "rw-"
+		if s.ReadOnly {
+			prot = "r-x"
+		}
+		fmt.Printf("segment %d: vaddr=%#08x filesz=%d memsz=%d %s\n",
+			i, s.Vaddr, len(s.Data), s.MemSize, prot)
+	}
+	if !*disasm {
+		return
+	}
+	for _, s := range p.Segments {
+		if !s.ReadOnly {
+			continue
+		}
+		fmt.Println()
+		addr := s.Vaddr
+		data := s.Data
+		count := 0
+		for len(data) > 0 {
+			inst, err := x86.Decode(data)
+			if err != nil {
+				// Likely the rodata tail; stop at the first undecodable byte.
+				fmt.Printf("%08x: (data follows)\n", addr)
+				break
+			}
+			fmt.Printf("%08x: %s\n", addr, inst)
+			addr += uint32(inst.Len)
+			data = data[inst.Len:]
+			count++
+			if *maxInsts > 0 && count >= *maxInsts {
+				return
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxdump:", err)
+	os.Exit(1)
+}

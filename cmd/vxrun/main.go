@@ -1,0 +1,72 @@
+// Command vxrun executes one VXA decoder as a Unix filter: encoded data
+// on stdin, decoded data on stdout. The decoder is either a registered
+// codec's built decoder (-codec name) or an ELF image from disk — e.g.
+// one extracted from an archive.
+//
+// Usage:
+//
+//	vxrun -codec zlib < file.z > file
+//	vxrun decoder.elf < stream > out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vxa"
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+)
+
+func main() {
+	codecName := flag.String("codec", "", "run the named codec's VXA decoder")
+	mem := flag.Int("mem", 64, "guest memory in MiB")
+	verbose := flag.Bool("v", false, "show decoder diagnostics")
+	flag.Parse()
+	_ = vxa.Codecs() // link the codec registry
+
+	var elf []byte
+	switch {
+	case *codecName != "":
+		c, ok := codec.ByName(*codecName)
+		if !ok {
+			fatal(fmt.Errorf("unknown codec %q (have %v)", *codecName, codec.Names()))
+		}
+		var err error
+		elf, err = c.DecoderELF()
+		if err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 1:
+		var err error
+		elf, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vxrun (-codec name | decoder.elf) < in > out")
+		os.Exit(2)
+	}
+
+	input, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := codec.RunDecoderELF(*codecName, elf, input, vm.Config{MemSize: uint32(*mem) << 20})
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := os.Stdout.Write(out); err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), len(out))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command vxunzip lists, extracts and verifies VXA archives: the
+// paper's enhanced UnZIP reader.
+//
+// Usage:
+//
+//	vxunzip -l archive.zip             list contents
+//	vxunzip [-vxa] [-all] [-d dir] archive.zip   extract
+//	vxunzip -t archive.zip             integrity check (always uses the
+//	                                   archived VXA decoders, §2.3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vxa"
+)
+
+func main() {
+	list := flag.Bool("l", false, "list the archive")
+	test := flag.Bool("t", false, "verify integrity with the archived VXA decoders")
+	forceVXA := flag.Bool("vxa", false, "always decode with the archived VXA decoders")
+	decodeAll := flag.Bool("all", false, "decode pre-compressed files to their raw form")
+	verbose := flag.Bool("v", false, "show decoder stderr diagnostics")
+	dir := flag.String("d", ".", "output directory")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vxunzip [-l|-t] [-vxa] [-all] [-v] [-d dir] archive.zip")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	r, err := vxa.OpenReader(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := vxa.ExtractOptions{Mode: vxa.NativeFirst, DecodeAll: *decodeAll, ReuseVM: true}
+	if *forceVXA {
+		opts.Mode = vxa.AlwaysVXA
+	}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
+
+	switch {
+	case *list:
+		fmt.Printf("%-30s %10s %10s  %-8s %s\n", "name", "size", "stored", "codec", "mode")
+		for _, e := range r.Entries() {
+			codec := e.Codec
+			if codec == "" {
+				codec = "-"
+			}
+			kind := ""
+			if e.PreCompressed {
+				kind = " (pre-compressed)"
+			}
+			fmt.Printf("%-30s %10d %10d  %-8s %04o%s\n", e.Name, e.USize, e.CSize, codec, e.Mode, kind)
+		}
+	case *test:
+		errs := r.Verify(opts)
+		if len(errs) == 0 {
+			fmt.Printf("OK: all %d entries decode correctly under the VXA decoders\n", len(r.Entries()))
+			return
+		}
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+		}
+		os.Exit(1)
+	default:
+		for i := range r.Entries() {
+			e := &r.Entries()[i]
+			out, err := r.Extract(e, opts)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", e.Name, err))
+			}
+			dst := filepath.Join(*dir, filepath.FromSlash(e.Name))
+			if err := os.MkdirAll(filepath.Dir(dst), 0755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(dst, out, os.FileMode(e.Mode)); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  extracted %s (%d bytes)\n", e.Name, len(out))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxunzip:", err)
+	os.Exit(1)
+}

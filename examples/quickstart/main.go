@@ -1,0 +1,59 @@
+// Quickstart: create a VXA archive in memory, list it, extract a file
+// through the fast native path and again through the archived decoder
+// running in the sandboxed VM, then run the integrity check.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"vxa"
+)
+
+func main() {
+	document := strings.Repeat(
+		"VXA archives carry their own decoders, so the data outlives the codec. ", 300)
+
+	// 1. Write an archive.
+	var buf bytes.Buffer
+	w := vxa.NewWriter(&buf, vxa.WriterOptions{})
+	if err := w.AddFile("docs/durability.txt", []byte(document), 0644); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d bytes for %d bytes of input (%d embedded decoder)\n",
+		buf.Len(), len(document), w.DecoderCount())
+
+	// 2. Read it back.
+	r, err := vxa.OpenReader(buf.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range r.Entries() {
+		fmt.Printf("  %-24s %6d -> %6d bytes, codec %s\n", e.Name, e.USize, e.CSize, e.Codec)
+	}
+
+	// 3. Extract: native fast path, then the archived VXA decoder.
+	e := r.Entries()[0]
+	native, err := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.NativeFirst})
+	if err != nil {
+		log.Fatal(err)
+	}
+	virtualized, err := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native and virtualized extraction agree: %v\n",
+		bytes.Equal(native, virtualized) && string(native) == document)
+
+	// 4. Integrity check — always uses the archived decoders (§2.3).
+	if errs := r.Verify(vxa.ExtractOptions{}); len(errs) == 0 {
+		fmt.Println("integrity check: OK")
+	} else {
+		log.Fatal(errs[0])
+	}
+}

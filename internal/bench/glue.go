@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"compress/flate"
+	"io"
+
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+
+	_ "vxa/internal/codec/adpcm"
+	_ "vxa/internal/codec/bwt"
+	_ "vxa/internal/codec/dctimg"
+	_ "vxa/internal/codec/deflate"
+	_ "vxa/internal/codec/haarimg"
+	_ "vxa/internal/codec/lpc"
+)
+
+func newVM(elf []byte, cfg vm.Config) (*vm.VM, error) {
+	return elf32.NewVM(elf, cfg)
+}
+
+func newFlateWriter(w io.Writer) *flate.Writer {
+	fw, err := flate.NewWriter(w, flate.BestCompression)
+	if err != nil {
+		panic(err)
+	}
+	return fw
+}

@@ -1,0 +1,127 @@
+// Package bmp reads and writes the uncompressed 24-bit Windows BMP
+// format. BMP is the "simple and universally-understood" output format
+// the paper's image decoders emit (§5.1): VXA image decoders decode
+// compressed pictures into BMP, and the image codecs' encoders accept
+// BMP as their raw input.
+package bmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrFormat reports data that is not an uncompressed 24-bit BMP.
+var ErrFormat = errors.New("bmp: not an uncompressed 24-bit BMP")
+
+// Image is a decoded RGB image, rows top-down, 3 bytes per pixel (R,G,B).
+type Image struct {
+	W, H int
+	Pix  []byte // len = W*H*3
+}
+
+// New allocates a black image.
+func New(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) (r, g, b byte) {
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, r, g, b byte) {
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+const (
+	fileHeaderSize = 14
+	infoHeaderSize = 40
+)
+
+// rowStride returns the padded byte width of one BMP row.
+func rowStride(w int) int { return (w*3 + 3) &^ 3 }
+
+// Encode serializes the image as a bottom-up, 24-bit, BI_RGB BMP.
+func Encode(im *Image) []byte {
+	stride := rowStride(im.W)
+	dataSize := stride * im.H
+	total := fileHeaderSize + infoHeaderSize + dataSize
+	b := make([]byte, total)
+	le := binary.LittleEndian
+
+	b[0], b[1] = 'B', 'M'
+	le.PutUint32(b[2:], uint32(total))
+	le.PutUint32(b[10:], fileHeaderSize+infoHeaderSize)
+
+	le.PutUint32(b[14:], infoHeaderSize)
+	le.PutUint32(b[18:], uint32(im.W))
+	le.PutUint32(b[22:], uint32(im.H)) // positive height = bottom-up
+	le.PutUint16(b[26:], 1)            // planes
+	le.PutUint16(b[28:], 24)           // bpp
+	le.PutUint32(b[30:], 0)            // BI_RGB
+	le.PutUint32(b[34:], uint32(dataSize))
+
+	off := fileHeaderSize + infoHeaderSize
+	for y := 0; y < im.H; y++ {
+		srcRow := im.H - 1 - y // bottom-up
+		for x := 0; x < im.W; x++ {
+			r, g, bl := im.At(x, srcRow)
+			i := off + y*stride + x*3
+			b[i], b[i+1], b[i+2] = bl, g, r // BGR order
+		}
+	}
+	return b
+}
+
+// Decode parses an uncompressed 24-bit BMP (bottom-up or top-down).
+func Decode(data []byte) (*Image, error) {
+	if len(data) < fileHeaderSize+infoHeaderSize || data[0] != 'B' || data[1] != 'M' {
+		return nil, ErrFormat
+	}
+	le := binary.LittleEndian
+	pixOff := int(le.Uint32(data[10:]))
+	hdrSize := int(le.Uint32(data[14:]))
+	if hdrSize < infoHeaderSize {
+		return nil, fmt.Errorf("%w: header size %d", ErrFormat, hdrSize)
+	}
+	w := int(int32(le.Uint32(data[18:])))
+	h := int(int32(le.Uint32(data[22:])))
+	bpp := int(le.Uint16(data[28:]))
+	comp := le.Uint32(data[30:])
+	if bpp != 24 || comp != 0 {
+		return nil, fmt.Errorf("%w: bpp=%d compression=%d", ErrFormat, bpp, comp)
+	}
+	topDown := false
+	if h < 0 {
+		topDown = true
+		h = -h
+	}
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("%w: bad dimensions %dx%d", ErrFormat, w, h)
+	}
+	stride := rowStride(w)
+	if pixOff < fileHeaderSize+hdrSize || pixOff+stride*h > len(data) {
+		return nil, fmt.Errorf("%w: truncated pixel data", ErrFormat)
+	}
+	im := New(w, h)
+	for y := 0; y < h; y++ {
+		src := y
+		if !topDown {
+			src = h - 1 - y
+		}
+		row := data[pixOff+src*stride:]
+		for x := 0; x < w; x++ {
+			im.Set(x, y, row[x*3+2], row[x*3+1], row[x*3])
+		}
+	}
+	return im, nil
+}
+
+// Sniff reports whether data looks like a BMP file.
+func Sniff(data []byte) bool {
+	return len(data) >= 2 && data[0] == 'B' && data[1] == 'M'
+}

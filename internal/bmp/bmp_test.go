@@ -1,0 +1,73 @@
+package bmp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		w, h := 1+r.Intn(40), 1+r.Intn(40)
+		im := New(w, h)
+		r.Read(im.Pix)
+		got, err := Decode(Encode(im))
+		if err != nil || got.W != w || got.H != h {
+			return false
+		}
+		for i := range im.Pix {
+			if got.Pix[i] != im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	// Width 3 -> 9-byte rows padded to 12; a classic corruption source.
+	im := New(3, 2)
+	for i := range im.Pix {
+		im.Pix[i] = byte(i * 11)
+	}
+	enc := Encode(im)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel byte %d: %d != %d", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("BM"),
+		[]byte("PNG not bmp at all, padding padding padding padding padding"),
+		Encode(New(2, 2))[:40], // truncated
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%d bytes) succeeded", len(c))
+		}
+	}
+	// 8-bit BMPs are out of scope and must be rejected, not mangled.
+	b := Encode(New(4, 4))
+	b[28] = 8
+	if _, err := Decode(b); err == nil {
+		t.Error("8bpp accepted")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	if !Sniff(Encode(New(1, 1))) || Sniff([]byte("no")) {
+		t.Fatal("sniff misbehaves")
+	}
+}

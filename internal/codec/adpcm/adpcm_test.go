@@ -1,0 +1,157 @@
+package adpcm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+	"vxa/internal/wav"
+)
+
+func sine(frames, channels int, freq float64) *wav.Sound {
+	s := &wav.Sound{Channels: channels, SampleRate: 44100,
+		Samples: make([]int16, frames*channels)}
+	for i := 0; i < frames; i++ {
+		v := int16(12000 * math.Sin(2*math.Pi*freq*float64(i)/44100))
+		for ch := 0; ch < channels; ch++ {
+			s.Samples[i*channels+ch] = v
+		}
+	}
+	return s
+}
+
+// TestLossyQuality: ADPCM is lossy but must track a smooth signal with
+// reasonable SNR and exactly 4 bits/sample of payload.
+func TestLossyQuality(t *testing.T) {
+	snd := sine(20000, 1, 440)
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	if err := Encode(&enc, raw); err != nil {
+		t.Fatal(err)
+	}
+	payload := enc.Len() - 14
+	if payload != (len(snd.Samples)+1)/2 {
+		t.Fatalf("payload = %d bytes, want 4 bits/sample", payload)
+	}
+	var dec bytes.Buffer
+	if err := Decode(&dec, bytes.NewReader(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wav.Decode(dec.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig, noise float64
+	for i := range snd.Samples {
+		s := float64(snd.Samples[i])
+		e := s - float64(got.Samples[i])
+		sig += s * s
+		noise += e * e
+	}
+	snr := 10 * math.Log10(sig/noise)
+	if snr < 20 {
+		t.Fatalf("SNR = %.1f dB, want >= 20 dB on a sine", snr)
+	}
+}
+
+// TestEncoderTracksDecoder: the encoder must quantize against the
+// decoder's reconstruction, not the clean signal — verified by decoding
+// twice (decode(encode(x)) is a fixed point once through).
+func TestEncoderTracksDecoder(t *testing.T) {
+	snd := sine(5000, 2, 220)
+	raw := wav.Encode(snd)
+	var enc1 bytes.Buffer
+	Encode(&enc1, raw)
+	var dec1 bytes.Buffer
+	Decode(&dec1, bytes.NewReader(enc1.Bytes()))
+	var enc2 bytes.Buffer
+	if err := Encode(&enc2, dec1.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var dec2 bytes.Buffer
+	Decode(&dec2, bytes.NewReader(enc2.Bytes()))
+	a, _ := wav.Decode(dec1.Bytes())
+	b, _ := wav.Decode(dec2.Bytes())
+	var drift float64
+	for i := range a.Samples {
+		d := float64(a.Samples[i]) - float64(b.Samples[i])
+		drift += d * d
+	}
+	rms := math.Sqrt(drift / float64(len(a.Samples)))
+	if rms > 600 {
+		t.Fatalf("re-encoding drift RMS = %.1f, generation loss too high", rms)
+	}
+}
+
+// TestVXADecoderBitExact: the VXC decoder output must equal the native
+// decoder output byte for byte.
+func TestVXADecoderBitExact(t *testing.T) {
+	c, ok := codec.ByName("adpcm")
+	if !ok {
+		t.Fatal("adpcm codec not registered")
+	}
+	r := rand.New(rand.NewSource(8))
+	snd := sine(15000, 2, 330)
+	for i := range snd.Samples {
+		snd.Samples[i] += int16(r.Intn(400) - 200)
+	}
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	if err := Encode(&enc, raw); err != nil {
+		t.Fatal(err)
+	}
+	var nat bytes.Buffer
+	if err := Decode(&nat, bytes.NewReader(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunVXA(enc.Bytes(), vm.Config{})
+	if err != nil {
+		t.Fatalf("vxa: %v", err)
+	}
+	if !bytes.Equal(got, nat.Bytes()) {
+		t.Fatal("vxa decoder output differs from native decoder")
+	}
+	// And the output must be a valid WAV with the right shape.
+	w, err := wav.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Channels != 2 || w.SampleRate != 44100 || w.Frames() != 15000 {
+		t.Fatalf("decoded WAV shape wrong: %d ch %d Hz %d frames",
+			w.Channels, w.SampleRate, w.Frames())
+	}
+}
+
+func TestOddSampleCount(t *testing.T) {
+	snd := sine(777, 1, 100) // odd total -> half-filled final byte
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	if err := Encode(&enc, raw); err != nil {
+		t.Fatal(err)
+	}
+	var dec bytes.Buffer
+	if err := Decode(&dec, bytes.NewReader(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wav.Decode(dec.Bytes())
+	if err != nil || got.Frames() != 777 {
+		t.Fatalf("frames = %d err = %v", got.Frames(), err)
+	}
+}
+
+func TestRejectsTruncation(t *testing.T) {
+	snd := sine(1000, 1, 100)
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	Encode(&enc, raw)
+	if err := Decode(&dummyWriter{}, bytes.NewReader(enc.Bytes()[:enc.Len()/2])); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+type dummyWriter struct{}
+
+func (d *dummyWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,141 @@
+// Package codec defines the VXA archiver's codec plug-in architecture
+// (paper §3.3). Each codec pairs a native encoder — the analog of the
+// paper's natively-loaded encoder DLL — with a decoder that is a VXC
+// program compiled to an x86-32 ELF executable for the VXA virtual
+// machine. Codecs that cannot encode but recognize already-compressed
+// input and attach a suitable decoder are recognizer-decoders ("redecs",
+// §2.2).
+package codec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"vxa/internal/vxcc"
+)
+
+// Kind classifies a codec's role in the archiver.
+type Kind int
+
+// Codec kinds.
+const (
+	// GeneralPurpose codecs compress arbitrary byte streams and serve as
+	// the archiver's default compressor.
+	GeneralPurpose Kind = iota
+	// MediaCodec codecs compress a specific raw media container (BMP,
+	// WAV) into a specialized format.
+	MediaCodec
+	// Redec codecs only recognize existing compressed data and attach a
+	// decoder; they cannot encode.
+	Redec
+)
+
+// Codec is one archiver plug-in.
+type Codec struct {
+	// Name is the codec tag recorded in vxZIP VXA extension headers.
+	Name string
+	// Desc is the human-readable description (Table 1).
+	Desc string
+	// Output names the decoder's output format (Table 1): "raw data",
+	// "BMP image" or "WAV audio".
+	Output string
+	// Kind classifies the codec's archiver role.
+	Kind Kind
+	// Lossy marks codecs whose Encode discards information. The archiver
+	// applies lossy codecs only at the operator's explicit request (§2.2).
+	Lossy bool
+	// ZipMethod is the traditional ZIP method tag for this codec's
+	// encoded form (e.g. 8 for deflate), letting VXA-unaware tools
+	// extract such entries. Zero means the format has no traditional
+	// tag and entries use the reserved VXA method.
+	ZipMethod uint16
+
+	// Recognize reports whether data is already compressed in this
+	// codec's format (so the archiver stores it and attaches a decoder).
+	Recognize func(data []byte) bool
+	// CanEncode reports whether data is raw input this codec can
+	// compress (e.g. a WAV file for an audio codec). Nil for Redec and
+	// for general-purpose codecs (which accept anything).
+	CanEncode func(data []byte) bool
+	// Encode compresses raw src into the codec's format. Nil for redecs.
+	Encode func(dst io.Writer, src []byte) error
+	// Decode is the fast native decoder used by default on extraction
+	// (§2.3); integrity checks use the VXA decoder instead.
+	Decode func(dst io.Writer, src io.Reader) error
+
+	// Sources is the decoder as a VXC program; it is compiled once on
+	// demand and the ELF is embedded in archives.
+	Sources []vxcc.Source
+
+	buildOnce sync.Once
+	build     *vxcc.Build
+	buildErr  error
+}
+
+// Build compiles the codec's VXA decoder (cached).
+func (c *Codec) Build() (*vxcc.Build, error) {
+	c.buildOnce.Do(func() {
+		c.build, c.buildErr = vxcc.Compile(vxcc.Options{}, c.Sources...)
+		if c.buildErr != nil {
+			c.buildErr = fmt.Errorf("codec %s: building decoder: %w", c.Name, c.buildErr)
+		}
+	})
+	return c.build, c.buildErr
+}
+
+// DecoderELF returns the compiled VXA decoder executable.
+func (c *Codec) DecoderELF() ([]byte, error) {
+	b, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.ELF, nil
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Codec{}
+	order    []string
+)
+
+// Register adds a codec to the global registry. It panics on duplicates
+// (registration happens in package init functions).
+func Register(c *Codec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic("codec: duplicate registration of " + c.Name)
+	}
+	registry[c.Name] = c
+	order = append(order, c.Name)
+}
+
+// ByName returns a registered codec.
+func ByName(name string) (*Codec, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// All returns all registered codecs in registration order.
+func All() []*Codec {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]*Codec, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Names returns all registered codec names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,256 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"compress/zlib"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+)
+
+func zlibCodec(t *testing.T) *codec.Codec {
+	t.Helper()
+	c, ok := codec.ByName("zlib")
+	if !ok {
+		t.Fatal("zlib codec not registered")
+	}
+	return c
+}
+
+func gzipCodec(t *testing.T) *codec.Codec {
+	t.Helper()
+	c, ok := codec.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip codec not registered")
+	}
+	return c
+}
+
+// corpus returns a mix of inputs that exercise stored, fixed and dynamic
+// DEFLATE blocks.
+func corpus() map[string][]byte {
+	r := rand.New(rand.NewSource(42))
+	random := make([]byte, 40000) // incompressible -> stored blocks
+	r.Read(random)
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 800)
+	zeros := make([]byte, 60000)
+	structured := make([]byte, 30000)
+	for i := range structured {
+		structured[i] = byte((i * 7) % 96)
+	}
+	return map[string][]byte{
+		"empty":      {},
+		"tiny":       []byte("x"),
+		"text":       text,
+		"random":     random,
+		"zeros":      zeros,
+		"structured": structured,
+	}
+}
+
+// TestZlibVXADecodesStdlibStreams is the core fidelity test: the VXC
+// inflate must decode real zlib streams produced by compress/zlib.
+func TestZlibVXADecodesStdlibStreams(t *testing.T) {
+	c := zlibCodec(t)
+	for name, data := range corpus() {
+		var enc bytes.Buffer
+		if err := c.Encode(&enc, data); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := c.RunVXA(enc.Bytes(), vm.Config{})
+		if err != nil {
+			t.Fatalf("%s: vxa decode: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: vxa decode mismatch: got %d bytes want %d", name, len(got), len(data))
+		}
+		// Native decoder agrees.
+		var nat bytes.Buffer
+		if err := c.Decode(&nat, bytes.NewReader(enc.Bytes())); err != nil {
+			t.Fatalf("%s: native decode: %v", name, err)
+		}
+		if !bytes.Equal(nat.Bytes(), data) {
+			t.Fatalf("%s: native decode mismatch", name)
+		}
+	}
+}
+
+// TestZlibAllCompressionLevels exercises every encoder level, which
+// shifts the block-type mix the decoder sees.
+func TestZlibAllCompressionLevels(t *testing.T) {
+	c := zlibCodec(t)
+	data := bytes.Repeat([]byte("abcdefgh 0123456789 "), 500)
+	for level := 0; level <= 9; level++ {
+		var enc bytes.Buffer
+		w, err := zlib.NewWriterLevel(&enc, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.RunVXA(enc.Bytes(), vm.Config{})
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("level %d: mismatch", level)
+		}
+	}
+	// HuffmanOnly produces pure fixed/dynamic-literal streams.
+	var enc bytes.Buffer
+	w, err := zlib.NewWriterLevel(&enc, flate.HuffmanOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	w.Close()
+	got, err := c.RunVXA(enc.Bytes(), vm.Config{})
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("huffman-only: err=%v", err)
+	}
+}
+
+// TestZlibRejectsCorruption: flipping bits anywhere must produce a
+// decode error (usually the Adler-32 check), never silent bad output.
+func TestZlibRejectsCorruption(t *testing.T) {
+	c := zlibCodec(t)
+	data := bytes.Repeat([]byte("integrity matters for archives "), 200)
+	var enc bytes.Buffer
+	if err := c.Encode(&enc, data); err != nil {
+		t.Fatal(err)
+	}
+	stream := enc.Bytes()
+	r := rand.New(rand.NewSource(9))
+	flipped := 0
+	for trial := 0; trial < 40; trial++ {
+		pos := r.Intn(len(stream))
+		bad := append([]byte{}, stream...)
+		bad[pos] ^= 1 << r.Intn(8)
+		got, err := c.RunVXA(bad, vm.Config{Fuel: 1 << 28})
+		if err == nil && bytes.Equal(got, data) {
+			continue // the flip may hit a bit the format never reads
+		}
+		if err == nil {
+			t.Fatalf("corruption at byte %d produced wrong output without an error", pos)
+		}
+		flipped++
+	}
+	if flipped == 0 {
+		t.Fatal("no corruption was ever detected; integrity checking is broken")
+	}
+}
+
+// TestZlibRecognize: the archiver must detect pre-compressed zlib input
+// but not arbitrary data with a lucky header.
+func TestZlibRecognize(t *testing.T) {
+	c := zlibCodec(t)
+	var enc bytes.Buffer
+	c.Encode(&enc, []byte("hello world hello world"))
+	if !c.Recognize(enc.Bytes()) {
+		t.Fatal("failed to recognize a real zlib stream")
+	}
+	if c.Recognize([]byte{0x78, 0x9C, 0xFF, 0xFF, 0xFF, 0xFF}) {
+		t.Fatal("recognized garbage with a plausible header")
+	}
+	if c.Recognize([]byte("plain text, nothing compressed")) {
+		t.Fatal("recognized plain text")
+	}
+}
+
+// TestGzipRedec: the gzip redec must decode stdlib-produced .gz files,
+// including ones with name/comment/extra header fields.
+func TestGzipRedec(t *testing.T) {
+	c := gzipCodec(t)
+	data := bytes.Repeat([]byte("gzip redec input data 12345 "), 700)
+
+	var plain bytes.Buffer
+	w := gzip.NewWriter(&plain)
+	w.Write(data)
+	w.Close()
+
+	var fancy bytes.Buffer
+	fw := gzip.NewWriter(&fancy)
+	fw.Name = "notes.txt"
+	fw.Comment = "archived by vxzip"
+	fw.Extra = []byte{1, 2, 3, 4}
+	fw.Write(data)
+	fw.Close()
+
+	for name, stream := range map[string][]byte{"plain": plain.Bytes(), "fancy": fancy.Bytes()} {
+		if !c.Recognize(stream) {
+			t.Fatalf("%s: not recognized", name)
+		}
+		got, err := c.RunVXA(stream, vm.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: decode mismatch", name)
+		}
+	}
+}
+
+// TestGzipCRCMismatch: a tampered gzip payload must fail the CRC check.
+func TestGzipCRCMismatch(t *testing.T) {
+	c := gzipCodec(t)
+	var enc bytes.Buffer
+	w := gzip.NewWriter(&enc)
+	w.Write([]byte(strings.Repeat("payload ", 100)))
+	w.Close()
+	stream := enc.Bytes()
+	stream[len(stream)-5] ^= 0x40 // flip a bit inside the stored CRC/isize
+	_, err := c.RunVXA(stream, vm.Config{})
+	if err == nil {
+		t.Fatal("tampered gzip trailer decoded without error")
+	}
+}
+
+// TestZlibMultiStream: the decoder handles several files in sequence via
+// the done protocol without reloading (paper §2.4 VM reuse).
+func TestZlibMultiStream(t *testing.T) {
+	c := zlibCodec(t)
+	elf, err := c.DecoderELF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vmFromELF(t, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		[]byte("first stream contents"),
+		bytes.Repeat([]byte("second "), 500),
+		{},
+	}
+	for i, data := range inputs {
+		var enc bytes.Buffer
+		c.Encode(&enc, data)
+		var out bytes.Buffer
+		v.Stdin = bytes.NewReader(enc.Bytes())
+		v.Stdout = &out
+		st, err := v.Run()
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if st != vm.StatusDone {
+			t.Fatalf("stream %d: status %v, want done", i, st)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("stream %d: mismatch", i)
+		}
+	}
+}
+
+func vmFromELF(t *testing.T, elfBytes []byte) (*vm.VM, error) {
+	t.Helper()
+	return newVM(elfBytes)
+}

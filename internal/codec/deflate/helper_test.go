@@ -1,0 +1,10 @@
+package deflate
+
+import (
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+)
+
+func newVM(elfBytes []byte) (*vm.VM, error) {
+	return elf32.NewVM(elfBytes, vm.Config{})
+}

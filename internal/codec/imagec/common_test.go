@@ -1,0 +1,98 @@
+package imagec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int32) bool { return Unzigzag(Zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoeffStreamProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := r.Intn(400)
+		coeffs := make([]int32, n)
+		for i := range coeffs {
+			switch r.Intn(3) {
+			case 0: // runs of zeros dominate transform output
+			case 1:
+				coeffs[i] = int32(r.Intn(64) - 32)
+			default:
+				coeffs[i] = int32(r.Uint32())
+			}
+		}
+		var w CoeffWriter
+		for _, c := range coeffs {
+			w.Put(c)
+		}
+		cr := NewCoeffReader(w.Bytes())
+		for i, want := range coeffs {
+			got, err := cr.Next()
+			if err != nil || got != want {
+				t.Logf("coeff %d: got %d want %d err %v", i, got, want, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoeffReaderTruncation(t *testing.T) {
+	var w CoeffWriter
+	for i := 0; i < 10; i++ {
+		w.Put(int32(i * 1000))
+	}
+	full := w.Bytes()
+	cr := NewCoeffReader(full[:len(full)/2])
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		_, err = cr.Next()
+	}
+	if err == nil {
+		t.Fatal("truncated stream read to completion")
+	}
+}
+
+func TestColorRoundTripBounded(t *testing.T) {
+	// The integer YCbCr pair is lossy but must stay within a small error.
+	for r := 0; r < 256; r += 5 {
+		for g := 0; g < 256; g += 7 {
+			for b := 0; b < 256; b += 11 {
+				y, cb, cr := RGBToYCC(int32(r), int32(g), int32(b))
+				r2, g2, b2 := YCCToRGB(y, cb, cr)
+				if abs(r2-int32(r)) > 4 || abs(g2-int32(g)) > 4 || abs(b2-int32(b)) > 4 {
+					t.Fatalf("color drift at (%d,%d,%d) -> (%d,%d,%d)", r, g, b, r2, g2, b2)
+				}
+			}
+		}
+	}
+}
+
+func abs(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDivRoundSymmetry(t *testing.T) {
+	for _, b := range []int32{1, 2, 3, 7, 16, 255} {
+		for a := int32(-1000); a <= 1000; a += 13 {
+			if DivRound(a, b) != -DivRound(-a, b) {
+				t.Fatalf("DivRound not symmetric at %d/%d", a, b)
+			}
+		}
+	}
+	if DivRound(7, 2) != 4 || DivRound(-7, 2) != -4 || DivRound(5, 3) != 2 {
+		t.Fatal("rounding rule wrong")
+	}
+}

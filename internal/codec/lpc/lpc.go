@@ -1,0 +1,441 @@
+// Package lpc implements "vxlpc", the reproduction's stand-in for the
+// paper's FLAC codec: a lossless audio compressor using FLAC's fixed
+// linear predictors (orders 0-4) with Rice-coded residuals. Like the
+// paper's flac codec it is a full encoder/decoder pair: the archiver
+// recognizes uncompressed WAV input and compresses it automatically
+// (§5.1). The decoder emits canonical WAV.
+//
+// Stream format "VXF1" (little-endian header, then one LSB-first bit
+// stream to the end):
+//
+//	magic "VXF1", u16 channels, u32 sampleRate, u32 frames
+//	per frame (up to 4096 samples per channel), per channel:
+//	  3 bits predictor order (0-4), 5 bits Rice parameter k
+//	  per sample: residual, zigzag-coded then Rice-coded:
+//	    q ones, a zero, then k LSB-first bits; q == 40 escapes to a raw
+//	    32-bit value
+//
+// Predictor history is continuous across frames (no warmup samples);
+// at stream start the history is zero.
+package lpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"vxa/internal/codec"
+	"vxa/internal/codec/vxcsrc"
+	"vxa/internal/vxcc"
+	"vxa/internal/wav"
+)
+
+// FrameSize is the number of per-channel samples coded per frame.
+const FrameSize = 4096
+
+// riceEscape is the unary length that switches to a raw 32-bit value.
+const riceEscape = 40
+
+// ErrFormat reports a malformed VXF1 stream.
+var ErrFormat = errors.New("lpc: malformed VXF1 stream")
+
+// predict applies the fixed predictor of the given order to the last
+// four history samples (h[0] is the most recent).
+func predict(order int, h *[4]int32) int32 {
+	switch order {
+	case 1:
+		return h[0]
+	case 2:
+		return 2*h[0] - h[1]
+	case 3:
+		return 3*h[0] - 3*h[1] + h[2]
+	case 4:
+		return 4*h[0] - 6*h[1] + 4*h[2] - h[3]
+	}
+	return 0
+}
+
+func zigzag(v int32) uint32 { return uint32(v<<1) ^ uint32(v>>31) }
+
+func unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// Encode compresses 16-bit PCM WAV losslessly into VXF1.
+func Encode(dst io.Writer, src []byte) error {
+	snd, err := wav.Decode(src)
+	if err != nil {
+		return err
+	}
+	frames := snd.Frames()
+	hdr := make([]byte, 14)
+	copy(hdr, "VXF1")
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(snd.Channels))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(snd.SampleRate))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(frames))
+	if _, err := dst.Write(hdr); err != nil {
+		return err
+	}
+
+	bw := &bitWriter{}
+	hist := make([][4]int32, snd.Channels)
+	resid := make([]uint32, FrameSize)
+
+	for start := 0; start < frames; start += FrameSize {
+		n := frames - start
+		if n > FrameSize {
+			n = FrameSize
+		}
+		for ch := 0; ch < snd.Channels; ch++ {
+			// Choose the order (and then k) that minimizes coded size.
+			bestOrder, bestK, bestBits := 0, 0, int64(1)<<62
+			for order := 0; order <= 4; order++ {
+				h := hist[ch]
+				var sum uint64
+				for i := 0; i < n; i++ {
+					s := int32(snd.Samples[(start+i)*snd.Channels+ch])
+					e := s - predict(order, &h)
+					sum += uint64(zigzag(e))
+					h[3], h[2], h[1], h[0] = h[2], h[1], h[0], s
+				}
+				k := riceParam(sum, n)
+				bits := riceCost(order, k, n, &hist[ch], snd, start, ch)
+				if bits < bestBits {
+					bestOrder, bestK, bestBits = order, k, bits
+				}
+			}
+			bw.writeBitsLSB(uint32(bestOrder), 3)
+			bw.writeBitsLSB(uint32(bestK), 5)
+			for i := 0; i < n; i++ {
+				s := int32(snd.Samples[(start+i)*snd.Channels+ch])
+				e := s - predict(bestOrder, &hist[ch])
+				writeRice(bw, zigzag(e), bestK)
+				h := &hist[ch]
+				h[3], h[2], h[1], h[0] = h[2], h[1], h[0], s
+			}
+			_ = resid
+		}
+	}
+	bw.flush()
+	_, err = dst.Write(bw.buf)
+	return err
+}
+
+// riceParam picks k from the mean zigzagged residual.
+func riceParam(sum uint64, n int) int {
+	if n == 0 {
+		return 0
+	}
+	mean := sum / uint64(n)
+	k := 0
+	for mean > 0 && k < 30 {
+		mean >>= 1
+		k++
+	}
+	if k > 0 {
+		k--
+	}
+	return k
+}
+
+// riceCost computes the exact coded size of a channel-frame for (order, k).
+func riceCost(order, k, n int, hist0 *[4]int32, snd *wav.Sound, start, ch int) int64 {
+	h := *hist0
+	bits := int64(8)
+	for i := 0; i < n; i++ {
+		s := int32(snd.Samples[(start+i)*snd.Channels+ch])
+		u := zigzag(s - predict(order, &h))
+		q := u >> uint(k)
+		if q >= riceEscape {
+			bits += riceEscape + 1 + 32
+		} else {
+			bits += int64(q) + 1 + int64(k)
+		}
+		h[3], h[2], h[1], h[0] = h[2], h[1], h[0], s
+	}
+	return bits
+}
+
+func writeRice(bw *bitWriter, u uint32, k int) {
+	q := u >> uint(k)
+	if q >= riceEscape {
+		for i := 0; i < riceEscape; i++ {
+			bw.writeBit(1)
+		}
+		bw.writeBit(0)
+		bw.writeBitsLSB(u, 32)
+		return
+	}
+	for i := uint32(0); i < q; i++ {
+		bw.writeBit(1)
+	}
+	bw.writeBit(0)
+	bw.writeBitsLSB(u, k)
+}
+
+// bitWriter writes LSB-first, matching the VXC getbit/getbits reader.
+type bitWriter struct {
+	buf  []byte
+	cur  uint32
+	nCur uint
+}
+
+func (w *bitWriter) writeBit(b uint32) {
+	w.cur |= (b & 1) << w.nCur
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBitsLSB writes n bits of v, least significant first (the order
+// getbits reads them back).
+func (w *bitWriter) writeBitsLSB(v uint32, n int) {
+	for i := 0; i < n; i++ {
+		w.writeBit(v >> uint(i))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// Decode is the native decoder: VXF1 in, canonical WAV out.
+func Decode(dst io.Writer, src io.Reader) error {
+	var hdr [14]byte
+	if _, err := io.ReadFull(src, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if string(hdr[:4]) != "VXF1" {
+		return fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	channels := int(binary.LittleEndian.Uint16(hdr[4:]))
+	rate := int(binary.LittleEndian.Uint32(hdr[6:]))
+	frames := int(binary.LittleEndian.Uint32(hdr[10:]))
+	if channels < 1 || channels > 8 || frames < 0 || frames > 1<<28 {
+		return fmt.Errorf("%w: bad header", ErrFormat)
+	}
+	br := newBitReader(src)
+	snd := &wav.Sound{Channels: channels, SampleRate: rate, Samples: make([]int16, frames*channels)}
+	hist := make([][4]int32, channels)
+	for start := 0; start < frames; start += FrameSize {
+		n := frames - start
+		if n > FrameSize {
+			n = FrameSize
+		}
+		for ch := 0; ch < channels; ch++ {
+			order, err := br.bits(3)
+			if err != nil {
+				return err
+			}
+			if order > 4 {
+				return fmt.Errorf("%w: bad predictor order", ErrFormat)
+			}
+			k, err := br.bits(5)
+			if err != nil {
+				return err
+			}
+			h := &hist[ch]
+			for i := 0; i < n; i++ {
+				u, err := readRice(br, int(k))
+				if err != nil {
+					return err
+				}
+				s := predict(int(order), h) + unzigzag(u)
+				if s > 32767 || s < -32768 {
+					return fmt.Errorf("%w: sample out of range", ErrFormat)
+				}
+				snd.Samples[(start+i)*channels+ch] = int16(s)
+				h[3], h[2], h[1], h[0] = h[2], h[1], h[0], s
+			}
+		}
+	}
+	_, err := dst.Write(wav.Encode(snd))
+	return err
+}
+
+func readRice(br *bitReader, k int) (uint32, error) {
+	q := 0
+	for {
+		b, err := br.bit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			break
+		}
+		q++
+		if q > riceEscape {
+			return 0, fmt.Errorf("%w: bad rice code", ErrFormat)
+		}
+	}
+	if q == riceEscape {
+		return br.bits(32)
+	}
+	low, err := br.bits(k)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(q)<<uint(k) | low, nil
+}
+
+type bitReader struct {
+	r     io.Reader
+	one   [1]byte
+	bits8 uint32
+	n     uint
+}
+
+func newBitReader(r io.Reader) *bitReader { return &bitReader{r: r} }
+
+func (b *bitReader) bit() (uint32, error) {
+	if b.n == 0 {
+		if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated bit stream", ErrFormat)
+		}
+		b.bits8 = uint32(b.one[0])
+		b.n = 8
+	}
+	v := b.bits8 & 1
+	b.bits8 >>= 1
+	b.n--
+	return v, nil
+}
+
+func (b *bitReader) bits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		bit, err := b.bit()
+		if err != nil {
+			return 0, err
+		}
+		v |= bit << uint(i)
+	}
+	return v, nil
+}
+
+// lpcMain is the VXA decoder in VXC.
+var lpcMain = vxcc.Source{Name: "vxlpc.vxc", Text: `
+// VXF1 fixed-LPC + Rice lossless audio decoder: VXA codec "lpc".
+// Output: WAV audio.
+
+enum { FRAME = 4096, ESCAPE = 40 };
+
+int hist[32]; // 4 history samples x up to 8 channels
+
+int predict(int order, int ch) {
+	int *h = hist + ch * 4;
+	if (order == 1) return h[0];
+	if (order == 2) return 2 * h[0] - h[1];
+	if (order == 3) return 3 * h[0] - 3 * h[1] + h[2];
+	if (order == 4) return 4 * h[0] - 6 * h[1] + 4 * h[2] - h[3];
+	return 0;
+}
+
+void push_hist(int ch, int s) {
+	int *h = hist + ch * 4;
+	h[3] = h[2];
+	h[2] = h[1];
+	h[1] = h[0];
+	h[0] = s;
+}
+
+int read_rice(int k) {
+	int q = 0;
+	while (getbit()) {
+		q++;
+		if (q > ESCAPE) die("bad rice code");
+	}
+	if (q == ESCAPE) return getbits(32);
+	return (q << k) | getbits(k);
+}
+
+int unzigzag(int u) {
+	return ((uint)u >> 1) ^ (-(u & 1));
+}
+
+void wav_header(int channels, int rate, int frames) {
+	int datalen = frames * channels * 2;
+	putb('R'); putb('I'); putb('F'); putb('F');
+	put4le(36 + datalen);
+	putb('W'); putb('A'); putb('V'); putb('E');
+	putb('f'); putb('m'); putb('t'); putb(' ');
+	put4le(16);
+	put2le(1);
+	put2le(channels);
+	put4le(rate);
+	put4le(rate * channels * 2);
+	put2le(channels * 2);
+	put2le(16);
+	putb('d'); putb('a'); putb('t'); putb('a');
+	put4le(datalen);
+}
+
+// One frame's worth of one channel is decoded at a time, but samples
+// must be emitted interleaved, so buffer the frame.
+int framebuf[FRAME * 8];
+
+int main(void) {
+	while (1) {
+		__stdio_reset();
+		bits_reset();
+		if (mustgetb() != 'V' || mustgetb() != 'X' || mustgetb() != 'F' || mustgetb() != '1')
+			die("not a VXF1 stream");
+		int channels = get2le();
+		int rate = get4le();
+		int frames = get4le();
+		if (channels < 1 || channels > 8) die("bad channel count");
+		if (frames < 0) die("bad frame count");
+		int i;
+		for (i = 0; i < 32; i++) hist[i] = 0;
+		wav_header(channels, rate, frames);
+		int start;
+		for (start = 0; start < frames; start += FRAME) {
+			int n = frames - start;
+			if (n > FRAME) n = FRAME;
+			int ch;
+			for (ch = 0; ch < channels; ch++) {
+				int order = getbits(3);
+				if (order > 4) die("bad predictor order");
+				int k = getbits(5);
+				for (i = 0; i < n; i++) {
+					int u = read_rice(k);
+					int s = predict(order, ch) + unzigzag(u);
+					if (s > 32767 || s < -32768) die("sample out of range");
+					framebuf[i * channels + ch] = s;
+					push_hist(ch, s);
+				}
+			}
+			for (i = 0; i < n * channels; i++)
+				put2le(framebuf[i] & 0xFFFF);
+		}
+		vxa_done();
+	}
+	return 0;
+}
+`}
+
+func init() {
+	codec.Register(&codec.Codec{
+		Name:   "lpc",
+		Desc:   "Lossless audio codec (fixed linear prediction + Rice coding, FLAC family)",
+		Output: "WAV audio",
+		Kind:   codec.MediaCodec,
+		Recognize: func(data []byte) bool {
+			return len(data) >= 14 && string(data[:4]) == "VXF1"
+		},
+		CanEncode: func(data []byte) bool {
+			if !wav.Sniff(data) {
+				return false
+			}
+			_, err := wav.Decode(data)
+			return err == nil
+		},
+		Encode:  Encode,
+		Decode:  Decode,
+		Sources: []vxcc.Source{vxcsrc.Bitio, lpcMain},
+	})
+}

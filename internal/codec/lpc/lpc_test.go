@@ -1,0 +1,163 @@
+package lpc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+	"vxa/internal/wav"
+)
+
+// synth builds a deterministic test tone: two mixed "oscillators"
+// implemented with integer recurrences plus a little noise, per channel.
+func synth(frames, channels, seed int) *wav.Sound {
+	r := rand.New(rand.NewSource(int64(seed)))
+	s := &wav.Sound{Channels: channels, SampleRate: 44100,
+		Samples: make([]int16, frames*channels)}
+	for ch := 0; ch < channels; ch++ {
+		phase1, phase2 := 0, 0
+		step1, step2 := 211+ch*17, 67+ch*5
+		for i := 0; i < frames; i++ {
+			phase1 = (phase1 + step1) % 65536
+			phase2 = (phase2 + step2) % 65536
+			tri := func(p int) int { // triangle wave, -8192..8191
+				if p < 32768 {
+					return p/2 - 8192
+				}
+				return 8191 - (p-32768)/2
+			}
+			v := tri(phase1) + tri(phase2)/2 + r.Intn(65) - 32
+			if v > 32767 {
+				v = 32767
+			}
+			if v < -32768 {
+				v = -32768
+			}
+			s.Samples[i*channels+ch] = int16(v)
+		}
+	}
+	return s
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int32) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorsExact(t *testing.T) {
+	h := [4]int32{10, 7, 3, 1} // most recent first
+	if predict(0, &h) != 0 || predict(1, &h) != 10 ||
+		predict(2, &h) != 13 || predict(3, &h) != 3*10-3*7+3 ||
+		predict(4, &h) != 4*10-6*7+4*3-1 {
+		t.Fatal("fixed predictor formulas wrong")
+	}
+}
+
+func TestLosslessRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		frames   int
+		channels int
+	}{
+		{"mono-short", 1000, 1},
+		{"stereo", 9000, 2}, // crosses a frame boundary
+		{"quad", 5000, 4},
+		{"empty", 0, 2},
+	} {
+		snd := synth(tc.frames, tc.channels, 7)
+		raw := wav.Encode(snd)
+		var enc bytes.Buffer
+		if err := Encode(&enc, raw); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var dec bytes.Buffer
+		if err := Decode(&dec, bytes.NewReader(enc.Bytes())); err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		got, err := wav.Decode(dec.Bytes())
+		if err != nil {
+			t.Fatalf("%s: output not WAV: %v", tc.name, err)
+		}
+		if len(got.Samples) != len(snd.Samples) {
+			t.Fatalf("%s: %d samples, want %d", tc.name, len(got.Samples), len(snd.Samples))
+		}
+		for i := range got.Samples {
+			if got.Samples[i] != snd.Samples[i] {
+				t.Fatalf("%s: lossless codec altered sample %d", tc.name, i)
+			}
+		}
+		if tc.frames > 1000 && enc.Len() >= len(raw) {
+			t.Errorf("%s: no compression: %d -> %d", tc.name, len(raw), enc.Len())
+		}
+	}
+}
+
+// TestRandomNoiseStillLossless: white noise defeats prediction; the
+// escape path must keep the codec lossless anyway.
+func TestRandomNoiseStillLossless(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	snd := &wav.Sound{Channels: 1, SampleRate: 8000, Samples: make([]int16, 6000)}
+	for i := range snd.Samples {
+		snd.Samples[i] = int16(r.Intn(65536) - 32768)
+	}
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	if err := Encode(&enc, raw); err != nil {
+		t.Fatal(err)
+	}
+	var dec bytes.Buffer
+	if err := Decode(&dec, bytes.NewReader(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wav.Decode(dec.Bytes())
+	for i := range got.Samples {
+		if got.Samples[i] != snd.Samples[i] {
+			t.Fatalf("noise sample %d altered", i)
+		}
+	}
+}
+
+func TestVXADecoderMatchesNative(t *testing.T) {
+	c, ok := codec.ByName("lpc")
+	if !ok {
+		t.Fatal("lpc codec not registered")
+	}
+	snd := synth(12000, 2, 3)
+	raw := wav.Encode(snd)
+	var enc bytes.Buffer
+	if err := Encode(&enc, raw); err != nil {
+		t.Fatal(err)
+	}
+	var nat bytes.Buffer
+	if err := Decode(&nat, bytes.NewReader(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunVXA(enc.Bytes(), vm.Config{})
+	if err != nil {
+		t.Fatalf("vxa: %v", err)
+	}
+	if !bytes.Equal(got, nat.Bytes()) {
+		t.Fatalf("vxa decoder output differs from native (%d vs %d bytes)", len(got), nat.Len())
+	}
+}
+
+func TestRecognizeAndCanEncode(t *testing.T) {
+	c, _ := codec.ByName("lpc")
+	raw := wav.Encode(synth(100, 1, 1))
+	if !c.CanEncode(raw) {
+		t.Fatal("lpc cannot encode a WAV file")
+	}
+	var enc bytes.Buffer
+	Encode(&enc, raw)
+	if !c.Recognize(enc.Bytes()) {
+		t.Fatal("lpc does not recognize its own output")
+	}
+	if c.Recognize(raw) || c.CanEncode(enc.Bytes()) {
+		t.Fatal("recognizer confusion between raw and encoded forms")
+	}
+}

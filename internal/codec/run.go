@@ -1,0 +1,60 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+)
+
+// DecodeError reports that a VXA decoder failed on a stream: either it
+// exited nonzero (e.g. on corrupt input) or it trapped in the sandbox.
+type DecodeError struct {
+	Codec  string
+	Code   int32  // exit code, if the decoder exited
+	Trap   error  // sandbox trap, if it faulted
+	Stderr string // decoder diagnostics
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	if e.Trap != nil {
+		return fmt.Sprintf("vxa decoder %s: %v (stderr: %s)", e.Codec, e.Trap, e.Stderr)
+	}
+	return fmt.Sprintf("vxa decoder %s: exit status %d (stderr: %s)", e.Codec, e.Code, e.Stderr)
+}
+
+// RunVXA decodes one input stream with the codec's compiled VXA decoder
+// in a fresh virtual machine and returns the decoded output. A zero
+// Config selects the VM defaults.
+func (c *Codec) RunVXA(input []byte, cfg vm.Config) ([]byte, error) {
+	elfBytes, err := c.DecoderELF()
+	if err != nil {
+		return nil, err
+	}
+	return RunDecoderELF(c.Name, elfBytes, input, cfg)
+}
+
+// RunDecoderELF runs an arbitrary decoder executable (e.g. one loaded
+// from an archive rather than built locally) over one input stream.
+func RunDecoderELF(name string, elfBytes, input []byte, cfg vm.Config) ([]byte, error) {
+	v, err := elf32.NewVM(elfBytes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out, diag bytes.Buffer
+	v.Stdin = bytes.NewReader(input)
+	v.Stdout = &out
+	v.Stderr = &diag
+	st, err := v.Run()
+	if err != nil {
+		return nil, &DecodeError{Codec: name, Trap: err, Stderr: diag.String()}
+	}
+	// The decoder protocol: "done" after a complete stream means success;
+	// exit(0) is also accepted. Any other exit is a decode failure.
+	if st == vm.StatusExit && v.ExitCode() != 0 {
+		return nil, &DecodeError{Codec: name, Code: v.ExitCode(), Stderr: diag.String()}
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,105 @@
+// Package vxcsrc holds VXC source fragments shared by the decoders:
+// an LSB-first bit reader and a canonical Huffman decoder. Each decoder
+// program links the fragments it needs exactly once.
+package vxcsrc
+
+import "vxa/internal/vxcc"
+
+// Bitio is the LSB-first bit reader over the runtime's buffered stdin —
+// the bit order DEFLATE uses, adopted by all bit-packed VXA formats.
+var Bitio = vxcc.Source{Name: "<bitio>", Text: `
+// LSB-first bit reader.
+
+int __bitbuf;
+int __bitcnt;
+
+void bits_reset() {
+	__bitbuf = 0;
+	__bitcnt = 0;
+}
+
+int getbit() {
+	if (__bitcnt == 0) {
+		int c = getb();
+		if (c < 0) die("unexpected end of bit stream");
+		__bitbuf = c;
+		__bitcnt = 8;
+	}
+	int b = __bitbuf & 1;
+	__bitbuf >>= 1;
+	__bitcnt--;
+	return b;
+}
+
+int getbits(int n) {
+	int v = 0;
+	int i;
+	for (i = 0; i < n; i++) v |= getbit() << i;
+	return v;
+}
+
+// alignbyte discards bits up to the next byte boundary.
+void alignbyte() {
+	__bitbuf = 0;
+	__bitcnt = 0;
+}
+
+// getgamma reads an Elias-gamma coded integer (>= 1): z leading zero
+// bits, then z+1 value bits MSB-first.
+int getgamma() {
+	int z = 0;
+	while (getbit() == 0) {
+		z++;
+		if (z > 31) die("bad gamma code");
+	}
+	int v = 1;
+	int i;
+	for (i = 0; i < z; i++) v = (v << 1) | getbit();
+	return v;
+}
+`}
+
+// Huff is the canonical-Huffman table builder and bit-serial decoder
+// (the "puff" algorithm): codes are assigned in canonical order and
+// decoded by walking code lengths, using only two small arrays.
+var Huff = vxcc.Source{Name: "<huff>", Text: `
+// Canonical Huffman. counts[1..15] is the number of codes per length;
+// symbols[] lists symbols sorted by (length, symbol value).
+
+void huff_build(byte *lengths, int n, int *counts, int *symbols) {
+	int i;
+	for (i = 0; i <= 15; i++) counts[i] = 0;
+	for (i = 0; i < n; i++) counts[lengths[i]]++;
+	if (counts[0] == n) die("empty huffman table");
+	counts[0] = 0;
+	// Check the lengths form a valid (sub-)prefix code.
+	int left = 1;
+	for (i = 1; i <= 15; i++) {
+		left <<= 1;
+		left -= counts[i];
+		if (left < 0) die("over-subscribed huffman table");
+	}
+	int offs[16];
+	offs[1] = 0;
+	for (i = 1; i < 15; i++) offs[i + 1] = offs[i] + counts[i];
+	for (i = 0; i < n; i++)
+		if (lengths[i]) symbols[offs[lengths[i]]++] = i;
+}
+
+int huff_decode(int *counts, int *symbols) {
+	int code = 0;
+	int first = 0;
+	int index = 0;
+	int len;
+	for (len = 1; len <= 15; len++) {
+		code |= getbit();
+		int count = counts[len];
+		if (code - first < count) return symbols[index + code - first];
+		index += count;
+		first = (first + count) << 1;
+		code <<= 1;
+	}
+	die("bad huffman code");
+	return -1;
+}
+`}

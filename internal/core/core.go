@@ -1,0 +1,442 @@
+// Package core implements the paper's primary contribution: the VXA
+// archive writer and reader (vxZIP/vxUnZIP, §2.2-2.4 and §3).
+//
+// The writer selects a codec per input file: inputs already compressed
+// in a recognized format are stored as-is with a decoder attached
+// (recognizer-decoder behaviour, method 0 so older tools extract the
+// compressed form); recognized raw media is compressed with a
+// specialized codec (lossy ones only when the operator allows); and
+// everything else is compressed with a general-purpose codec under its
+// traditional ZIP method tag. One copy of each decoder is embedded per
+// archive, amortized over all files that use it.
+//
+// The reader extracts through fast native decoders by default, falls
+// back to (or is forced onto) the archived VXA decoders running in the
+// sandboxed virtual machine, and always uses the archived decoders for
+// integrity verification — the property that guarantees the archive
+// remains decodable when native decoders have disappeared (§2.3).
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+	"vxa/internal/zipfile"
+)
+
+// DefaultGeneralCodec is the general-purpose codec used for unrecognized
+// input (the archiver's "default compressor", §2.2).
+const DefaultGeneralCodec = "deflate"
+
+// WriterOptions configure archive creation.
+type WriterOptions struct {
+	// AllowLossy permits lossy media codecs for raw media inputs; by
+	// default only lossless automatic compression is applied (§2.2).
+	AllowLossy bool
+	// GeneralCodec names the general-purpose codec for unrecognized
+	// input. Empty selects DefaultGeneralCodec.
+	GeneralCodec string
+	// StoreIncompressible stores inputs that the general codec cannot
+	// shrink. Enabled by default behaviour of ZIP tools; kept true here.
+	StoreIncompressible bool
+}
+
+// Writer creates VXA archives.
+type Writer struct {
+	zw       *zipfile.Writer
+	opts     WriterOptions
+	decoders map[string]uint32 // codec -> pseudo-file offset (dedup, §2.2)
+	closed   bool
+}
+
+// NewWriter begins an archive.
+func NewWriter(w io.Writer, opts WriterOptions) *Writer {
+	if opts.GeneralCodec == "" {
+		opts.GeneralCodec = DefaultGeneralCodec
+	}
+	opts.StoreIncompressible = true
+	return &Writer{zw: zipfile.NewWriter(w), opts: opts, decoders: make(map[string]uint32)}
+}
+
+// decoderOffset embeds the codec's decoder once and returns its offset.
+func (w *Writer) decoderOffset(c *codec.Codec) (uint32, error) {
+	if off, ok := w.decoders[c.Name]; ok {
+		return off, nil
+	}
+	elf, err := c.DecoderELF()
+	if err != nil {
+		return 0, err
+	}
+	off, err := w.zw.AddDecoder(elf)
+	if err != nil {
+		return 0, err
+	}
+	w.decoders[c.Name] = off
+	return off, nil
+}
+
+// pickCodec classifies one input per the §2.2 writer flow.
+func (w *Writer) pickCodec(data []byte) (c *codec.Codec, preCompressed bool, err error) {
+	// 1. Already compressed in a recognized format?
+	for _, cand := range codec.All() {
+		if cand.Recognize != nil && cand.Recognize(data) {
+			return cand, true, nil
+		}
+	}
+	// 2. Raw media a specialized codec can compress?
+	for _, cand := range codec.All() {
+		if cand.Kind != codec.MediaCodec || cand.CanEncode == nil {
+			continue
+		}
+		if cand.Lossy && !w.opts.AllowLossy {
+			continue
+		}
+		if cand.CanEncode(data) {
+			return cand, false, nil
+		}
+	}
+	// 3. General-purpose default.
+	gen, ok := codec.ByName(w.opts.GeneralCodec)
+	if !ok {
+		return nil, false, fmt.Errorf("core: general codec %q not registered", w.opts.GeneralCodec)
+	}
+	return gen, false, nil
+}
+
+// AddFile archives one file. mode carries the Unix permission bits used
+// as the security attributes for VM-reuse decisions on extraction.
+func (w *Writer) AddFile(name string, data []byte, mode uint32) error {
+	c, pre, err := w.pickCodec(data)
+	if err != nil {
+		return err
+	}
+	decOff, err := w.decoderOffset(c)
+	if err != nil {
+		return err
+	}
+	hdr := zipfile.FileHeader{
+		Name:  name,
+		CRC32: crc32.ChecksumIEEE(data),
+		USize: uint32(len(data)),
+		Mode:  mode,
+		VXA: &zipfile.VXAHeader{
+			Codec:         c.Name,
+			DecoderOffset: decOff,
+			PreCompressed: pre,
+		},
+	}
+	if pre {
+		// Store the already-compressed input unchanged, method 0: older
+		// tools extract it in its original compressed form (§3.1).
+		hdr.Method = zipfile.MethodStore
+		return w.zw.AddFile(hdr, data)
+	}
+	var enc bytes.Buffer
+	if err := c.Encode(&enc, data); err != nil {
+		return fmt.Errorf("core: %s encode: %w", c.Name, err)
+	}
+	if w.opts.StoreIncompressible && enc.Len() >= len(data) && c.Kind == codec.GeneralPurpose {
+		// Store raw, but keep the decoder-free store tag. No VXA header
+		// needed: stored data is its own "simplest form".
+		hdr.VXA = nil
+		hdr.Method = zipfile.MethodStore
+		return w.zw.AddFile(hdr, data)
+	}
+	hdr.Method = zipfile.MethodVXA
+	if c.ZipMethod != 0 {
+		hdr.Method = c.ZipMethod
+	}
+	return w.zw.AddFile(hdr, enc.Bytes())
+}
+
+// Close finalizes the archive.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.zw.Close()
+}
+
+// DecoderCount reports how many distinct decoders were embedded.
+func (w *Writer) DecoderCount() int { return len(w.decoders) }
+
+// ---------- reader ----------
+
+// ExtractMode selects the decode path (§2.3).
+type ExtractMode int
+
+// Extraction modes.
+const (
+	// NativeFirst uses a fast native decoder when one is available,
+	// falling back to the archived VXA decoder.
+	NativeFirst ExtractMode = iota
+	// AlwaysVXA always runs the archived decoder in the VM — the safest
+	// operational model, and the one integrity checks mandate.
+	AlwaysVXA
+)
+
+// ExtractOptions configure extraction.
+type ExtractOptions struct {
+	Mode ExtractMode
+	// DecodeAll forces decoding of pre-compressed files to their
+	// uncompressed form instead of extracting them still compressed.
+	DecodeAll bool
+	// VM configures decoder virtual machines; zero means defaults.
+	VM vm.Config
+	// ReuseVM keeps one VM per decoder alive across files with equal
+	// security attributes (§2.4); a change of attributes or a disabled
+	// flag re-initializes from the pristine decoder image.
+	ReuseVM bool
+	// Verbose streams decoder stderr diagnostics to this writer.
+	Verbose io.Writer
+}
+
+// Entry is one archived file as seen by the reader.
+type Entry struct {
+	Name          string
+	Method        uint16
+	Codec         string // empty if the entry has no VXA header
+	PreCompressed bool
+	USize, CSize  uint32
+	Mode          uint32
+	hdr           *zipfile.FileHeader
+}
+
+// Reader extracts VXA archives.
+type Reader struct {
+	zr      *zipfile.Reader
+	entries []Entry
+
+	// VM reuse state (§2.4).
+	vms         map[string]*reusableVM
+	ReinitCount int // statistics: how many times a pristine VM was loaded
+}
+
+type reusableVM struct {
+	v    *vm.VM
+	mode uint32 // security attributes the VM last touched
+}
+
+// NewReader opens an archive held in memory.
+func NewReader(data []byte) (*Reader, error) {
+	zr, err := zipfile.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{zr: zr, vms: make(map[string]*reusableVM)}
+	for i := range zr.Files {
+		f := &zr.Files[i]
+		e := Entry{
+			Name: f.Name, Method: f.Method, USize: f.USize, CSize: f.CSize,
+			Mode: f.Mode, hdr: f,
+		}
+		if f.VXA != nil {
+			e.Codec = f.VXA.Codec
+			e.PreCompressed = f.VXA.PreCompressed
+		}
+		r.entries = append(r.entries, e)
+	}
+	return r, nil
+}
+
+// Entries lists the archive contents (central directory order; decoder
+// pseudo-files are invisible, as in the paper).
+func (r *Reader) Entries() []Entry { return r.entries }
+
+// ErrNoDecoder reports an entry that cannot be decoded by any available
+// path.
+var ErrNoDecoder = errors.New("core: no decoder available for entry")
+
+// Extract decodes one entry per the options and verifies its CRC-32.
+func (r *Reader) Extract(e *Entry, opts ExtractOptions) ([]byte, error) {
+	payload, err := r.zr.Payload(e.hdr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stored entries: either plain stored files or pre-compressed media.
+	if e.Method == zipfile.MethodStore && (!e.PreCompressed || !opts.DecodeAll) {
+		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
+			return nil, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+		}
+		return append([]byte(nil), payload...), nil
+	}
+
+	out, err := r.decodeStream(e, payload, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The archive CRC covers the original input. For pre-compressed
+	// entries being force-decoded, the CRC covers the compressed form
+	// (which we already have), so check that instead.
+	if e.PreCompressed {
+		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
+			return nil, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+		}
+		return out, nil
+	}
+	if crc32.ChecksumIEEE(out) != e.hdr.CRC32 {
+		return nil, fmt.Errorf("core: %s: decoded data CRC mismatch", e.Name)
+	}
+	return out, nil
+}
+
+func (r *Reader) decodeStream(e *Entry, payload []byte, opts ExtractOptions) ([]byte, error) {
+	// Native fast path (§2.3): method tag or codec name identifies a
+	// well-known algorithm with a native decoder.
+	if opts.Mode == NativeFirst {
+		if c, ok := codec.ByName(e.Codec); ok && c.Decode != nil {
+			var out bytes.Buffer
+			if err := c.Decode(&out, bytes.NewReader(payload)); err == nil {
+				return out.Bytes(), nil
+			}
+			// Native decoder failed: fall back to the archived decoder,
+			// exactly the contingency §2.3 describes.
+		}
+	}
+	if e.hdr.VXA == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
+	}
+	elf, err := r.zr.Decoder(e.hdr.VXA.DecoderOffset)
+	if err != nil {
+		return nil, err
+	}
+	return r.runArchivedDecoder(e, elf, payload, opts)
+}
+
+// DefaultDecoderMemSize is the guest address space the reader gives
+// archived decoders unless ExtractOptions.VM says otherwise. Media
+// decoders hold whole image/audio planes, so this is larger than the
+// bare VM default (the paper's sandbox allows up to 1 GiB).
+const DefaultDecoderMemSize = 64 << 20
+
+// runArchivedDecoder executes the archived VXA decoder over the payload,
+// honouring the VM reuse policy.
+func (r *Reader) runArchivedDecoder(e *Entry, elf, payload []byte, opts ExtractOptions) ([]byte, error) {
+	if opts.VM.MemSize == 0 {
+		opts.VM.MemSize = DefaultDecoderMemSize
+	}
+	if !opts.ReuseVM {
+		r.ReinitCount++
+		return codec.RunDecoderELF(e.Codec, elf, payload, opts.VM)
+	}
+	ru := r.vms[e.Codec]
+	// Re-initialize with a pristine decoder image whenever the security
+	// attributes change (§2.4), so a malicious decoder cannot leak data
+	// from a protected file into a public one.
+	if ru == nil || ru.mode != e.Mode {
+		v, err := newDecoderVM(elf, opts)
+		if err != nil {
+			return nil, err
+		}
+		r.ReinitCount++
+		ru = &reusableVM{v: v, mode: e.Mode}
+		r.vms[e.Codec] = ru
+	}
+	out, err := runOneStream(ru.v, payload, opts)
+	if err != nil {
+		// A trapped or exited VM is not reusable.
+		delete(r.vms, e.Codec)
+		return nil, &codec.DecodeError{Codec: e.Codec, Trap: err}
+	}
+	return out, nil
+}
+
+func newDecoderVM(elf []byte, opts ExtractOptions) (*vm.VM, error) {
+	v, err := newVMFromELF(elf, opts.VM)
+	if err != nil {
+		return nil, err
+	}
+	v.Stderr = opts.Verbose
+	return v, nil
+}
+
+// runOneStream feeds one payload to a (possibly resumed) decoder VM and
+// collects the decoded stream, expecting the done protocol.
+func runOneStream(v *vm.VM, payload []byte, opts ExtractOptions) ([]byte, error) {
+	var out bytes.Buffer
+	v.Stdin = bytes.NewReader(payload)
+	v.Stdout = &out
+	v.AddFuel(int64(len(payload))*4096 + 1<<30)
+	st, err := v.Run()
+	if err != nil {
+		return nil, err
+	}
+	if st == vm.StatusExit && v.ExitCode() != 0 {
+		return nil, fmt.Errorf("decoder exit status %d", v.ExitCode())
+	}
+	if st == vm.StatusExit {
+		return nil, errors.New("decoder exited instead of signalling done; not reusable")
+	}
+	return out.Bytes(), nil
+}
+
+// Verify runs the §2.3 integrity check over every entry: each file is
+// decoded with its archived VXA decoder (never a native one) and checked
+// against its CRC. It returns one error per failing entry.
+func (r *Reader) Verify(opts ExtractOptions) []error {
+	opts.Mode = AlwaysVXA
+	opts.DecodeAll = false
+	var errs []error
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.Codec == "" {
+			// Stored entries: CRC only.
+			if _, err := r.Extract(e, opts); err != nil {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		payload, err := r.zr.Payload(e.hdr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		elf, err := r.zr.Decoder(e.hdr.VXA.DecoderOffset)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Name, err))
+			continue
+		}
+		out, err := r.runArchivedDecoder(e, elf, payload, opts)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Name, err))
+			continue
+		}
+		if e.PreCompressed {
+			if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
+				errs = append(errs, fmt.Errorf("%s: stored CRC mismatch", e.Name))
+			}
+			continue // decoded form has no recorded CRC; decoding itself is the check
+		}
+		if crc32.ChecksumIEEE(out) != e.hdr.CRC32 {
+			errs = append(errs, fmt.Errorf("%s: decoded CRC mismatch", e.Name))
+		}
+	}
+	return errs
+}
+
+// LocalOffset returns the entry's local file header offset within the
+// archive (exposed for tooling and tests).
+func (e *Entry) LocalOffset() uint32 { return e.hdr.Offset }
+
+// ExtractDecodedForm decodes an entry's stream and returns the decoder
+// output without checking it against the archive CRC. The CRC covers the
+// original input, which a lossy codec's decoder does not reproduce
+// bit-exactly; this is the accessor for the decoded form of lossy
+// entries (the BMP/WAV the archived decoder produces).
+func (r *Reader) ExtractDecodedForm(e *Entry, opts ExtractOptions) ([]byte, error) {
+	payload, err := r.zr.Payload(e.hdr)
+	if err != nil {
+		return nil, err
+	}
+	if e.hdr.VXA == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
+	}
+	return r.decodeStream(e, payload, opts)
+}

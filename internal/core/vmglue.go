@@ -1,0 +1,11 @@
+package core
+
+import (
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+)
+
+// newVMFromELF builds a fresh decoder VM from a pristine ELF image.
+func newVMFromELF(elf []byte, cfg vm.Config) (*vm.VM, error) {
+	return elf32.NewVM(elf, cfg)
+}

@@ -1,0 +1,113 @@
+// Package corpus generates the deterministic synthetic datasets used by
+// the evaluation harness. The paper's corpora (a Linux 2.6.11 source
+// tree, photos, music) are unavailable offline; these generators produce
+// inputs with comparable statistical structure — compressible
+// English-like text for the general-purpose codecs, smooth-plus-edges
+// images for the image codecs, and tonal audio for the audio codecs —
+// with every byte reproducible from a seed.
+package corpus
+
+import (
+	"math"
+	"math/rand"
+
+	"vxa/internal/bmp"
+	"vxa/internal/wav"
+)
+
+// Text produces n bytes of word-like, highly compressible text using a
+// small Markov process over a fixed vocabulary, mimicking source code /
+// prose redundancy.
+func Text(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	vocab := []string{
+		"the", "archive", "decoder", "virtual", "machine", "stream",
+		"compress", "buffer", "format", "return", "int", "byte", "for",
+		"while", "data", "codec", "durable", "extract", "header", "index",
+		"block", "huffman", "symbol", "length", "offset", "window",
+	}
+	out := make([]byte, 0, n+16)
+	prev := 0
+	for len(out) < n {
+		// Favour repeating recent words; real text is locally repetitive.
+		var w string
+		if r.Intn(4) == 0 {
+			w = vocab[prev]
+		} else {
+			prev = r.Intn(len(vocab))
+			w = vocab[prev]
+		}
+		out = append(out, w...)
+		if r.Intn(12) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+// Image produces a w x h test image: smooth gradients, a few hard-edged
+// rectangles, and light noise — the mix block and wavelet transforms are
+// designed for.
+func Image(w, h int, seed int64) *bmp.Image {
+	r := rand.New(rand.NewSource(seed))
+	im := bmp.New(w, h)
+	type rect struct {
+		x0, y0, x1, y1 int
+		cr, cg, cb     byte
+	}
+	rects := make([]rect, 6)
+	for i := range rects {
+		x0, y0 := r.Intn(w), r.Intn(h)
+		rects[i] = rect{x0, y0, x0 + r.Intn(w/2+1), y0 + r.Intn(h/2+1),
+			byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cr := byte(96 + 64*math.Sin(float64(x)/23))
+			cg := byte(96 + 64*math.Sin(float64(y)/31))
+			cb := byte((x*255 + y*128) / (w + h))
+			for _, rc := range rects {
+				if x >= rc.x0 && x < rc.x1 && y >= rc.y0 && y < rc.y1 {
+					cr, cg, cb = rc.cr, rc.cg, rc.cb
+				}
+			}
+			n := byte(r.Intn(7))
+			im.Set(x, y, cr+n, cg+n, cb+n)
+		}
+	}
+	return im
+}
+
+// Audio produces tonal stereo-capable audio with vibrato and noise — the
+// kind of signal linear predictors and ADPCM are built for.
+func Audio(frames, channels int, seed int64) *wav.Sound {
+	r := rand.New(rand.NewSource(seed))
+	s := &wav.Sound{Channels: channels, SampleRate: 44100,
+		Samples: make([]int16, frames*channels)}
+	for ch := 0; ch < channels; ch++ {
+		f0 := 180.0 + 70.0*float64(ch)
+		phase := 0.0
+		for i := 0; i < frames; i++ {
+			f := f0 * (1 + 0.01*math.Sin(float64(i)/2000))
+			phase += 2 * math.Pi * f / 44100
+			v := 9000*math.Sin(phase) + 3000*math.Sin(2.1*phase) +
+				float64(r.Intn(201)-100)
+			if v > 32767 {
+				v = 32767
+			}
+			if v < -32768 {
+				v = -32768
+			}
+			s.Samples[i*channels+ch] = int16(v)
+		}
+	}
+	return s
+}
+
+// Song returns the encoded WAV bytes of a "track" of the given duration
+// in seconds, the §5.3 storage-overhead unit.
+func Song(seconds int, seed int64) []byte {
+	return wav.Encode(Audio(44100*seconds/10, 2, seed)) // 1/10 scale, see EXPERIMENTS.md
+}

@@ -1,0 +1,194 @@
+// Package elf32 reads and writes the 32-bit x86 ELF executables that
+// carry VXA decoders. Archived decoders are "simply ELF executables for
+// the 32-bit x86 architecture" (paper §3.2); this package produces a
+// minimal static executable — ELF header plus two PT_LOAD segments
+// (read-only text+rodata, writable data+bss) — and parses the same format
+// back for loading into the virtual machine.
+package elf32
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vxa/internal/vm"
+	"vxa/internal/x86/asm"
+)
+
+// ELF constants for the subset we emit and accept.
+const (
+	etExec    = 2
+	emI386    = 3
+	evCurrent = 1
+
+	ptLoad = 1
+
+	pfX = 1
+	pfW = 2
+	pfR = 4
+
+	ehSize = 52 // ELF32 header size
+	phSize = 32 // program header size
+)
+
+// ErrNotELF reports that the input is not an ELF file at all.
+var ErrNotELF = errors.New("elf32: not an ELF file")
+
+// ErrBadELF reports a structurally invalid or unsupported ELF file.
+var ErrBadELF = errors.New("elf32: unsupported or malformed executable")
+
+// Segment is one loadable program segment.
+type Segment struct {
+	Vaddr    uint32
+	Data     []byte
+	MemSize  uint32 // >= len(Data); the tail is zero-initialized
+	ReadOnly bool
+}
+
+// Program is a parsed executable image.
+type Program struct {
+	Entry    uint32
+	Segments []Segment
+}
+
+// Write serializes a linked image as a static ELF32 executable with the
+// given entry symbol.
+func Write(im *asm.Image, entrySym string) ([]byte, error) {
+	entry, ok := im.Symbols[entrySym]
+	if !ok {
+		return nil, fmt.Errorf("elf32: entry symbol %q not defined", entrySym)
+	}
+
+	ro := append(append([]byte{}, im.Text...), im.ROData...)
+	rw := im.Data
+	bss := im.BSSSize
+
+	// File layout: [ehdr][phdr x2][ro][rw]; segments are file-offset
+	// aligned to their address modulo page size is not required by our
+	// loader, so we keep the file dense.
+	hdrSize := uint32(ehSize + 2*phSize)
+	roOff := hdrSize
+	rwOff := roOff + uint32(len(ro))
+
+	buf := make([]byte, 0, int(rwOff)+len(rw))
+	le := binary.LittleEndian
+
+	// ELF header.
+	ehdr := make([]byte, ehSize)
+	copy(ehdr, []byte{0x7F, 'E', 'L', 'F', 1 /*ELFCLASS32*/, 1 /*LSB*/, evCurrent})
+	le.PutUint16(ehdr[16:], etExec)
+	le.PutUint16(ehdr[18:], emI386)
+	le.PutUint32(ehdr[20:], evCurrent)
+	le.PutUint32(ehdr[24:], entry)
+	le.PutUint32(ehdr[28:], ehSize) // phoff
+	le.PutUint32(ehdr[32:], 0)      // shoff: no section table
+	le.PutUint32(ehdr[36:], 0)      // flags
+	le.PutUint16(ehdr[40:], ehSize)
+	le.PutUint16(ehdr[42:], phSize)
+	le.PutUint16(ehdr[44:], 2) // phnum
+	buf = append(buf, ehdr...)
+
+	phdr := func(off, vaddr, filesz, memsz, flags uint32) {
+		p := make([]byte, phSize)
+		le.PutUint32(p[0:], ptLoad)
+		le.PutUint32(p[4:], off)
+		le.PutUint32(p[8:], vaddr)
+		le.PutUint32(p[12:], vaddr) // paddr
+		le.PutUint32(p[16:], filesz)
+		le.PutUint32(p[20:], memsz)
+		le.PutUint32(p[24:], flags)
+		le.PutUint32(p[28:], 4) // align
+		buf = append(buf, p...)
+	}
+	phdr(roOff, im.Base, uint32(len(ro)), uint32(len(ro)), pfR|pfX)
+	phdr(rwOff, im.DataBase(), uint32(len(rw)), uint32(len(rw))+bss, pfR|pfW)
+
+	buf = append(buf, ro...)
+	buf = append(buf, rw...)
+	return buf, nil
+}
+
+// Parse validates and decodes an ELF32 x86 executable.
+func Parse(b []byte) (*Program, error) {
+	if len(b) < ehSize || b[0] != 0x7F || b[1] != 'E' || b[2] != 'L' || b[3] != 'F' {
+		return nil, ErrNotELF
+	}
+	le := binary.LittleEndian
+	if b[4] != 1 || b[5] != 1 {
+		return nil, fmt.Errorf("%w: not a little-endian 32-bit image", ErrBadELF)
+	}
+	if le.Uint16(b[16:]) != etExec {
+		return nil, fmt.Errorf("%w: not an executable", ErrBadELF)
+	}
+	if le.Uint16(b[18:]) != emI386 {
+		return nil, fmt.Errorf("%w: machine is not x86-32", ErrBadELF)
+	}
+	phoff := le.Uint32(b[28:])
+	phentsize := le.Uint16(b[42:])
+	phnum := le.Uint16(b[44:])
+	if phentsize < phSize || phnum == 0 || phnum > 16 {
+		return nil, fmt.Errorf("%w: bad program header table", ErrBadELF)
+	}
+
+	p := &Program{Entry: le.Uint32(b[24:])}
+	for i := 0; i < int(phnum); i++ {
+		off := int(phoff) + i*int(phentsize)
+		if off+phSize > len(b) {
+			return nil, fmt.Errorf("%w: program header out of range", ErrBadELF)
+		}
+		h := b[off:]
+		if le.Uint32(h[0:]) != ptLoad {
+			continue
+		}
+		fileOff := le.Uint32(h[4:])
+		vaddr := le.Uint32(h[8:])
+		filesz := le.Uint32(h[16:])
+		memsz := le.Uint32(h[20:])
+		flags := le.Uint32(h[24:])
+		if memsz < filesz {
+			return nil, fmt.Errorf("%w: memsz < filesz", ErrBadELF)
+		}
+		end := uint64(fileOff) + uint64(filesz)
+		if end > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: segment data out of range", ErrBadELF)
+		}
+		p.Segments = append(p.Segments, Segment{
+			Vaddr:    vaddr,
+			Data:     b[fileOff : fileOff+filesz],
+			MemSize:  memsz,
+			ReadOnly: flags&pfW == 0,
+		})
+	}
+	if len(p.Segments) == 0 {
+		return nil, fmt.Errorf("%w: no loadable segments", ErrBadELF)
+	}
+	return p, nil
+}
+
+// Load maps a parsed program into a VM and sets its entry point.
+func Load(v *vm.VM, p *Program) error {
+	for _, s := range p.Segments {
+		if err := v.MapSegment(s.Vaddr, s.Data, s.MemSize, s.ReadOnly); err != nil {
+			return err
+		}
+	}
+	v.SetEntry(p.Entry)
+	return nil
+}
+
+// NewVM parses an ELF image and returns a fresh VM with it loaded — the
+// common path for running an archived decoder.
+func NewVM(elfBytes []byte, cfg vm.Config) (*vm.VM, error) {
+	p, err := Parse(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	v, err := vm.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := Load(v, p); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,416 @@
+// Package vm implements the VXA virtual machine: the sandboxed execution
+// environment in which archived decoders run (the analog of the paper's
+// vx32 virtual machine monitor).
+//
+// The VM executes the x86-32 subset defined by package x86 over a flat
+// guest address space that always starts at virtual address 0, exactly as
+// the paper specifies (§2.4). The guest has no access to host operating
+// system services: its only I/O is the five VXA virtual system calls —
+// read, write, exit, setperm and done — invoked through INT 0x80
+// (§4.3). Three virtual file handles exist: stdin (0) is the encoded
+// input stream, stdout (1) is the decoded output stream, and stderr (2)
+// carries diagnostics.
+//
+// Where vx32 sandboxes by dynamic x86-to-x86 translation plus host
+// segmentation, this implementation interprets the guest code in Go. It
+// keeps vx32's structure: guest code is scanned and decoded into cached
+// basic-block fragments keyed by entry address, direct branches chain
+// from fragment to fragment, and indirect branches resolve through the
+// fragment-cache lookup — the exact mechanism whose cost the paper's
+// vorbis-inlining anecdote (§5.2) measures. Every memory access is
+// bounds-checked against the sandbox, so a buggy or malicious decoder can
+// at worst garble its own output stream (§2.4).
+//
+// Determinism: a decoder cannot observe the host system, the time, or
+// any source of nondeterminism; identical inputs produce identical
+// outputs, which the archive integrity checker relies on.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"vxa/internal/x86"
+)
+
+// Guest address-space layout constants.
+const (
+	// PageSize is the allocation granularity; the first page is never
+	// mapped so that null-pointer dereferences trap.
+	PageSize = 0x1000
+
+	// MaxMemSize caps the guest address space at 1 GiB (§4.1).
+	MaxMemSize = 1 << 30
+
+	// DefaultMemSize is the guest address space given to decoders unless
+	// the archive requests more.
+	DefaultMemSize = 16 << 20
+
+	// DefaultStackSize is the size of the stack region at the top of the
+	// guest address space.
+	DefaultStackSize = 1 << 20
+
+	// DefaultFuel bounds the number of guest instructions a single Run
+	// may execute, so that a looping decoder cannot hang the archiver.
+	DefaultFuel = int64(1) << 40
+)
+
+// The VXA virtual system call numbers (INT 0x80, number in EAX).
+const (
+	SysExit    = 1 // exit(status)        — decoder finished, EBX = status
+	SysRead    = 3 // read(fd, buf, n)    — fd must be 0 (stdin)
+	SysWrite   = 4 // write(fd, buf, n)   — fd must be 1 (stdout) or 2 (stderr)
+	SysSetPerm = 5 // setperm(addr, len)  — extend the accessible heap
+	SysDone    = 6 // done()              — stream finished; ready for another
+)
+
+// Virtual errno values returned (negated) by failed system calls.
+const (
+	ErrnoBADF  = 9
+	ErrnoFAULT = 14
+	ErrnoINVAL = 22
+	ErrnoIO    = 5
+	ErrnoNOMEM = 12
+)
+
+// TrapKind classifies why the VM stopped the guest.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapMemory  TrapKind = iota // out-of-sandbox or misaligned access
+	TrapIllegal                 // instruction outside the VXA subset
+	TrapSyscall                 // unknown system call or interrupt vector
+	TrapDivide                  // divide by zero or quotient overflow
+	TrapFuel                    // instruction budget exhausted
+	TrapWrite                   // write to read-only (text/rodata) region
+)
+
+var trapNames = map[TrapKind]string{
+	TrapMemory: "memory fault", TrapIllegal: "illegal instruction",
+	TrapSyscall: "bad system call", TrapDivide: "divide error",
+	TrapFuel: "fuel exhausted", TrapWrite: "write to read-only memory",
+}
+
+// Trap is the error type for guest faults. Any trap means the decoder is
+// buggy or malicious; the archive reader reports the affected file as
+// undecodable and the host is unaffected.
+type Trap struct {
+	Kind TrapKind
+	EIP  uint32 // faulting instruction address
+	Addr uint32 // faulting memory address, if relevant
+	Msg  string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	s := fmt.Sprintf("vm: %s at eip=%#x", trapNames[t.Kind], t.EIP)
+	if t.Kind == TrapMemory || t.Kind == TrapWrite {
+		s += fmt.Sprintf(" addr=%#x", t.Addr)
+	}
+	if t.Msg != "" {
+		s += ": " + t.Msg
+	}
+	return s
+}
+
+// Status reports how a Run returned.
+type Status int
+
+// Run outcomes.
+const (
+	// StatusExit: the guest invoked exit; the VM cannot be resumed.
+	StatusExit Status = iota
+	// StatusDone: the guest invoked done, signalling that it finished one
+	// stream and can accept another; swap Stdin/Stdout and call Run again.
+	StatusDone
+)
+
+// Config configures a VM.
+type Config struct {
+	// MemSize is the total guest address space in bytes.
+	// Defaults to DefaultMemSize; capped at MaxMemSize.
+	MemSize uint32
+	// StackSize is the reserved stack region at the top of the address
+	// space. Defaults to DefaultStackSize.
+	StackSize uint32
+	// Fuel is the guest instruction budget per VM. Defaults to DefaultFuel.
+	Fuel int64
+	// NoBlockCache disables the basic-block fragment cache, forcing the VM
+	// to re-decode every instruction (the §4.2 translation-cache ablation).
+	NoBlockCache bool
+}
+
+// Stats are execution counters exposed for the evaluation harness.
+type Stats struct {
+	Steps        uint64 // guest instructions executed
+	BlockLookups uint64 // fragment-cache lookups (indirect control flow)
+	BlocksBuilt  uint64 // fragments decoded ("translated")
+	Syscalls     uint64
+}
+
+// VM is one sandboxed guest. It is not safe for concurrent use.
+type VM struct {
+	mem  []byte
+	regs [8]uint32
+	eip  uint32
+
+	// EFLAGS subset (the arithmetic flags the subset can observe).
+	cf, zf, sf, of, pf bool
+
+	// Sandbox bounds. The accessible regions are [PageSize, brk) for
+	// code/data/heap and [stackBase, memSize) for the stack; everything
+	// else (including page 0 and the guard gap between heap and stack)
+	// faults. Writes below roLimit fault (text and rodata are read-only).
+	brk       uint32
+	roLimit   uint32
+	stackBase uint32
+
+	fuel    int64
+	noCache bool
+	blocks  map[uint32]*block
+
+	// Stdin is the encoded input stream (virtual fd 0).
+	Stdin io.Reader
+	// Stdout receives the decoded output stream (virtual fd 1).
+	Stdout io.Writer
+	// Stderr receives decoder diagnostics (virtual fd 2). May be nil,
+	// in which case diagnostics are discarded (vxUnZIP shows them only
+	// in verbose mode).
+	Stderr io.Writer
+
+	exitCode int32
+	stats    Stats
+}
+
+type block struct {
+	insts []x86.Inst
+	addrs []uint32 // eip of each instruction
+}
+
+// New creates a VM with an empty address space.
+func New(cfg Config) (*VM, error) {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = DefaultMemSize
+	}
+	if cfg.MemSize > MaxMemSize {
+		return nil, fmt.Errorf("vm: MemSize %d exceeds the 1 GiB sandbox limit", cfg.MemSize)
+	}
+	if cfg.MemSize%PageSize != 0 {
+		return nil, fmt.Errorf("vm: MemSize %d not page-aligned", cfg.MemSize)
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = DefaultStackSize
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = DefaultFuel
+	}
+	if cfg.StackSize%PageSize != 0 || cfg.StackSize >= cfg.MemSize/2 {
+		return nil, fmt.Errorf("vm: bad StackSize %d", cfg.StackSize)
+	}
+	v := &VM{
+		mem:       make([]byte, cfg.MemSize),
+		brk:       PageSize,
+		roLimit:   PageSize,
+		stackBase: cfg.MemSize - cfg.StackSize,
+		fuel:      cfg.Fuel,
+		noCache:   cfg.NoBlockCache,
+		blocks:    make(map[uint32]*block),
+	}
+	v.regs[x86.ESP] = cfg.MemSize - 16 // a little headroom at the very top
+	return v, nil
+}
+
+// MapSegment copies data into the guest address space at addr and extends
+// the accessible region to cover [addr, addr+memSize) (memSize >= len(data);
+// the tail is the zero-initialized BSS). If readOnly is set, the segment
+// is protected against guest writes.
+func (v *VM) MapSegment(addr uint32, data []byte, memSize uint32, readOnly bool) error {
+	if memSize < uint32(len(data)) {
+		return fmt.Errorf("vm: segment memSize %d < filesz %d", memSize, len(data))
+	}
+	end := addr + memSize
+	if end < addr || end > v.stackBase || addr < PageSize {
+		return fmt.Errorf("vm: segment [%#x,%#x) outside loadable region", addr, end)
+	}
+	copy(v.mem[addr:], data)
+	if end > v.brk {
+		v.brk = end
+	}
+	if readOnly && end > v.roLimit {
+		v.roLimit = end
+	}
+	return nil
+}
+
+// SetEntry sets the guest program counter.
+func (v *VM) SetEntry(entry uint32) { v.eip = entry }
+
+// EIP returns the current guest program counter.
+func (v *VM) EIP() uint32 { return v.eip }
+
+// Reg returns a guest register.
+func (v *VM) Reg(r x86.Reg) uint32 { return v.regs[r] }
+
+// SetReg sets a guest register.
+func (v *VM) SetReg(r x86.Reg, val uint32) { v.regs[r] = val }
+
+// ExitCode returns the status passed to the exit system call.
+func (v *VM) ExitCode() int32 { return v.exitCode }
+
+// Stats returns execution counters.
+func (v *VM) Stats() Stats { return v.stats }
+
+// Brk returns the current end of the accessible heap region.
+func (v *VM) Brk() uint32 { return v.brk }
+
+// FuelRemaining returns the remaining instruction budget.
+func (v *VM) FuelRemaining() int64 { return v.fuel }
+
+// AddFuel extends the instruction budget (e.g. between streams).
+func (v *VM) AddFuel(n int64) { v.fuel += n }
+
+// MemSize returns the size of the guest address space.
+func (v *VM) MemSize() uint32 { return uint32(len(v.mem)) }
+
+// readable reports whether [addr, addr+size) lies inside the sandbox.
+func (v *VM) readable(addr, size uint32) bool {
+	end := addr + size
+	if end < addr {
+		return false
+	}
+	if addr >= PageSize && end <= v.brk {
+		return true
+	}
+	return addr >= v.stackBase && end <= uint32(len(v.mem))
+}
+
+// writable reports whether the guest may write [addr, addr+size).
+func (v *VM) writable(addr, size uint32) bool {
+	return v.readable(addr, size) && (addr >= v.roLimit || addr >= v.stackBase)
+}
+
+// ReadMem copies size guest bytes at addr, enforcing the sandbox.
+func (v *VM) ReadMem(addr, size uint32) ([]byte, error) {
+	if !v.readable(addr, size) {
+		return nil, &Trap{Kind: TrapMemory, EIP: v.eip, Addr: addr}
+	}
+	out := make([]byte, size)
+	copy(out, v.mem[addr:addr+size])
+	return out, nil
+}
+
+// WriteMem copies data into guest memory at addr, enforcing the sandbox
+// (including read-only protection).
+func (v *VM) WriteMem(addr uint32, data []byte) error {
+	if !v.writable(addr, uint32(len(data))) {
+		return &Trap{Kind: TrapWrite, EIP: v.eip, Addr: addr}
+	}
+	copy(v.mem[addr:], data)
+	return nil
+}
+
+var errExit = errors.New("vm: guest exited")
+var errDone = errors.New("vm: guest stream done")
+
+// Run executes the guest until it invokes exit or done, or faults.
+// After StatusDone the VM may be resumed by calling Run again, optionally
+// with new Stdin/Stdout, implementing the multi-stream decoder protocol.
+func (v *VM) Run() (Status, error) {
+	for {
+		blk, err := v.fetchBlock(v.eip)
+		if err != nil {
+			return StatusExit, err
+		}
+		if err := v.execBlock(blk); err != nil {
+			switch err {
+			case errExit:
+				return StatusExit, nil
+			case errDone:
+				return StatusDone, nil
+			}
+			return StatusExit, err
+		}
+	}
+}
+
+// maxBlockLen bounds fragment size, mirroring vx32's fragment granularity.
+const maxBlockLen = 64
+
+// fetchBlock returns the decoded fragment starting at addr, building and
+// caching it on a miss. With NoBlockCache set, every call re-decodes a
+// single instruction (the no-translation-cache ablation).
+func (v *VM) fetchBlock(addr uint32) (*block, error) {
+	v.stats.BlockLookups++
+	if !v.noCache {
+		if b, ok := v.blocks[addr]; ok {
+			return b, nil
+		}
+	}
+	b, err := v.buildBlock(addr)
+	if err != nil {
+		return nil, err
+	}
+	if !v.noCache {
+		v.blocks[addr] = b
+	}
+	return b, nil
+}
+
+func (v *VM) buildBlock(addr uint32) (*block, error) {
+	v.stats.BlocksBuilt++
+	b := &block{}
+	limit := maxBlockLen
+	if v.noCache {
+		limit = 1
+	}
+	cur := addr
+	for len(b.insts) < limit {
+		// An instruction can be up to 15 bytes; fetching requires the
+		// whole window to be readable, clipped at the region end.
+		win := uint32(15)
+		if !v.readable(cur, 1) {
+			return nil, &Trap{Kind: TrapMemory, EIP: cur, Addr: cur, Msg: "instruction fetch"}
+		}
+		for win > 1 && !v.readable(cur, win) {
+			win--
+		}
+		inst, err := x86.Decode(v.mem[cur : cur+win])
+		if err != nil {
+			return nil, &Trap{Kind: TrapIllegal, EIP: cur, Msg: err.Error()}
+		}
+		b.insts = append(b.insts, inst)
+		b.addrs = append(b.addrs, cur)
+		cur += uint32(inst.Len)
+		if endsBlock(inst.Op) {
+			break
+		}
+	}
+	return b, nil
+}
+
+// endsBlock reports whether op terminates a fragment (control transfer or
+// a system-call gate, after which the host may need control).
+func endsBlock(op x86.Op) bool {
+	switch op {
+	case x86.CALL, x86.CALLM, x86.RET, x86.JMP, x86.JMPM, x86.JCC,
+		x86.INT, x86.HLT, x86.UD2:
+		return true
+	}
+	return false
+}
+
+func (v *VM) execBlock(b *block) error {
+	for i := range b.insts {
+		if v.fuel <= 0 {
+			return &Trap{Kind: TrapFuel, EIP: b.addrs[i]}
+		}
+		v.fuel--
+		v.stats.Steps++
+		if err := v.exec(&b.insts[i], b.addrs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

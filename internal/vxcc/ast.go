@@ -1,0 +1,314 @@
+package vxcc
+
+import "fmt"
+
+// TypeKind enumerates VXC types.
+type TypeKind int
+
+// VXC type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt           // 32-bit signed
+	TUint          // 32-bit unsigned
+	TByte          // 8-bit unsigned
+	TPtr
+	TArray
+)
+
+// Type describes a VXC type. Types are compared structurally.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // TPtr, TArray
+	Len  int   // TArray
+}
+
+// Predefined scalar types.
+var (
+	typeVoid = &Type{Kind: TVoid}
+	typeInt  = &Type{Kind: TInt}
+	typeUint = &Type{Kind: TUint}
+	typeByte = &Type{Kind: TByte}
+)
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TVoid:
+		return 0
+	case TByte:
+		return 1
+	case TArray:
+		return t.Elem.Size() * t.Len
+	default:
+		return 4
+	}
+}
+
+// IsScalar reports whether the type fits in a register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TUint, TByte, TPtr:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether the type is an integer scalar.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case TInt, TUint, TByte:
+		return true
+	}
+	return false
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TUint:
+		return "uint"
+	case TByte:
+		return "byte"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Expr is a VXC expression node.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+	// Unsigned marks literals that should type as uint (e.g. 0x80000000).
+	Unsigned bool
+}
+
+// StrLit is a string literal; it denotes a byte* into rodata.
+type StrLit struct {
+	Pos Pos
+	Val []byte
+}
+
+// Ident references a variable, parameter, enum constant or function.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	Pos Pos
+	Op  tokKind
+	X   Expr
+}
+
+// Binary is x op y for arithmetic/logical/comparison operators.
+type Binary struct {
+	Pos Pos
+	Op  tokKind
+	X   Expr
+	Y   Expr
+}
+
+// Assign is lhs op= rhs (op == tAssign for plain assignment).
+type Assign struct {
+	Pos Pos
+	Op  tokKind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	Pos  Pos
+	Op   tokKind // tInc or tDec
+	X    Expr
+	Post bool
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	Pos     Pos
+	C, T, F Expr
+}
+
+// Call invokes a named function (VXC has no function pointers).
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+// Cast is (type)x.
+type Cast struct {
+	Pos  Pos
+	Type *Type
+	X    Expr
+}
+
+// SizeofType is sizeof(type).
+type SizeofType struct {
+	Pos  Pos
+	Type *Type
+}
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *StrLit) exprPos() Pos     { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *Unary) exprPos() Pos      { return e.Pos }
+func (e *Binary) exprPos() Pos     { return e.Pos }
+func (e *Assign) exprPos() Pos     { return e.Pos }
+func (e *IncDec) exprPos() Pos     { return e.Pos }
+func (e *Cond) exprPos() Pos       { return e.Pos }
+func (e *Call) exprPos() Pos       { return e.Pos }
+func (e *Index) exprPos() Pos      { return e.Pos }
+func (e *Cast) exprPos() Pos       { return e.Pos }
+func (e *SizeofType) exprPos() Pos { return e.Pos }
+
+// Stmt is a VXC statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type *Type
+	Init Expr // nil if none
+}
+
+// If is if (c) then else els.
+type If struct {
+	Pos  Pos
+	C    Expr
+	Then Stmt
+	Else Stmt // nil if none
+}
+
+// While is while (c) body.
+type While struct {
+	Pos  Pos
+	C    Expr
+	Body Stmt
+}
+
+// DoWhile is do body while (c);.
+type DoWhile struct {
+	Pos  Pos
+	C    Expr
+	Body Stmt
+}
+
+// For is for (init; c; post) body. Init/C/Post may be nil.
+type For struct {
+	Pos  Pos
+	Init Stmt
+	C    Expr
+	Post Expr
+	Body Stmt
+}
+
+// Return is return x; (x nil for void).
+type Return struct {
+	Pos Pos
+	X   Expr
+}
+
+// Break/Continue affect the innermost loop.
+type Break struct{ Pos Pos }
+
+// Continue affects the innermost loop.
+type Continue struct{ Pos Pos }
+
+// Block is { stmts }.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (s *ExprStmt) stmtPos() Pos { return s.Pos }
+func (s *DeclStmt) stmtPos() Pos { return s.Pos }
+func (s *If) stmtPos() Pos       { return s.Pos }
+func (s *While) stmtPos() Pos    { return s.Pos }
+func (s *DoWhile) stmtPos() Pos  { return s.Pos }
+func (s *For) stmtPos() Pos      { return s.Pos }
+func (s *Return) stmtPos() Pos   { return s.Pos }
+func (s *Break) stmtPos() Pos    { return s.Pos }
+func (s *Continue) stmtPos() Pos { return s.Pos }
+func (s *Block) stmtPos() Pos    { return s.Pos }
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Pos   Pos
+	Name  string
+	Type  *Type
+	Init  Expr   // scalar initializer (constant expression), or nil
+	Inits []Expr // array initializer list, or nil
+	Str   []byte // string initializer for byte arrays, or nil
+	Const bool   // declared const: placed in rodata
+}
+
+// EnumDecl is enum { A, B = k, ... };
+type EnumDecl struct {
+	Pos   Pos
+	Names []string
+	Vals  []int64
+}
+
+// File is one parsed source file.
+type File struct {
+	Name    string
+	Funcs   []*FuncDecl
+	Globals []*GlobalDecl
+	Enums   []*EnumDecl
+}

@@ -1,0 +1,671 @@
+package vxcc
+
+import (
+	"fmt"
+
+	"vxa/internal/x86"
+	"vxa/internal/x86/asm"
+)
+
+// genExpr generates code leaving the expression's value in EAX
+// (zero-extended for byte) and returns its type.
+func (g *codegen) genExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(int32(uint32(x.Val))))
+		if x.Unsigned {
+			return typeUint, nil
+		}
+		return typeInt, nil
+
+	case *StrLit:
+		sym := g.internString(x.Val)
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.ISym(sym))
+		return &Type{Kind: TPtr, Elem: typeByte}, nil
+
+	case *SizeofType:
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(int32(x.Type.Size())))
+		return typeInt, nil
+
+	case *Ident:
+		if v, ok := g.enums[x.Name]; ok {
+			g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(int32(uint32(v))))
+			return typeInt, nil
+		}
+		if l, ok := g.lookupLocal(x.Name); ok {
+			if l.typ.Kind == TArray {
+				g.u.Op2(x86.LEA, x86.R(x86.EAX), x86.M(x86.EBP, l.off))
+				return &Type{Kind: TPtr, Elem: l.typ.Elem}, nil
+			}
+			if l.typ.Size() == 1 {
+				g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.M8(x86.EBP, l.off))
+			} else {
+				g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.EBP, l.off))
+			}
+			return l.typ, nil
+		}
+		if gl, ok := g.globs[x.Name]; ok {
+			if gl.typ.Kind == TArray {
+				g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.ISym(gl.sym))
+				return &Type{Kind: TPtr, Elem: gl.typ.Elem}, nil
+			}
+			if gl.typ.Size() == 1 {
+				g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.MAbs(gl.sym, 0, 1))
+			} else {
+				g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.MAbs(gl.sym, 0, 4))
+			}
+			return gl.typ, nil
+		}
+		return nil, cErrf(x.Pos, "undefined identifier %q", x.Name)
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *Assign:
+		return g.genAssign(x)
+
+	case *IncDec:
+		return g.genIncDec(x)
+
+	case *Cond:
+		elseL := g.newLabel("condf")
+		endL := g.newLabel("condend")
+		if err := g.genCondJump(x.C, elseL, false); err != nil {
+			return nil, err
+		}
+		tt, err := g.genExpr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		g.u.Jmp(endL)
+		g.u.Label(elseL)
+		tf, err := g.genExpr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		g.u.Label(endL)
+		if !tt.IsScalar() || !tf.IsScalar() {
+			return nil, cErrf(x.Pos, "ternary arms must be scalar")
+		}
+		if tt.Kind == TPtr {
+			return tt, nil
+		}
+		return arith2(tt, tf), nil
+
+	case *Call:
+		return g.genCall(x)
+
+	case *Index:
+		elem, err := g.genAddrIndex(x)
+		if err != nil {
+			return nil, err
+		}
+		return g.loadFromEAX(elem), nil
+
+	case *Cast:
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() || !(x.Type.IsScalar() || x.Type.Kind == TVoid) {
+			return nil, cErrf(x.Pos, "invalid cast from %s to %s", t, x.Type)
+		}
+		if x.Type.Kind == TByte && t.Kind != TByte {
+			g.u.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFF))
+		}
+		return x.Type, nil
+	}
+	return nil, cErrf(e.exprPos(), "unhandled expression")
+}
+
+// loadFromEAX dereferences the address in EAX with the given element type.
+func (g *codegen) loadFromEAX(elem *Type) *Type {
+	if elem.Size() == 1 {
+		g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.M8(x86.EAX, 0))
+	} else {
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.EAX, 0))
+	}
+	return elem
+}
+
+// internString places a string literal in rodata (NUL-terminated) and
+// returns its symbol.
+func (g *codegen) internString(b []byte) string {
+	g.strSeq++
+	sym := fmt.Sprintf(".str.%d", g.strSeq)
+	g.u.DefData(sym, asm.ROData, append(append([]byte{}, b...), 0))
+	return sym
+}
+
+// genAddr generates code leaving an lvalue's address in EAX and returns
+// the type of the addressed object.
+func (g *codegen) genAddr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if l, ok := g.lookupLocal(x.Name); ok {
+			g.u.Op2(x86.LEA, x86.R(x86.EAX), x86.M(x86.EBP, l.off))
+			return l.typ, nil
+		}
+		if gl, ok := g.globs[x.Name]; ok {
+			if gl.decl.Const {
+				return nil, cErrf(x.Pos, "cannot assign to const %q", x.Name)
+			}
+			g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.ISym(gl.sym))
+			return gl.typ, nil
+		}
+		if _, ok := g.enums[x.Name]; ok {
+			return nil, cErrf(x.Pos, "enum constant %q is not an lvalue", x.Name)
+		}
+		return nil, cErrf(x.Pos, "undefined identifier %q", x.Name)
+
+	case *Unary:
+		if x.Op != tStar {
+			return nil, cErrf(x.Pos, "not an lvalue")
+		}
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TPtr {
+			return nil, cErrf(x.Pos, "dereference of non-pointer %s", t)
+		}
+		return t.Elem, nil
+
+	case *Index:
+		return g.genAddrIndex(x)
+	}
+	return nil, cErrf(e.exprPos(), "not an lvalue")
+}
+
+// genAddrIndex computes &x[i] into EAX and returns the element type.
+func (g *codegen) genAddrIndex(x *Index) (*Type, error) {
+	base, err := g.genExpr(x.X) // arrays decay to pointers in genExpr
+	if err != nil {
+		return nil, err
+	}
+	if base.Kind != TPtr {
+		return nil, cErrf(x.Pos, "indexing non-pointer %s", base)
+	}
+	elem := base.Elem
+	g.u.Op1(x86.PUSH, x86.R(x86.EAX))
+	it, err := g.genExpr(x.I)
+	if err != nil {
+		return nil, err
+	}
+	if !it.IsInteger() {
+		return nil, cErrf(x.Pos, "index is not an integer")
+	}
+	g.u.Op2(x86.MOV, x86.R(x86.ECX), x86.R(x86.EAX))
+	g.u.Op1(x86.POP, x86.R(x86.EAX))
+	g.scaleECX(elem)
+	g.u.Op2(x86.ADD, x86.R(x86.EAX), x86.R(x86.ECX))
+	return elem, nil
+}
+
+// scaleECX multiplies ECX by an element size.
+func (g *codegen) scaleECX(elem *Type) {
+	switch elem.Size() {
+	case 1:
+	case 4:
+		g.u.Op2(x86.SHL, x86.R(x86.ECX), x86.Arg{Kind: x86.KindImm, Imm: 2, Size: 1})
+	default:
+		g.u.Emit(x86.Inst{Op: x86.IMUL, Dst: x86.R(x86.ECX), Src: x86.R(x86.ECX), Aux: x86.I(int32(elem.Size()))})
+	}
+}
+
+func (g *codegen) genUnary(x *Unary) (*Type, error) {
+	switch x.Op {
+	case tMinus:
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsInteger() {
+			return nil, cErrf(x.Pos, "unary minus on %s", t)
+		}
+		g.u.Op1(x86.NEG, x86.R(x86.EAX))
+		return promote(t), nil
+	case tTilde:
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsInteger() {
+			return nil, cErrf(x.Pos, "bitwise not on %s", t)
+		}
+		g.u.Op1(x86.NOT, x86.R(x86.EAX))
+		return promote(t), nil
+	case tBang:
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsScalar() {
+			return nil, cErrf(x.Pos, "logical not on %s", t)
+		}
+		g.u.Op2(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX))
+		g.u.Emit(x86.Inst{Op: x86.SETCC, CC: x86.CCE, Dst: x86.R8(x86.EAX)})
+		g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.R8(x86.EAX))
+		return typeInt, nil
+	case tStar:
+		t, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TPtr {
+			return nil, cErrf(x.Pos, "dereference of non-pointer %s", t)
+		}
+		return g.loadFromEAX(t.Elem), nil
+	case tAmp:
+		t, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TPtr, Elem: t}, nil
+	}
+	return nil, cErrf(x.Pos, "unhandled unary operator")
+}
+
+// promote applies the integer promotion: byte becomes int.
+func promote(t *Type) *Type {
+	if t.Kind == TByte {
+		return typeInt
+	}
+	return t
+}
+
+// arith2 is the usual arithmetic conversion for two integer operands.
+func arith2(a, b *Type) *Type {
+	a, b = promote(a), promote(b)
+	if a.Kind == TUint || b.Kind == TUint {
+		return typeUint
+	}
+	return typeInt
+}
+
+func (g *codegen) genBinary(x *Binary) (*Type, error) {
+	switch x.Op {
+	case tAndAnd, tOrOr:
+		return g.genLogical(x)
+	}
+
+	// Evaluate left, stash, evaluate right into ECX, recover left in EAX.
+	lt, err := g.genExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	g.u.Op1(x86.PUSH, x86.R(x86.EAX))
+	rt, err := g.genExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	g.u.Op2(x86.MOV, x86.R(x86.ECX), x86.R(x86.EAX))
+	g.u.Op1(x86.POP, x86.R(x86.EAX))
+	return g.applyBinary(x.Pos, x.Op, lt, rt)
+}
+
+// applyBinary emits the operator with the left operand in EAX and the
+// right in ECX, leaving the result in EAX.
+func (g *codegen) applyBinary(pos Pos, op tokKind, lt, rt *Type) (*Type, error) {
+	// Pointer arithmetic.
+	if lt.Kind == TPtr || rt.Kind == TPtr {
+		switch op {
+		case tPlus:
+			if lt.Kind == TPtr && rt.IsInteger() {
+				g.scaleECX(lt.Elem)
+				g.u.Op2(x86.ADD, x86.R(x86.EAX), x86.R(x86.ECX))
+				return lt, nil
+			}
+			if rt.Kind == TPtr && lt.IsInteger() {
+				// int + ptr: scale EAX instead.
+				g.u.Op2(x86.XCHG, x86.R(x86.EAX), x86.R(x86.ECX))
+				g.scaleECX(rt.Elem)
+				g.u.Op2(x86.ADD, x86.R(x86.EAX), x86.R(x86.ECX))
+				return rt, nil
+			}
+			return nil, cErrf(pos, "invalid pointer addition")
+		case tMinus:
+			if lt.Kind == TPtr && rt.IsInteger() {
+				g.scaleECX(lt.Elem)
+				g.u.Op2(x86.SUB, x86.R(x86.EAX), x86.R(x86.ECX))
+				return lt, nil
+			}
+			if lt.Kind == TPtr && rt.Kind == TPtr {
+				if !lt.Elem.Equal(rt.Elem) {
+					return nil, cErrf(pos, "subtracting incompatible pointers")
+				}
+				g.u.Op2(x86.SUB, x86.R(x86.EAX), x86.R(x86.ECX))
+				if lt.Elem.Size() == 4 {
+					g.u.Op2(x86.SAR, x86.R(x86.EAX), x86.Arg{Kind: x86.KindImm, Imm: 2, Size: 1})
+				} else if lt.Elem.Size() != 1 {
+					g.u.Op2(x86.MOV, x86.R(x86.ECX), x86.I(int32(lt.Elem.Size())))
+					g.u.Op0(x86.CDQ)
+					g.u.Op1(x86.IDIV, x86.R(x86.ECX))
+				}
+				return typeInt, nil
+			}
+			return nil, cErrf(pos, "invalid pointer subtraction")
+		case tEq, tNe, tLt, tLe, tGt, tGe:
+			return g.emitCompare(op, typeUint)
+		default:
+			return nil, cErrf(pos, "invalid pointer operation")
+		}
+	}
+
+	if !lt.IsInteger() || !rt.IsInteger() {
+		return nil, cErrf(pos, "operator requires integer operands (%s, %s)", lt, rt)
+	}
+	res := arith2(lt, rt)
+
+	switch op {
+	case tPlus:
+		g.u.Op2(x86.ADD, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tMinus:
+		g.u.Op2(x86.SUB, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tStar:
+		g.u.Op2(x86.IMUL, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tSlash, tPercent:
+		if res.Kind == TUint {
+			g.u.Op2(x86.XOR, x86.R(x86.EDX), x86.R(x86.EDX))
+			g.u.Op1(x86.DIV, x86.R(x86.ECX))
+		} else {
+			g.u.Op0(x86.CDQ)
+			g.u.Op1(x86.IDIV, x86.R(x86.ECX))
+		}
+		if op == tPercent {
+			g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.R(x86.EDX))
+		}
+	case tAmp:
+		g.u.Op2(x86.AND, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tPipe:
+		g.u.Op2(x86.OR, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tCaret:
+		g.u.Op2(x86.XOR, x86.R(x86.EAX), x86.R(x86.ECX))
+	case tShl:
+		g.u.Op2(x86.SHL, x86.R(x86.EAX), x86.R8(x86.ECX))
+		return promote(lt), nil
+	case tShr:
+		if promote(lt).Kind == TUint {
+			g.u.Op2(x86.SHR, x86.R(x86.EAX), x86.R8(x86.ECX))
+		} else {
+			g.u.Op2(x86.SAR, x86.R(x86.EAX), x86.R8(x86.ECX))
+		}
+		return promote(lt), nil
+	case tEq, tNe, tLt, tLe, tGt, tGe:
+		return g.emitCompare(op, res)
+	default:
+		return nil, cErrf(pos, "unhandled binary operator")
+	}
+	return res, nil
+}
+
+// emitCompare emits cmp eax, ecx; setcc with signedness chosen by opType.
+func (g *codegen) emitCompare(op tokKind, opType *Type) (*Type, error) {
+	g.u.Op2(x86.CMP, x86.R(x86.EAX), x86.R(x86.ECX))
+	signed := opType.Kind == TInt
+	var cc x86.CC
+	switch op {
+	case tEq:
+		cc = x86.CCE
+	case tNe:
+		cc = x86.CCNE
+	case tLt:
+		cc = x86.CCL
+		if !signed {
+			cc = x86.CCB
+		}
+	case tLe:
+		cc = x86.CCLE
+		if !signed {
+			cc = x86.CCBE
+		}
+	case tGt:
+		cc = x86.CCG
+		if !signed {
+			cc = x86.CCA
+		}
+	case tGe:
+		cc = x86.CCGE
+		if !signed {
+			cc = x86.CCAE
+		}
+	}
+	g.u.Emit(x86.Inst{Op: x86.SETCC, CC: cc, Dst: x86.R8(x86.EAX)})
+	g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.R8(x86.EAX))
+	return typeInt, nil
+}
+
+func (g *codegen) genLogical(x *Binary) (*Type, error) {
+	falseL := g.newLabel("sfalse")
+	trueL := g.newLabel("strue")
+	endL := g.newLabel("send")
+	if x.Op == tAndAnd {
+		if err := g.genCondJump(x.X, falseL, false); err != nil {
+			return nil, err
+		}
+		if err := g.genCondJump(x.Y, falseL, false); err != nil {
+			return nil, err
+		}
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(1))
+		g.u.Jmp(endL)
+		g.u.Label(falseL)
+		g.u.Op2(x86.XOR, x86.R(x86.EAX), x86.R(x86.EAX))
+		g.u.Label(endL)
+	} else {
+		if err := g.genCondJump(x.X, trueL, true); err != nil {
+			return nil, err
+		}
+		if err := g.genCondJump(x.Y, trueL, true); err != nil {
+			return nil, err
+		}
+		g.u.Op2(x86.XOR, x86.R(x86.EAX), x86.R(x86.EAX))
+		g.u.Jmp(endL)
+		g.u.Label(trueL)
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(1))
+		g.u.Label(endL)
+	}
+	return typeInt, nil
+}
+
+func assignBaseOp(k tokKind) tokKind {
+	switch k {
+	case tPlusEq:
+		return tPlus
+	case tMinusEq:
+		return tMinus
+	case tStarEq:
+		return tStar
+	case tSlashEq:
+		return tSlash
+	case tPercentEq:
+		return tPercent
+	case tAmpEq:
+		return tAmp
+	case tPipeEq:
+		return tPipe
+	case tCaretEq:
+		return tCaret
+	case tShlEq:
+		return tShl
+	case tShrEq:
+		return tShr
+	}
+	return tAssign
+}
+
+func (g *codegen) genAssign(x *Assign) (*Type, error) {
+	// Fast path: plain assignment to a simple variable.
+	lt, err := g.genAddr(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	if !lt.IsScalar() {
+		return nil, cErrf(x.Pos, "cannot assign to %s", lt)
+	}
+	g.u.Op1(x86.PUSH, x86.R(x86.EAX)) // address
+
+	rt, err := g.genExpr(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+
+	if x.Op == tAssign {
+		if err := g.checkAssignable(x.Pos, lt, rt); err != nil {
+			return nil, err
+		}
+		g.u.Op1(x86.POP, x86.R(x86.ECX))
+		g.storeEAXTo(lt)
+		return lt, nil
+	}
+
+	// Compound assignment: old value in EAX, rhs in ECX.
+	baseOp := assignBaseOp(x.Op)
+	g.u.Op2(x86.MOV, x86.R(x86.ECX), x86.R(x86.EAX)) // rhs
+	g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.ESP, 0))
+	if lt.Size() == 1 {
+		g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.M8(x86.EAX, 0))
+	} else {
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.EAX, 0))
+	}
+	resT, err := g.applyBinary(x.Pos, baseOp, lt, rt)
+	if err != nil {
+		return nil, err
+	}
+	_ = resT
+	g.u.Op1(x86.POP, x86.R(x86.ECX))
+	g.storeEAXTo(lt)
+	return lt, nil
+}
+
+// storeEAXTo stores EAX through the address in ECX at lt's width.
+func (g *codegen) storeEAXTo(lt *Type) {
+	if lt.Size() == 1 {
+		g.u.Op2(x86.MOV, x86.M8(x86.ECX, 0), x86.R8(x86.EAX))
+	} else {
+		g.u.Op2(x86.MOV, x86.M(x86.ECX, 0), x86.R(x86.EAX))
+	}
+}
+
+func (g *codegen) genIncDec(x *IncDec) (*Type, error) {
+	lt, err := g.genAddr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	if !lt.IsScalar() {
+		return nil, cErrf(x.Pos, "++/-- on %s", lt)
+	}
+	delta := int32(1)
+	if lt.Kind == TPtr {
+		delta = int32(lt.Elem.Size())
+	}
+	g.u.Op2(x86.MOV, x86.R(x86.ECX), x86.R(x86.EAX)) // address
+	if lt.Size() == 1 {
+		g.u.Op2(x86.MOVZX, x86.R(x86.EAX), x86.M8(x86.ECX, 0))
+	} else {
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.ECX, 0))
+	}
+	g.u.Op2(x86.MOV, x86.R(x86.EDX), x86.R(x86.EAX)) // old value
+	if x.Op == tInc {
+		g.u.Op2(x86.ADD, x86.R(x86.EAX), x86.I(delta))
+	} else {
+		g.u.Op2(x86.SUB, x86.R(x86.EAX), x86.I(delta))
+	}
+	g.storeEAXTo(lt)
+	if x.Post {
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.R(x86.EDX))
+		if lt.Size() == 1 {
+			g.u.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFF))
+		}
+	}
+	return lt, nil
+}
+
+func (g *codegen) genCall(x *Call) (*Type, error) {
+	if t, handled, err := g.genBuiltin(x); handled {
+		return t, err
+	}
+	fn, ok := g.funcs[x.Name]
+	if !ok {
+		return nil, cErrf(x.Pos, "undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(fn.params) {
+		return nil, cErrf(x.Pos, "%s takes %d arguments, got %d", x.Name, len(fn.params), len(x.Args))
+	}
+	// Push right to left.
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		at, err := g.genExpr(x.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := g.checkAssignable(x.Args[i].exprPos(), fn.params[i].Type, at); err != nil {
+			return nil, err
+		}
+		g.u.Op1(x86.PUSH, x86.R(x86.EAX))
+	}
+	g.u.Call(x.Name)
+	if n := len(x.Args); n > 0 {
+		g.u.Op2(x86.ADD, x86.R(x86.ESP), x86.I(int32(n*4)))
+	}
+	return fn.ret, nil
+}
+
+// genBuiltin handles the compiler intrinsics. It reports whether the call
+// was a builtin.
+func (g *codegen) genBuiltin(x *Call) (*Type, bool, error) {
+	pushArgs := func(want int) error {
+		if len(x.Args) != want {
+			return cErrf(x.Pos, "%s takes %d arguments", x.Name, want)
+		}
+		for i := len(x.Args) - 1; i >= 0; i-- {
+			t, err := g.genExpr(x.Args[i])
+			if err != nil {
+				return err
+			}
+			if !t.IsScalar() {
+				return cErrf(x.Args[i].exprPos(), "argument %d is not scalar", i+1)
+			}
+			g.u.Op1(x86.PUSH, x86.R(x86.EAX))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "__vxa_syscall":
+		if err := pushArgs(4); err != nil {
+			return nil, true, err
+		}
+		g.u.Op1(x86.POP, x86.R(x86.EAX))
+		g.u.Op1(x86.POP, x86.R(x86.EBX))
+		g.u.Op1(x86.POP, x86.R(x86.ECX))
+		g.u.Op1(x86.POP, x86.R(x86.EDX))
+		g.u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+		return typeInt, true, nil
+	case "__builtin_memcpy":
+		if err := pushArgs(3); err != nil {
+			return nil, true, err
+		}
+		g.u.Op1(x86.POP, x86.R(x86.EDI))
+		g.u.Op1(x86.POP, x86.R(x86.ESI))
+		g.u.Op1(x86.POP, x86.R(x86.ECX))
+		g.u.Emit(x86.Inst{Op: x86.MOVSB, Rep: true})
+		return typeVoid, true, nil
+	case "__builtin_memset":
+		if err := pushArgs(3); err != nil {
+			return nil, true, err
+		}
+		g.u.Op1(x86.POP, x86.R(x86.EDI))
+		g.u.Op1(x86.POP, x86.R(x86.EAX))
+		g.u.Op1(x86.POP, x86.R(x86.ECX))
+		g.u.Emit(x86.Inst{Op: x86.STOSB, Rep: true})
+		return typeVoid, true, nil
+	case "__vxa_end":
+		if len(x.Args) != 0 {
+			return nil, true, cErrf(x.Pos, "__vxa_end takes no arguments")
+		}
+		g.u.Op2(x86.MOV, x86.R(x86.EAX), x86.ISym("__end"))
+		return &Type{Kind: TPtr, Elem: typeByte}, true, nil
+	}
+	return nil, false, nil
+}

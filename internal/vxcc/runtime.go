@@ -1,0 +1,217 @@
+package vxcc
+
+// RuntimeFile is the pseudo-filename of the built-in runtime library.
+// Table 2 of the paper splits decoder code size into "decoder" versus
+// "C library"; functions defined in this file are the library half.
+const RuntimeFile = "<libvx>"
+
+// RuntimeSource is libvx, the decoder runtime linked into every VXA
+// decoder. It is written in VXC itself (plus three compiler intrinsics)
+// and provides exactly what a decoder filter needs: the five virtual
+// system calls, buffered stdin/stdout, block I/O, string and memory
+// helpers, and a bump allocator over setperm.
+//
+// I/O discipline: a decoder must pick ONE input style (the buffered
+// getb/... family or raw readn) and ONE output style (putb/... plus a
+// final flushout, or raw writen); mixing the buffered and raw families
+// on the same stream would reorder bytes.
+const RuntimeSource = `
+// libvx — the VXA decoder runtime.
+
+enum {
+	SYS_exit = 1,
+	SYS_read = 3,
+	SYS_write = 4,
+	SYS_setperm = 5,
+	SYS_done = 6
+};
+
+enum { IOBUF = 65536 };
+
+int read(int fd, byte *buf, int n) {
+	return __vxa_syscall(SYS_read, fd, (int)buf, n);
+}
+
+int write(int fd, byte *buf, int n) {
+	return __vxa_syscall(SYS_write, fd, (int)buf, n);
+}
+
+void exit(int code) {
+	__vxa_syscall(SYS_exit, code, 0, 0);
+	while (1) { }  // unreachable
+}
+
+int setperm(byte *addr, int n) {
+	return __vxa_syscall(SYS_setperm, (int)addr, n, 0);
+}
+
+// done signals that one stream is fully decoded and the decoder is ready
+// for another (paper section 4.3). It also resets the stdio state so the
+// next stream starts clean.
+void flushout();
+int vxa_done() {
+	flushout();
+	return __vxa_syscall(SYS_done, 0, 0, 0);
+}
+
+void memcpy(byte *dst, byte *src, int n) { __builtin_memcpy(dst, src, n); }
+void memset(byte *p, int c, int n) { __builtin_memset(p, c, n); }
+
+int strlen(byte *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+// eputs writes a diagnostic to the stderr handle.
+void eputs(byte *s) { write(2, s, strlen(s)); }
+
+// die reports a fatal decoder error and exits nonzero. The archive
+// reader treats any nonzero exit as "stream undecodable".
+void die(byte *msg) {
+	eputs(msg);
+	eputs("\n");
+	exit(101);
+}
+
+// ---- buffered input ----
+
+byte __inbuf[IOBUF];
+int __inpos;
+int __inlen;
+int __ineof;
+
+// getb returns the next input byte, or -1 at end of stream.
+int getb() {
+	if (__inpos >= __inlen) {
+		if (__ineof) return -1;
+		__inlen = read(0, __inbuf, IOBUF);
+		__inpos = 0;
+		if (__inlen <= 0) { __ineof = 1; __inlen = 0; return -1; }
+	}
+	return __inbuf[__inpos++];
+}
+
+// mustgetb is getb that treats EOF as a fatal truncation error.
+int mustgetb() {
+	int c = getb();
+	if (c < 0) die("unexpected end of input");
+	return c;
+}
+
+// get2le/get4le read little-endian integers from the buffered input.
+int get2le() {
+	int a = mustgetb();
+	return a | (mustgetb() << 8);
+}
+
+int get4le() {
+	int a = get2le();
+	return a | (get2le() << 16);
+}
+
+// getn copies n buffered input bytes to p; returns 0 on EOF short read.
+int getn(byte *p, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int c = getb();
+		if (c < 0) return 0;
+		p[i] = (byte)c;
+	}
+	return 1;
+}
+
+// ---- raw input (do not mix with getb on the same stream) ----
+
+int readn(byte *p, int n) {
+	int got = 0;
+	while (got < n) {
+		int r = read(0, p + got, n - got);
+		if (r <= 0) break;
+		got += r;
+	}
+	return got;
+}
+
+// ---- buffered output ----
+
+byte __outbuf[IOBUF];
+int __outpos;
+
+void flushout() {
+	int off = 0;
+	while (off < __outpos) {
+		int n = write(1, __outbuf + off, __outpos - off);
+		if (n <= 0) exit(102);
+		off += n;
+	}
+	__outpos = 0;
+}
+
+void putb(int c) {
+	if (__outpos >= IOBUF) flushout();
+	__outbuf[__outpos++] = (byte)c;
+}
+
+void put2le(int v) {
+	putb(v);
+	putb(v >> 8);
+}
+
+void put4le(int v) {
+	put2le(v);
+	put2le(v >> 16);
+}
+
+// putn writes n bytes through the buffered output.
+void putn(byte *p, int n) {
+	int i;
+	for (i = 0; i < n; i++) putb(p[i]);
+}
+
+// ---- raw output ----
+
+void writen(byte *p, int n) {
+	int off = 0;
+	while (off < n) {
+		int w = write(1, p + off, n - off);
+		if (w <= 0) exit(103);
+		off += w;
+	}
+}
+
+// ---- heap ----
+// A bump allocator over the setperm system call. There is no free();
+// decoders allocate fixed working storage up front, exactly like the
+// paper's statically-linked C decoders.
+
+byte *__heapbase;
+int __heapused;
+int __heapcap;
+
+byte *vxalloc(int n) {
+	if (!__heapbase) {
+		__heapbase = __vxa_end();
+		__heapused = 0;
+		__heapcap = 0;
+	}
+	n = (n + 15) & ~15;
+	while (__heapused + n > __heapcap) {
+		int grow = 1048576;
+		if (n > grow) grow = (n + 1048575) & ~1048575;
+		if (setperm(__heapbase, __heapcap + grow) != 0) die("out of memory");
+		__heapcap += grow;
+	}
+	byte *p = __heapbase + __heapused;
+	__heapused += n;
+	return p;
+}
+
+// __stdio_reset clears the buffered-I/O state between streams.
+void __stdio_reset() {
+	__inpos = 0;
+	__inlen = 0;
+	__ineof = 0;
+	__outpos = 0;
+}
+`

@@ -1,0 +1,127 @@
+package vxcc
+
+import "fmt"
+
+// tokKind enumerates VXC token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt  // integer literal (value in tok.val)
+	tStr  // string literal (bytes in tok.str)
+	tChar // character literal (value in tok.val)
+
+	// Punctuation and operators. Multi-character operators are distinct
+	// kinds so the parser never needs lookahead beyond one token.
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tComma
+	tSemi
+	tColon
+	tQuestion
+
+	tAssign    // =
+	tPlus      // +
+	tMinus     // -
+	tStar      // *
+	tSlash     // /
+	tPercent   // %
+	tAmp       // &
+	tPipe      // |
+	tCaret     // ^
+	tTilde     // ~
+	tBang      // !
+	tLt        // <
+	tGt        // >
+	tLe        // <=
+	tGe        // >=
+	tEq        // ==
+	tNe        // !=
+	tShl       // <<
+	tShr       // >>
+	tAndAnd    // &&
+	tOrOr      // ||
+	tPlusEq    // +=
+	tMinusEq   // -=
+	tStarEq    // *=
+	tSlashEq   // /=
+	tPercentEq // %=
+	tAmpEq     // &=
+	tPipeEq    // |=
+	tCaretEq   // ^=
+	tShlEq     // <<=
+	tShrEq     // >>=
+	tInc       // ++
+	tDec       // --
+
+	// Keywords.
+	kwInt
+	kwUint
+	kwByte
+	kwVoid
+	kwIf
+	kwElse
+	kwWhile
+	kwDo
+	kwFor
+	kwReturn
+	kwBreak
+	kwContinue
+	kwEnum
+	kwConst
+	kwSizeof
+)
+
+var keywords = map[string]tokKind{
+	"int": kwInt, "uint": kwUint, "byte": kwByte, "void": kwVoid,
+	"if": kwIf, "else": kwElse, "while": kwWhile, "do": kwDo, "for": kwFor,
+	"return": kwReturn, "break": kwBreak, "continue": kwContinue,
+	"enum": kwEnum, "const": kwConst, "sizeof": kwSizeof,
+}
+
+var kindNames = map[tokKind]string{
+	tEOF: "end of file", tIdent: "identifier", tInt: "integer literal",
+	tStr: "string literal", tChar: "character literal",
+	tLParen: "(", tRParen: ")", tLBrace: "{", tRBrace: "}",
+	tLBracket: "[", tRBracket: "]", tComma: ",", tSemi: ";",
+	tColon: ":", tQuestion: "?", tAssign: "=", tPlus: "+", tMinus: "-",
+	tStar: "*", tSlash: "/", tPercent: "%", tAmp: "&", tPipe: "|",
+	tCaret: "^", tTilde: "~", tBang: "!", tLt: "<", tGt: ">", tLe: "<=",
+	tGe: ">=", tEq: "==", tNe: "!=", tShl: "<<", tShr: ">>",
+	tAndAnd: "&&", tOrOr: "||", tPlusEq: "+=", tMinusEq: "-=",
+	tStarEq: "*=", tSlashEq: "/=", tPercentEq: "%=", tAmpEq: "&=",
+	tPipeEq: "|=", tCaretEq: "^=", tShlEq: "<<=", tShrEq: ">>=",
+	tInc: "++", tDec: "--",
+	kwInt: "int", kwUint: "uint", kwByte: "byte", kwVoid: "void",
+	kwIf: "if", kwElse: "else", kwWhile: "while", kwDo: "do", kwFor: "for",
+	kwReturn: "return", kwBreak: "break", kwContinue: "continue",
+	kwEnum: "enum", kwConst: "const", kwSizeof: "sizeof",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string // identifier text
+	val  int64  // integer/char value
+	str  []byte // string literal bytes (NUL-terminated at use sites)
+}

@@ -1,0 +1,114 @@
+// Package wav reads and writes canonical 16-bit PCM RIFF/WAVE files —
+// the "ubiquitous" uncompressed audio format the paper's audio decoders
+// emit (§5.1). VXA audio decoders decode compressed streams into WAV,
+// and the audio codecs' encoders accept WAV as their raw input.
+package wav
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrFormat reports data that is not 16-bit PCM WAV.
+var ErrFormat = errors.New("wav: not a 16-bit PCM WAV file")
+
+// Sound is decoded PCM audio: samples are interleaved by channel.
+type Sound struct {
+	Channels   int
+	SampleRate int
+	Samples    []int16 // frame-interleaved
+}
+
+// Frames returns the number of per-channel sample frames.
+func (s *Sound) Frames() int {
+	if s.Channels == 0 {
+		return 0
+	}
+	return len(s.Samples) / s.Channels
+}
+
+// Encode serializes the sound as a canonical 44-byte-header WAV file.
+func Encode(s *Sound) []byte {
+	dataLen := len(s.Samples) * 2
+	b := make([]byte, 44+dataLen)
+	le := binary.LittleEndian
+
+	copy(b[0:], "RIFF")
+	le.PutUint32(b[4:], uint32(36+dataLen))
+	copy(b[8:], "WAVE")
+	copy(b[12:], "fmt ")
+	le.PutUint32(b[16:], 16)
+	le.PutUint16(b[20:], 1) // PCM
+	le.PutUint16(b[22:], uint16(s.Channels))
+	le.PutUint32(b[24:], uint32(s.SampleRate))
+	le.PutUint32(b[28:], uint32(s.SampleRate*s.Channels*2)) // byte rate
+	le.PutUint16(b[32:], uint16(s.Channels*2))              // block align
+	le.PutUint16(b[34:], 16)                                // bits per sample
+	copy(b[36:], "data")
+	le.PutUint32(b[40:], uint32(dataLen))
+	for i, v := range s.Samples {
+		le.PutUint16(b[44+2*i:], uint16(v))
+	}
+	return b
+}
+
+// Decode parses a 16-bit PCM WAV file, tolerating extra chunks before
+// the data chunk.
+func Decode(data []byte) (*Sound, error) {
+	if len(data) < 44 || string(data[0:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return nil, ErrFormat
+	}
+	le := binary.LittleEndian
+	s := &Sound{}
+	pos := 12
+	var haveFmt, haveData bool
+	for pos+8 <= len(data) {
+		id := string(data[pos : pos+4])
+		size := int(le.Uint32(data[pos+4:]))
+		body := pos + 8
+		if size < 0 || body+size > len(data) {
+			return nil, fmt.Errorf("%w: truncated %q chunk", ErrFormat, id)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return nil, fmt.Errorf("%w: short fmt chunk", ErrFormat)
+			}
+			format := le.Uint16(data[body:])
+			s.Channels = int(le.Uint16(data[body+2:]))
+			s.SampleRate = int(le.Uint32(data[body+4:]))
+			bits := le.Uint16(data[body+14:])
+			if format != 1 || bits != 16 || s.Channels < 1 || s.Channels > 8 {
+				return nil, fmt.Errorf("%w: format=%d bits=%d channels=%d", ErrFormat, format, bits, s.Channels)
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, fmt.Errorf("%w: data before fmt", ErrFormat)
+			}
+			n := size / 2
+			s.Samples = make([]int16, n)
+			for i := 0; i < n; i++ {
+				s.Samples[i] = int16(le.Uint16(data[body+2*i:]))
+			}
+			haveData = true
+		}
+		pos = body + size
+		if size%2 == 1 {
+			pos++ // RIFF chunks are word-aligned
+		}
+		if haveData {
+			break
+		}
+	}
+	if !haveFmt || !haveData {
+		return nil, fmt.Errorf("%w: missing fmt or data chunk", ErrFormat)
+	}
+	return s, nil
+}
+
+// Sniff reports whether data looks like a WAV file.
+func Sniff(data []byte) bool {
+	return len(data) >= 12 && string(data[0:4]) == "RIFF" && string(data[8:12]) == "WAVE"
+}

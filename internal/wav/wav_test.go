@@ -1,0 +1,77 @@
+package wav
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		ch := 1 + r.Intn(4)
+		frames := r.Intn(500)
+		s := &Sound{Channels: ch, SampleRate: 8000 + r.Intn(40000),
+			Samples: make([]int16, ch*frames)}
+		for i := range s.Samples {
+			s.Samples[i] = int16(r.Intn(65536) - 32768)
+		}
+		got, err := Decode(Encode(s))
+		if err != nil || got.Channels != ch || got.SampleRate != s.SampleRate {
+			return false
+		}
+		if len(got.Samples) != len(s.Samples) {
+			return false
+		}
+		for i := range s.Samples {
+			if got.Samples[i] != s.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtraChunks: real-world WAVs carry LIST/fact chunks before data.
+func TestExtraChunks(t *testing.T) {
+	s := &Sound{Channels: 1, SampleRate: 8000, Samples: []int16{1, -2, 3}}
+	enc := Encode(s)
+	// Splice a LIST chunk between fmt and data.
+	list := make([]byte, 8+6)
+	copy(list, "LIST")
+	binary.LittleEndian.PutUint32(list[4:], 6)
+	spliced := append([]byte{}, enc[:36]...)
+	spliced = append(spliced, list...)
+	spliced = append(spliced, enc[36:]...)
+	binary.LittleEndian.PutUint32(spliced[4:], uint32(len(spliced)-8))
+	got, err := Decode(spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frames() != 3 || got.Samples[1] != -2 {
+		t.Fatalf("spliced decode: %+v", got)
+	}
+}
+
+func TestRejects(t *testing.T) {
+	for _, c := range [][]byte{
+		nil,
+		[]byte("RIFFxxxxWAVE"),
+		[]byte("not a wav file at all, definitely not one of those things"),
+	} {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%d bytes) succeeded", len(c))
+		}
+	}
+	// 8-bit PCM rejected.
+	s := &Sound{Channels: 1, SampleRate: 8000, Samples: []int16{0}}
+	enc := Encode(s)
+	enc[34] = 8
+	if _, err := Decode(enc); err == nil {
+		t.Error("8-bit WAV accepted")
+	}
+}

@@ -1,0 +1,544 @@
+package x86
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode errors.
+var (
+	// ErrTruncated reports that the byte stream ended inside an instruction.
+	ErrTruncated = errors.New("x86: truncated instruction")
+	// ErrIllegal reports an instruction outside the VXA subset.
+	ErrIllegal = errors.New("x86: illegal or unsupported instruction")
+)
+
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos >= len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) s8() (int32, error) {
+	v, err := d.u8()
+	return int32(int8(v)), err
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := uint16(d.b[d.pos]) | uint16(d.b[d.pos+1])<<8
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) s32() (int32, error) {
+	if d.pos+4 > len(d.b) {
+		return 0, ErrTruncated
+	}
+	v := uint32(d.b[d.pos]) | uint32(d.b[d.pos+1])<<8 |
+		uint32(d.b[d.pos+2])<<16 | uint32(d.b[d.pos+3])<<24
+	d.pos += 4
+	return int32(v), nil
+}
+
+// modRM decodes a ModRM byte (and any SIB/displacement) into the
+// register field value and the r/m operand of the given access size.
+func (d *decoder) modRM(size uint8) (regField uint8, rm Arg, err error) {
+	m, err := d.u8()
+	if err != nil {
+		return 0, Arg{}, err
+	}
+	mod := m >> 6
+	regField = (m >> 3) & 7
+	rmBits := m & 7
+
+	if mod == 3 {
+		return regField, Arg{Kind: KindReg, Reg: Reg(rmBits), Size: size}, nil
+	}
+
+	mem := Arg{Kind: KindMem, Base: NoReg, Index: NoReg, Scale: 1, Size: size}
+	switch {
+	case rmBits == 4: // SIB follows
+		sib, err := d.u8()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		scale := uint8(1) << (sib >> 6)
+		index := (sib >> 3) & 7
+		base := sib & 7
+		if index != 4 { // index=ESP means "no index"
+			mem.Index = Reg(index)
+			mem.Scale = scale
+		}
+		if base == 5 && mod == 0 {
+			disp, err := d.s32()
+			if err != nil {
+				return 0, Arg{}, err
+			}
+			mem.Disp = disp
+		} else {
+			mem.Base = Reg(base)
+		}
+	case rmBits == 5 && mod == 0: // absolute disp32
+		disp, err := d.s32()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		mem.Disp = disp
+	default:
+		mem.Base = Reg(rmBits)
+	}
+
+	switch mod {
+	case 1:
+		disp, err := d.s8()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		mem.Disp += disp
+	case 2:
+		disp, err := d.s32()
+		if err != nil {
+			return 0, Arg{}, err
+		}
+		mem.Disp += disp
+	}
+	return regField, mem, nil
+}
+
+// aluOps maps the 0x00-0x3F opcode block's /r group to operations.
+var aluOps = [8]Op{ADD, OR, ADC, SBB, AND, SUB, XOR, CMP}
+
+// grp2Ops maps shift-group ModRM reg fields to operations.
+var grp2Ops = [8]Op{ROL, ROR, BAD, BAD, SHL, SHR, BAD, SAR}
+
+// Decode decodes the instruction at the start of b. It returns ErrIllegal
+// for instructions outside the VXA subset and ErrTruncated if b ends
+// mid-instruction. On success, Inst.Len gives the encoded length.
+func Decode(b []byte) (Inst, error) {
+	d := &decoder{b: b}
+	inst, err := d.inst()
+	if err != nil {
+		return Inst{}, err
+	}
+	if d.pos > 15 {
+		return Inst{}, ErrIllegal // architectural 15-byte limit
+	}
+	inst.Len = uint8(d.pos)
+	return inst, nil
+}
+
+func (d *decoder) inst() (Inst, error) {
+	rep := false
+	op, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	if op == 0xF3 { // REP prefix
+		rep = true
+		op, err = d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+	}
+
+	// The regular ALU block: 0x00-0x3D, op = block>>3, form = op&7.
+	if op < 0x40 && (op&7) <= 5 {
+		alu := aluOps[op>>3]
+		switch op & 7 {
+		case 0: // op r/m8, r8
+			reg, rm, err := d.modRM(1)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: rm, Src: Arg{Kind: KindReg, Reg: Reg(reg), Size: 1}}, nil
+		case 1: // op r/m32, r32
+			reg, rm, err := d.modRM(4)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: rm, Src: R(Reg(reg))}, nil
+		case 2: // op r8, r/m8
+			reg, rm, err := d.modRM(1)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: Arg{Kind: KindReg, Reg: Reg(reg), Size: 1}, Src: rm}, nil
+		case 3: // op r32, r/m32
+			reg, rm, err := d.modRM(4)
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: R(Reg(reg)), Src: rm}, nil
+		case 4: // op al, imm8
+			imm, err := d.s8()
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: R8(EAX), Src: Arg{Kind: KindImm, Imm: imm, Size: 1}}, nil
+		case 5: // op eax, imm32
+			imm, err := d.s32()
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: alu, Dst: R(EAX), Src: I(imm)}, nil
+		}
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x47:
+		return Inst{Op: INC, Dst: R(Reg(op - 0x40))}, nil
+	case op >= 0x48 && op <= 0x4F:
+		return Inst{Op: DEC, Dst: R(Reg(op - 0x48))}, nil
+	case op >= 0x50 && op <= 0x57:
+		return Inst{Op: PUSH, Dst: R(Reg(op - 0x50))}, nil
+	case op >= 0x58 && op <= 0x5F:
+		return Inst{Op: POP, Dst: R(Reg(op - 0x58))}, nil
+	case op >= 0x70 && op <= 0x7F:
+		rel, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JCC, CC: CC(op - 0x70), Rel: rel}, nil
+	case op >= 0xB0 && op <= 0xB7:
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: R8(Reg(op - 0xB0)), Src: Arg{Kind: KindImm, Imm: imm, Size: 1}}, nil
+	case op >= 0xB8 && op <= 0xBF:
+		imm, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: R(Reg(op - 0xB8)), Src: I(imm)}, nil
+	}
+
+	switch op {
+	case 0x68: // push imm32
+		imm, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: PUSH, Dst: I(imm)}, nil
+	case 0x6A: // push imm8 (sign-extended)
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: PUSH, Dst: I(imm)}, nil
+	case 0x69: // imul r32, r/m32, imm32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: IMUL, Dst: R(Reg(reg)), Src: rm, Aux: I(imm)}, nil
+	case 0x6B: // imul r32, r/m32, imm8
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: IMUL, Dst: R(Reg(reg)), Src: rm, Aux: I(imm)}, nil
+	case 0x80, 0x81, 0x83: // group 1: ALU r/m, imm
+		size := uint8(4)
+		if op == 0x80 {
+			size = 1
+		}
+		reg, rm, err := d.modRM(size)
+		if err != nil {
+			return Inst{}, err
+		}
+		var imm int32
+		if op == 0x81 {
+			imm, err = d.s32()
+		} else {
+			imm, err = d.s8()
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: aluOps[reg], Dst: rm, Src: Arg{Kind: KindImm, Imm: imm, Size: size}}, nil
+	case 0x84: // test r/m8, r8
+		reg, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: TEST, Dst: rm, Src: Arg{Kind: KindReg, Reg: Reg(reg), Size: 1}}, nil
+	case 0x85: // test r/m32, r32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: TEST, Dst: rm, Src: R(Reg(reg))}, nil
+	case 0x87: // xchg r/m32, r32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: XCHG, Dst: rm, Src: R(Reg(reg))}, nil
+	case 0x88: // mov r/m8, r8
+		reg, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: rm, Src: Arg{Kind: KindReg, Reg: Reg(reg), Size: 1}}, nil
+	case 0x89: // mov r/m32, r32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: rm, Src: R(Reg(reg))}, nil
+	case 0x8A: // mov r8, r/m8
+		reg, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: Arg{Kind: KindReg, Reg: Reg(reg), Size: 1}, Src: rm}, nil
+	case 0x8B: // mov r32, r/m32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: R(Reg(reg)), Src: rm}, nil
+	case 0x8D: // lea r32, m
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		if rm.Kind != KindMem {
+			return Inst{}, ErrIllegal
+		}
+		return Inst{Op: LEA, Dst: R(Reg(reg)), Src: rm}, nil
+	case 0x90:
+		return Inst{Op: NOP}, nil
+	case 0x99:
+		return Inst{Op: CDQ}, nil
+	case 0xA4:
+		return Inst{Op: MOVSB, Rep: rep}, nil
+	case 0xA5:
+		return Inst{Op: MOVSD, Rep: rep}, nil
+	case 0xAA:
+		return Inst{Op: STOSB, Rep: rep}, nil
+	case 0xAB:
+		return Inst{Op: STOSD, Rep: rep}, nil
+	case 0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3: // shift groups
+		size := uint8(4)
+		if op == 0xC0 || op == 0xD0 || op == 0xD2 {
+			size = 1
+		}
+		reg, rm, err := d.modRM(size)
+		if err != nil {
+			return Inst{}, err
+		}
+		shOp := grp2Ops[reg]
+		if shOp == BAD {
+			return Inst{}, ErrIllegal
+		}
+		var src Arg
+		switch op {
+		case 0xC0, 0xC1:
+			imm, err := d.s8()
+			if err != nil {
+				return Inst{}, err
+			}
+			src = Arg{Kind: KindImm, Imm: imm & 31, Size: 1}
+		case 0xD0, 0xD1:
+			src = Arg{Kind: KindImm, Imm: 1, Size: 1}
+		default: // 0xD2, 0xD3: shift by CL
+			src = R8(ECX)
+		}
+		return Inst{Op: shOp, Dst: rm, Src: src}, nil
+	case 0xC2: // ret imm16
+		imm, err := d.u16()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: RET, Dst: I(int32(imm))}, nil
+	case 0xC3:
+		return Inst{Op: RET}, nil
+	case 0xC6: // mov r/m8, imm8
+		reg, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg != 0 {
+			return Inst{}, ErrIllegal
+		}
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: rm, Src: Arg{Kind: KindImm, Imm: imm, Size: 1}}, nil
+	case 0xC7: // mov r/m32, imm32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg != 0 {
+			return Inst{}, ErrIllegal
+		}
+		imm, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: MOV, Dst: rm, Src: I(imm)}, nil
+	case 0xCD: // int imm8
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: INT, Dst: Arg{Kind: KindImm, Imm: imm & 0xFF, Size: 1}}, nil
+	case 0xE8: // call rel32
+		rel, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: CALL, Rel: rel}, nil
+	case 0xE9: // jmp rel32
+		rel, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JMP, Rel: rel}, nil
+	case 0xEB: // jmp rel8
+		rel, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JMP, Rel: rel}, nil
+	case 0xF4:
+		return Inst{Op: HLT}, nil
+	case 0xF6, 0xF7: // group 3
+		size := uint8(4)
+		if op == 0xF6 {
+			size = 1
+		}
+		reg, rm, err := d.modRM(size)
+		if err != nil {
+			return Inst{}, err
+		}
+		switch reg {
+		case 0: // test r/m, imm
+			var imm int32
+			if size == 4 {
+				imm, err = d.s32()
+			} else {
+				imm, err = d.s8()
+			}
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: TEST, Dst: rm, Src: Arg{Kind: KindImm, Imm: imm, Size: size}}, nil
+		case 2:
+			return Inst{Op: NOT, Dst: rm}, nil
+		case 3:
+			return Inst{Op: NEG, Dst: rm}, nil
+		case 4:
+			return Inst{Op: MUL1, Dst: rm}, nil
+		case 5:
+			return Inst{Op: IMUL1, Dst: rm}, nil
+		case 6:
+			return Inst{Op: DIV, Dst: rm}, nil
+		case 7:
+			return Inst{Op: IDIV, Dst: rm}, nil
+		}
+		return Inst{}, ErrIllegal
+	case 0xFE: // group 4: inc/dec r/m8
+		reg, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		switch reg {
+		case 0:
+			return Inst{Op: INC, Dst: rm}, nil
+		case 1:
+			return Inst{Op: DEC, Dst: rm}, nil
+		}
+		return Inst{}, ErrIllegal
+	case 0xFF: // group 5
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		switch reg {
+		case 0:
+			return Inst{Op: INC, Dst: rm}, nil
+		case 1:
+			return Inst{Op: DEC, Dst: rm}, nil
+		case 2:
+			return Inst{Op: CALLM, Dst: rm}, nil
+		case 4:
+			return Inst{Op: JMPM, Dst: rm}, nil
+		case 6:
+			return Inst{Op: PUSH, Dst: rm}, nil
+		}
+		return Inst{}, ErrIllegal
+	case 0x0F:
+		return d.inst0F()
+	}
+	return Inst{}, fmt.Errorf("%w: opcode 0x%02x", ErrIllegal, op)
+}
+
+func (d *decoder) inst0F() (Inst, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	switch {
+	case op >= 0x80 && op <= 0x8F: // jcc rel32
+		rel, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: JCC, CC: CC(op - 0x80), Rel: rel}, nil
+	case op >= 0x90 && op <= 0x9F: // setcc r/m8
+		_, rm, err := d.modRM(1)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: SETCC, CC: CC(op - 0x90), Dst: rm}, nil
+	}
+	switch op {
+	case 0x0B:
+		return Inst{Op: UD2}, nil
+	case 0xAF: // imul r32, r/m32
+		reg, rm, err := d.modRM(4)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: IMUL, Dst: R(Reg(reg)), Src: rm}, nil
+	case 0xB6, 0xB7, 0xBE, 0xBF: // movzx/movsx
+		size := uint8(1)
+		if op == 0xB7 || op == 0xBF {
+			size = 2
+		}
+		xop := MOVZX
+		if op >= 0xBE {
+			xop = MOVSX
+		}
+		reg, rm, err := d.modRM(size)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: xop, Dst: R(Reg(reg)), Src: rm}, nil
+	}
+	return Inst{}, fmt.Errorf("%w: opcode 0x0f 0x%02x", ErrIllegal, op)
+}

@@ -1,0 +1,468 @@
+package x86
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCannotEncode reports an Inst with no encoding in the VXA subset.
+var ErrCannotEncode = errors.New("x86: cannot encode instruction")
+
+// Fixup records a 32-bit absolute relocation slot inside an encoded
+// instruction: the final address of Sym must be added to the little-endian
+// word at byte offset Off.
+type Fixup struct {
+	Off int
+	Sym string
+}
+
+type encoder struct {
+	b   []byte
+	fix []Fixup
+}
+
+func (e *encoder) u8(v uint8) { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) {
+	e.b = append(e.b, byte(v), byte(v>>8))
+}
+func (e *encoder) u32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// u32sym emits a 32-bit word, registering a fixup when sym is non-empty.
+func (e *encoder) u32sym(v uint32, sym string) {
+	if sym != "" {
+		e.fix = append(e.fix, Fixup{Off: len(e.b), Sym: sym})
+	}
+	e.u32(v)
+}
+
+// modRM encodes the ModRM byte (and SIB/displacement) for the register
+// field value regField and the r/m operand rm.
+func (e *encoder) modRM(regField uint8, rm Arg) error {
+	if regField > 7 {
+		return ErrCannotEncode
+	}
+	switch rm.Kind {
+	case KindReg:
+		if rm.Reg > 7 {
+			return ErrCannotEncode
+		}
+		e.u8(0xC0 | regField<<3 | uint8(rm.Reg))
+		return nil
+	case KindMem:
+		// fall through below
+	default:
+		return ErrCannotEncode
+	}
+
+	// Absolute address (no base, no index): mod=00, rm=101, disp32.
+	if rm.Base == NoReg && rm.Index == NoReg {
+		e.u8(regField<<3 | 0x05)
+		e.u32sym(uint32(rm.Disp), rm.Sym)
+		return nil
+	}
+	if rm.Index == ESP {
+		return fmt.Errorf("%w: esp cannot be an index register", ErrCannotEncode)
+	}
+
+	// Choose the displacement form. A symbol reference always forces a
+	// 32-bit displacement so the linker has a full word to patch.
+	var mod uint8
+	switch {
+	case rm.Sym != "":
+		mod = 2
+	case rm.Disp == 0 && rm.Base != EBP && rm.Base != NoReg:
+		mod = 0
+	case rm.Disp >= -128 && rm.Disp <= 127 && rm.Base != NoReg:
+		mod = 1
+	default:
+		mod = 2
+	}
+
+	needSIB := rm.Index != NoReg || rm.Base == ESP || rm.Base == NoReg
+	if needSIB {
+		base := uint8(5) // "no base" encoding (requires mod=00 + disp32)
+		if rm.Base != NoReg {
+			if rm.Base > 7 {
+				return ErrCannotEncode
+			}
+			base = uint8(rm.Base)
+		} else {
+			mod = 0
+		}
+		var ss uint8
+		switch rm.Scale {
+		case 0, 1:
+			ss = 0
+		case 2:
+			ss = 1
+		case 4:
+			ss = 2
+		case 8:
+			ss = 3
+		default:
+			return fmt.Errorf("%w: scale %d", ErrCannotEncode, rm.Scale)
+		}
+		index := uint8(4) // "no index"
+		if rm.Index != NoReg {
+			if rm.Index > 7 {
+				return ErrCannotEncode
+			}
+			index = uint8(rm.Index)
+		}
+		if rm.Base == NoReg {
+			// mod=00, base=101: disp32 with optional index.
+			e.u8(mod<<6 | regField<<3 | 0x04)
+			e.u8(ss<<6 | index<<3 | base)
+			e.u32sym(uint32(rm.Disp), rm.Sym)
+			return nil
+		}
+		if mod == 0 && rm.Base == EBP {
+			mod = 1
+		}
+		e.u8(mod<<6 | regField<<3 | 0x04)
+		e.u8(ss<<6 | index<<3 | base)
+	} else {
+		if rm.Base > 7 {
+			return ErrCannotEncode
+		}
+		e.u8(mod<<6 | regField<<3 | uint8(rm.Base))
+	}
+
+	switch mod {
+	case 1:
+		e.u8(uint8(rm.Disp))
+	case 2:
+		e.u32sym(uint32(rm.Disp), rm.Sym)
+	}
+	return nil
+}
+
+// aluIndex maps ALU operations to their 0x00-block group numbers.
+var aluIndex = map[Op]uint8{ADD: 0, OR: 1, ADC: 2, SBB: 3, AND: 4, SUB: 5, XOR: 6, CMP: 7}
+
+// grp2Index maps shift operations to their group-2 ModRM reg fields.
+var grp2Index = map[Op]uint8{ROL: 0, ROR: 1, SHL: 4, SHR: 5, SAR: 7}
+
+// Encode encodes inst into machine bytes.
+func Encode(inst Inst) ([]byte, error) {
+	b, _, err := EncodeFixups(inst)
+	return b, err
+}
+
+// EncodeFixups encodes inst and additionally reports the absolute
+// relocation slots required by symbolic operands. Branch instructions
+// (CALL/JMP/JCC) are encoded with their Rel field as-is; resolving a
+// symbolic branch target is the assembler's job.
+func EncodeFixups(inst Inst) ([]byte, []Fixup, error) {
+	e := &encoder{}
+	if err := e.inst(inst); err != nil {
+		return nil, nil, err
+	}
+	if len(e.b) > 15 {
+		return nil, nil, ErrCannotEncode
+	}
+	return e.b, e.fix, nil
+}
+
+func (e *encoder) inst(inst Inst) error {
+	switch inst.Op {
+	case MOV:
+		return e.mov(inst)
+	case MOVZX, MOVSX:
+		if inst.Dst.Kind != KindReg || inst.Dst.Size != 4 {
+			return ErrCannotEncode
+		}
+		var op uint8
+		switch {
+		case inst.Op == MOVZX && inst.Src.Size == 1:
+			op = 0xB6
+		case inst.Op == MOVZX && inst.Src.Size == 2:
+			op = 0xB7
+		case inst.Op == MOVSX && inst.Src.Size == 1:
+			op = 0xBE
+		case inst.Op == MOVSX && inst.Src.Size == 2:
+			op = 0xBF
+		default:
+			return ErrCannotEncode
+		}
+		e.u8(0x0F)
+		e.u8(op)
+		return e.modRM(uint8(inst.Dst.Reg), inst.Src)
+	case LEA:
+		if inst.Dst.Kind != KindReg || inst.Src.Kind != KindMem {
+			return ErrCannotEncode
+		}
+		e.u8(0x8D)
+		return e.modRM(uint8(inst.Dst.Reg), inst.Src)
+	case XCHG:
+		if inst.Src.Kind != KindReg || inst.Src.Size != 4 {
+			return ErrCannotEncode
+		}
+		e.u8(0x87)
+		return e.modRM(uint8(inst.Src.Reg), inst.Dst)
+	case ADD, ADC, SUB, SBB, AND, OR, XOR, CMP:
+		return e.alu(inst)
+	case TEST:
+		switch inst.Src.Kind {
+		case KindReg:
+			if inst.Src.Size == 1 {
+				e.u8(0x84)
+			} else {
+				e.u8(0x85)
+			}
+			return e.modRM(uint8(inst.Src.Reg), inst.Dst)
+		case KindImm:
+			if inst.Dst.Size == 1 {
+				e.u8(0xF6)
+				if err := e.modRM(0, inst.Dst); err != nil {
+					return err
+				}
+				e.u8(uint8(inst.Src.Imm))
+				return nil
+			}
+			e.u8(0xF7)
+			if err := e.modRM(0, inst.Dst); err != nil {
+				return err
+			}
+			e.u32sym(uint32(inst.Src.Imm), inst.Src.Sym)
+			return nil
+		}
+		return ErrCannotEncode
+	case INC, DEC:
+		n := uint8(0)
+		if inst.Op == DEC {
+			n = 1
+		}
+		if inst.Dst.Kind == KindReg && inst.Dst.Size == 4 {
+			e.u8(0x40 + n*8 + uint8(inst.Dst.Reg))
+			return nil
+		}
+		if inst.Dst.Size == 1 {
+			e.u8(0xFE)
+		} else {
+			e.u8(0xFF)
+		}
+		return e.modRM(n, inst.Dst)
+	case NOT, NEG, MUL1, IMUL1, DIV, IDIV:
+		field := map[Op]uint8{NOT: 2, NEG: 3, MUL1: 4, IMUL1: 5, DIV: 6, IDIV: 7}[inst.Op]
+		if inst.Dst.Size == 1 {
+			e.u8(0xF6)
+		} else {
+			e.u8(0xF7)
+		}
+		return e.modRM(field, inst.Dst)
+	case IMUL:
+		if inst.Dst.Kind != KindReg {
+			return ErrCannotEncode
+		}
+		if inst.Aux.Kind == KindImm {
+			e.u8(0x69)
+			if err := e.modRM(uint8(inst.Dst.Reg), inst.Src); err != nil {
+				return err
+			}
+			e.u32sym(uint32(inst.Aux.Imm), inst.Aux.Sym)
+			return nil
+		}
+		e.u8(0x0F)
+		e.u8(0xAF)
+		return e.modRM(uint8(inst.Dst.Reg), inst.Src)
+	case SHL, SHR, SAR, ROL, ROR:
+		field := grp2Index[inst.Op]
+		switch {
+		case inst.Src.Kind == KindImm:
+			if inst.Dst.Size == 1 {
+				e.u8(0xC0)
+			} else {
+				e.u8(0xC1)
+			}
+			if err := e.modRM(field, inst.Dst); err != nil {
+				return err
+			}
+			e.u8(uint8(inst.Src.Imm) & 31)
+			return nil
+		case inst.Src.Kind == KindReg && inst.Src.Reg == ECX && inst.Src.Size == 1:
+			if inst.Dst.Size == 1 {
+				e.u8(0xD2)
+			} else {
+				e.u8(0xD3)
+			}
+			return e.modRM(field, inst.Dst)
+		}
+		return ErrCannotEncode
+	case CDQ:
+		e.u8(0x99)
+		return nil
+	case PUSH:
+		switch inst.Dst.Kind {
+		case KindReg:
+			if inst.Dst.Size != 4 || inst.Dst.Reg > 7 {
+				return ErrCannotEncode
+			}
+			e.u8(0x50 + uint8(inst.Dst.Reg))
+			return nil
+		case KindImm:
+			e.u8(0x68)
+			e.u32sym(uint32(inst.Dst.Imm), inst.Dst.Sym)
+			return nil
+		case KindMem:
+			e.u8(0xFF)
+			return e.modRM(6, inst.Dst)
+		}
+		return ErrCannotEncode
+	case POP:
+		if inst.Dst.Kind != KindReg || inst.Dst.Size != 4 || inst.Dst.Reg > 7 {
+			return ErrCannotEncode
+		}
+		e.u8(0x58 + uint8(inst.Dst.Reg))
+		return nil
+	case CALL:
+		e.u8(0xE8)
+		e.u32(uint32(inst.Rel))
+		return nil
+	case CALLM:
+		e.u8(0xFF)
+		return e.modRM(2, inst.Dst)
+	case RET:
+		if inst.Dst.Kind == KindImm && inst.Dst.Imm != 0 {
+			e.u8(0xC2)
+			e.u16(uint16(inst.Dst.Imm))
+			return nil
+		}
+		e.u8(0xC3)
+		return nil
+	case JMP:
+		e.u8(0xE9)
+		e.u32(uint32(inst.Rel))
+		return nil
+	case JMPM:
+		e.u8(0xFF)
+		return e.modRM(4, inst.Dst)
+	case JCC:
+		e.u8(0x0F)
+		e.u8(0x80 + uint8(inst.CC))
+		e.u32(uint32(inst.Rel))
+		return nil
+	case SETCC:
+		if inst.Dst.Size != 1 {
+			return ErrCannotEncode
+		}
+		e.u8(0x0F)
+		e.u8(0x90 + uint8(inst.CC))
+		return e.modRM(0, inst.Dst)
+	case INT:
+		if inst.Dst.Kind != KindImm {
+			return ErrCannotEncode
+		}
+		e.u8(0xCD)
+		e.u8(uint8(inst.Dst.Imm))
+		return nil
+	case NOP:
+		e.u8(0x90)
+		return nil
+	case HLT:
+		e.u8(0xF4)
+		return nil
+	case UD2:
+		e.u8(0x0F)
+		e.u8(0x0B)
+		return nil
+	case MOVSB, STOSB, MOVSD, STOSD:
+		if inst.Rep {
+			e.u8(0xF3)
+		}
+		e.u8(map[Op]uint8{MOVSB: 0xA4, MOVSD: 0xA5, STOSB: 0xAA, STOSD: 0xAB}[inst.Op])
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrCannotEncode, inst.Op)
+}
+
+func (e *encoder) mov(inst Inst) error {
+	dst, src := inst.Dst, inst.Src
+	switch {
+	case src.Kind == KindImm && dst.Kind == KindReg && dst.Size == 4:
+		if dst.Reg > 7 {
+			return ErrCannotEncode
+		}
+		e.u8(0xB8 + uint8(dst.Reg))
+		e.u32sym(uint32(src.Imm), src.Sym)
+		return nil
+	case src.Kind == KindImm && dst.Kind == KindReg && dst.Size == 1:
+		if dst.Reg > 7 {
+			return ErrCannotEncode
+		}
+		e.u8(0xB0 + uint8(dst.Reg))
+		e.u8(uint8(src.Imm))
+		return nil
+	case src.Kind == KindImm && dst.Kind == KindMem && dst.Size == 1:
+		e.u8(0xC6)
+		if err := e.modRM(0, dst); err != nil {
+			return err
+		}
+		e.u8(uint8(src.Imm))
+		return nil
+	case src.Kind == KindImm && dst.Kind == KindMem:
+		e.u8(0xC7)
+		if err := e.modRM(0, dst); err != nil {
+			return err
+		}
+		e.u32sym(uint32(src.Imm), src.Sym)
+		return nil
+	case src.Kind == KindReg && src.Size == 1:
+		e.u8(0x88)
+		return e.modRM(uint8(src.Reg), dst)
+	case src.Kind == KindReg:
+		e.u8(0x89)
+		return e.modRM(uint8(src.Reg), dst)
+	case dst.Kind == KindReg && dst.Size == 1 && src.Kind == KindMem:
+		e.u8(0x8A)
+		return e.modRM(uint8(dst.Reg), src)
+	case dst.Kind == KindReg && src.Kind == KindMem:
+		e.u8(0x8B)
+		return e.modRM(uint8(dst.Reg), src)
+	}
+	return ErrCannotEncode
+}
+
+func (e *encoder) alu(inst Inst) error {
+	group := aluIndex[inst.Op]
+	dst, src := inst.Dst, inst.Src
+	switch {
+	case src.Kind == KindImm && dst.Size == 1:
+		e.u8(0x80)
+		if err := e.modRM(group, dst); err != nil {
+			return err
+		}
+		e.u8(uint8(src.Imm))
+		return nil
+	case src.Kind == KindImm:
+		if src.Sym == "" && src.Imm >= -128 && src.Imm <= 127 {
+			e.u8(0x83)
+			if err := e.modRM(group, dst); err != nil {
+				return err
+			}
+			e.u8(uint8(src.Imm))
+			return nil
+		}
+		e.u8(0x81)
+		if err := e.modRM(group, dst); err != nil {
+			return err
+		}
+		e.u32sym(uint32(src.Imm), src.Sym)
+		return nil
+	case src.Kind == KindReg && src.Size == 1:
+		e.u8(group<<3 | 0x00)
+		return e.modRM(uint8(src.Reg), dst)
+	case src.Kind == KindReg:
+		e.u8(group<<3 | 0x01)
+		return e.modRM(uint8(src.Reg), dst)
+	case dst.Kind == KindReg && dst.Size == 1 && src.Kind == KindMem:
+		e.u8(group<<3 | 0x02)
+		return e.modRM(uint8(dst.Reg), src)
+	case dst.Kind == KindReg && src.Kind == KindMem:
+		e.u8(group<<3 | 0x03)
+		return e.modRM(uint8(dst.Reg), src)
+	}
+	return ErrCannotEncode
+}

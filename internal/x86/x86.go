@@ -1,0 +1,359 @@
+// Package x86 models the subset of the 32-bit x86 instruction set that
+// the VXA virtual architecture defines for archived decoders.
+//
+// The package provides three views of an instruction:
+//
+//   - Inst, a fully decoded symbolic form shared by the assembler, the
+//     disassembler, and the virtual machine interpreter;
+//   - Encode, which turns an Inst into machine bytes (the assembler
+//     back-end used by the vxcc compiler);
+//   - Decode, which turns machine bytes back into an Inst (used by the
+//     VM's code scanner and by the vxdump disassembler).
+//
+// The subset is the unprivileged 32-bit integer core: the ALU block,
+// moves with ModRM/SIB addressing, sign/zero extension, shifts,
+// multiply/divide, stack operations, all conditional branches, calls,
+// software interrupts, and the REP string primitives used by the
+// decoder runtime's memcpy/memset. Anything outside the subset decodes
+// to an error, which the VM treats as an illegal-instruction trap —
+// mirroring vx32's refusal to translate unsafe instructions.
+package x86
+
+import "fmt"
+
+// Reg identifies one of the eight 32-bit general-purpose registers.
+type Reg uint8
+
+// The eight general-purpose registers, in standard encoding order.
+const (
+	EAX Reg = 0
+	ECX Reg = 1
+	EDX Reg = 2
+	EBX Reg = 3
+	ESP Reg = 4
+	EBP Reg = 5
+	ESI Reg = 6
+	EDI Reg = 7
+
+	// NoReg marks an absent base or index register in a memory operand.
+	NoReg Reg = 0xFF
+)
+
+var regNames = [8]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var reg8Names = [8]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+var reg16Names = [8]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"}
+
+// String returns the conventional AT&T-free register mnemonic (e.g. "eax").
+func (r Reg) String() string {
+	if r < 8 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// CC is an x86 condition code, numbered exactly as in the opcode maps
+// (Jcc = 0x70+cc / 0x0F 0x80+cc, SETcc = 0x0F 0x90+cc).
+type CC uint8
+
+// Condition codes in hardware encoding order.
+const (
+	CCO  CC = 0x0 // overflow
+	CCNO CC = 0x1 // not overflow
+	CCB  CC = 0x2 // below (unsigned <)
+	CCAE CC = 0x3 // above or equal (unsigned >=)
+	CCE  CC = 0x4 // equal
+	CCNE CC = 0x5 // not equal
+	CCBE CC = 0x6 // below or equal (unsigned <=)
+	CCA  CC = 0x7 // above (unsigned >)
+	CCS  CC = 0x8 // sign
+	CCNS CC = 0x9 // not sign
+	CCP  CC = 0xA // parity
+	CCNP CC = 0xB // not parity
+	CCL  CC = 0xC // less (signed <)
+	CCGE CC = 0xD // greater or equal (signed >=)
+	CCLE CC = 0xE // less or equal (signed <=)
+	CCG  CC = 0xF // greater (signed >)
+)
+
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// String returns the condition suffix ("e", "ne", "l", ...).
+func (c CC) String() string {
+	if c < 16 {
+		return ccNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// Op is an instruction operation.
+type Op uint8
+
+// Operations in the VXA subset.
+const (
+	BAD Op = iota
+
+	MOV   // mov dst, src
+	MOVZX // movzx r32, r/m8 or r/m16
+	MOVSX // movsx r32, r/m8 or r/m16
+	LEA   // lea r32, m
+	XCHG  // xchg r/m, r
+
+	ADD
+	ADC
+	SUB
+	SBB
+	AND
+	OR
+	XOR
+	CMP
+	TEST
+
+	INC
+	DEC
+	NEG
+	NOT
+
+	IMUL  // two- or three-operand signed multiply
+	MUL1  // one-operand unsigned multiply (edx:eax = eax * r/m)
+	IMUL1 // one-operand signed multiply (edx:eax = eax * r/m)
+	DIV   // unsigned divide of edx:eax
+	IDIV  // signed divide of edx:eax
+
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+
+	CDQ // sign-extend eax into edx
+
+	PUSH
+	POP
+
+	CALL  // call rel32
+	CALLM // call r/m32 (indirect)
+	RET   // ret, optionally with immediate stack adjustment
+	JMP   // jmp rel8/rel32
+	JMPM  // jmp r/m32 (indirect)
+	JCC   // conditional jump
+
+	SETCC // set byte on condition
+
+	INT // software interrupt (the virtual system call gate)
+	NOP
+	HLT // privileged; always traps in the VM
+	UD2 // defined-illegal instruction
+
+	MOVSB // movs byte [edi], [esi]; honours the REP prefix
+	STOSB // stos byte [edi], al; honours the REP prefix
+	MOVSD // movs dword [edi], [esi]; honours the REP prefix
+	STOSD // stos dword [edi], eax; honours the REP prefix
+)
+
+var opNames = map[Op]string{
+	BAD: "(bad)", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
+	XCHG: "xchg", ADD: "add", ADC: "adc", SUB: "sub", SBB: "sbb",
+	AND: "and", OR: "or", XOR: "xor", CMP: "cmp", TEST: "test",
+	INC: "inc", DEC: "dec", NEG: "neg", NOT: "not",
+	IMUL: "imul", MUL1: "mul", IMUL1: "imul", DIV: "div", IDIV: "idiv",
+	SHL: "shl", SHR: "shr", SAR: "sar", ROL: "rol", ROR: "ror",
+	CDQ: "cdq", PUSH: "push", POP: "pop",
+	CALL: "call", CALLM: "call", RET: "ret", JMP: "jmp", JMPM: "jmp",
+	JCC: "j", SETCC: "set", INT: "int", NOP: "nop", HLT: "hlt", UD2: "ud2",
+	MOVSB: "movsb", STOSB: "stosb", MOVSD: "movsd", STOSD: "stosd",
+}
+
+// String returns the base mnemonic for the operation.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ArgKind classifies an instruction operand.
+type ArgKind uint8
+
+// Operand kinds.
+const (
+	KindNone ArgKind = iota
+	KindReg          // a general-purpose register (size selects the view)
+	KindMem          // a memory reference [base + index*scale + disp]
+	KindImm          // an immediate value
+)
+
+// Arg is one instruction operand. The zero value is "no operand".
+//
+// For KindMem, Base and Index may be NoReg; Scale is 1, 2, 4 or 8 and is
+// meaningful only when Index is present. Size is the access width in
+// bytes (1, 2 or 4). Sym optionally names a symbol whose final address
+// the assembler adds into Disp (for KindMem) or Imm (for KindImm) at
+// link time; it is ignored by Encode and never produced by Decode.
+type Arg struct {
+	Kind  ArgKind
+	Reg   Reg   // KindReg
+	Base  Reg   // KindMem
+	Index Reg   // KindMem
+	Scale uint8 // KindMem
+	Disp  int32 // KindMem
+	Imm   int32 // KindImm
+	Size  uint8 // access width in bytes: 1, 2 or 4
+	Sym   string
+}
+
+// R returns a 32-bit register operand.
+func R(r Reg) Arg { return Arg{Kind: KindReg, Reg: r, Size: 4} }
+
+// R8 returns an 8-bit register operand (0-3 = AL..BL, 4-7 = AH..BH).
+func R8(r Reg) Arg { return Arg{Kind: KindReg, Reg: r, Size: 1} }
+
+// I returns a 32-bit immediate operand.
+func I(v int32) Arg { return Arg{Kind: KindImm, Imm: v, Size: 4} }
+
+// I8 returns an 8-bit immediate operand.
+func I8(v int8) Arg { return Arg{Kind: KindImm, Imm: int32(v), Size: 1} }
+
+// ISym returns an immediate operand holding the address of sym.
+func ISym(sym string) Arg { return Arg{Kind: KindImm, Size: 4, Sym: sym} }
+
+// M returns a 32-bit memory operand [base+disp].
+func M(base Reg, disp int32) Arg {
+	return Arg{Kind: KindMem, Base: base, Index: NoReg, Disp: disp, Size: 4}
+}
+
+// M8 returns an 8-bit memory operand [base+disp].
+func M8(base Reg, disp int32) Arg {
+	return Arg{Kind: KindMem, Base: base, Index: NoReg, Disp: disp, Size: 1}
+}
+
+// M16 returns a 16-bit memory operand [base+disp].
+func M16(base Reg, disp int32) Arg {
+	return Arg{Kind: KindMem, Base: base, Index: NoReg, Disp: disp, Size: 2}
+}
+
+// MSIB returns a memory operand [base + index*scale + disp] of the given
+// width in bytes.
+func MSIB(base, index Reg, scale uint8, disp int32, size uint8) Arg {
+	return Arg{Kind: KindMem, Base: base, Index: index, Scale: scale, Disp: disp, Size: size}
+}
+
+// MAbs returns a memory operand addressing the absolute location of sym
+// plus disp, with the given width.
+func MAbs(sym string, disp int32, size uint8) Arg {
+	return Arg{Kind: KindMem, Base: NoReg, Index: NoReg, Disp: disp, Size: size, Sym: sym}
+}
+
+// String renders the operand in Intel-ish syntax.
+func (a Arg) String() string {
+	switch a.Kind {
+	case KindNone:
+		return ""
+	case KindReg:
+		switch a.Size {
+		case 1:
+			if a.Reg < 8 {
+				return reg8Names[a.Reg]
+			}
+		case 2:
+			if a.Reg < 8 {
+				return reg16Names[a.Reg]
+			}
+		}
+		return a.Reg.String()
+	case KindImm:
+		if a.Sym != "" {
+			return fmt.Sprintf("$%s%+d", a.Sym, a.Imm)
+		}
+		return fmt.Sprintf("0x%x", uint32(a.Imm))
+	case KindMem:
+		s := ""
+		switch a.Size {
+		case 1:
+			s = "byte "
+		case 2:
+			s = "word "
+		case 4:
+			s = "dword "
+		}
+		s += "["
+		sep := ""
+		if a.Sym != "" {
+			s += a.Sym
+			sep = "+"
+		}
+		if a.Base != NoReg {
+			s += sep + a.Base.String()
+			sep = "+"
+		}
+		if a.Index != NoReg {
+			s += fmt.Sprintf("%s%s*%d", sep, a.Index.String(), a.Scale)
+			sep = "+"
+		}
+		if a.Disp != 0 || sep == "" {
+			if a.Disp >= 0 {
+				s += fmt.Sprintf("%s0x%x", sep, a.Disp)
+			} else {
+				s += fmt.Sprintf("-0x%x", -a.Disp)
+			}
+		}
+		return s + "]"
+	}
+	return "?"
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Op
+	Dst Arg // first operand (destination for two-operand forms)
+	Src Arg // second operand
+	Aux Arg // third operand (three-operand IMUL immediate)
+
+	CC  CC     // condition for JCC/SETCC
+	Rel int32  // branch displacement for CALL/JMP/JCC, relative to next inst
+	Sym string // branch target symbol (assembler only; Decode leaves it empty)
+
+	Rep bool  // REP prefix on MOVSB/STOSB/MOVSD/STOSD
+	Len uint8 // encoded length in bytes (set by Decode and Encode)
+}
+
+// String renders the instruction in Intel-ish syntax. Branch targets are
+// shown as relative displacements (the decoder does not know absolute
+// addresses).
+func (i Inst) String() string {
+	switch i.Op {
+	case JCC:
+		return fmt.Sprintf("j%s .%+d", i.CC, i.Rel)
+	case SETCC:
+		return fmt.Sprintf("set%s %s", i.CC, i.Dst)
+	case CALL, JMP:
+		if i.Sym != "" {
+			return fmt.Sprintf("%s %s", i.Op, i.Sym)
+		}
+		return fmt.Sprintf("%s .%+d", i.Op, i.Rel)
+	case RET:
+		if i.Dst.Kind == KindImm && i.Dst.Imm != 0 {
+			return fmt.Sprintf("ret 0x%x", i.Dst.Imm)
+		}
+		return "ret"
+	case INT:
+		return fmt.Sprintf("int 0x%x", i.Dst.Imm)
+	case MOVSB, STOSB, MOVSD, STOSD:
+		if i.Rep {
+			return "rep " + i.Op.String()
+		}
+		return i.Op.String()
+	}
+	switch {
+	case i.Aux.Kind != KindNone:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Dst, i.Src, i.Aux)
+	case i.Src.Kind != KindNone:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Dst, i.Src)
+	case i.Dst.Kind != KindNone:
+		return fmt.Sprintf("%s %s", i.Op, i.Dst)
+	default:
+		return i.Op.String()
+	}
+}

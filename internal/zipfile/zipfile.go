@@ -1,0 +1,355 @@
+// Package zipfile reads and writes the vxZIP archive container: the
+// standard ZIP format (local file headers, central directory, end
+// record) extended exactly as the paper's §3.1-3.2 describe:
+//
+//   - every archived file carries a VXA extension header (extra field
+//     ID 0x5658, "VX") pointing, by archive offset, at its decoder;
+//   - decoders are stored as pseudo-files with empty filenames and their
+//     own local headers, deflate-compressed, and are deliberately absent
+//     from the central directory so VXA-unaware tools never see them;
+//   - files compressed with traditional methods keep their standard
+//     method tags (0 = store, 8 = deflate) so old tools can extract
+//     them; formats with no traditional tag use the reserved VXA method.
+//
+// The package is deliberately independent of archive/zip: writing the
+// container from scratch is part of the reproduction, and archive/zip
+// serves as the "older UnZIP tool" in compatibility tests.
+package zipfile
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ZIP method tags.
+const (
+	MethodStore   uint16 = 0
+	MethodDeflate uint16 = 8
+	// MethodVXA is the reserved "special" tag for files that can only be
+	// extracted with their attached VXA decoder (§3.1).
+	MethodVXA uint16 = 0x5658
+)
+
+// VXAExtraID is the extra-field header ID of the VXA extension ("VX").
+const VXAExtraID uint16 = 0x5658
+
+// Signatures.
+const (
+	sigLocal   = 0x04034b50
+	sigCentral = 0x02014b50
+	sigEOCD    = 0x06054b50
+)
+
+// ErrFormat reports a structurally invalid archive.
+var ErrFormat = errors.New("zipfile: malformed archive")
+
+// VXAHeader is the VXA extension attached to each archived file.
+type VXAHeader struct {
+	Codec         string // codec tag, e.g. "zlib"
+	DecoderOffset uint32 // archive offset of the decoder pseudo-file
+	PreCompressed bool   // input was already compressed; stored as-is
+}
+
+func (h *VXAHeader) encode() []byte {
+	body := make([]byte, 0, 8+len(h.Codec))
+	body = append(body, 1) // version
+	flags := byte(0)
+	if h.PreCompressed {
+		flags |= 1
+	}
+	body = append(body, flags, byte(len(h.Codec)))
+	body = append(body, h.Codec...)
+	var off [4]byte
+	binary.LittleEndian.PutUint32(off[:], h.DecoderOffset)
+	body = append(body, off[:]...)
+
+	out := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint16(out[0:], VXAExtraID)
+	binary.LittleEndian.PutUint16(out[2:], uint16(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// parseVXAExtra extracts a VXA header from a ZIP extra field, if present.
+func parseVXAExtra(extra []byte) (*VXAHeader, error) {
+	for len(extra) >= 4 {
+		id := binary.LittleEndian.Uint16(extra[0:])
+		size := int(binary.LittleEndian.Uint16(extra[2:]))
+		if 4+size > len(extra) {
+			return nil, fmt.Errorf("%w: extra field overflow", ErrFormat)
+		}
+		body := extra[4 : 4+size]
+		if id == VXAExtraID {
+			if len(body) < 7 || body[0] != 1 {
+				return nil, fmt.Errorf("%w: bad VXA extension", ErrFormat)
+			}
+			nameLen := int(body[2])
+			if 3+nameLen+4 > len(body) {
+				return nil, fmt.Errorf("%w: bad VXA extension length", ErrFormat)
+			}
+			return &VXAHeader{
+				Codec:         string(body[3 : 3+nameLen]),
+				DecoderOffset: binary.LittleEndian.Uint32(body[3+nameLen:]),
+				PreCompressed: body[1]&1 != 0,
+			}, nil
+		}
+		extra = extra[4+size:]
+	}
+	return nil, nil
+}
+
+// FileHeader describes one archived file.
+type FileHeader struct {
+	Name   string
+	Method uint16
+	CRC32  uint32 // of the original (uncompressed) data
+	CSize  uint32
+	USize  uint32
+	Mode   uint32 // unix permission bits (security attributes, §2.4)
+	VXA    *VXAHeader
+	Offset uint32 // local header offset
+}
+
+// ---------- writer ----------
+
+// Writer writes a vxZIP archive.
+type Writer struct {
+	w       io.Writer
+	off     uint32
+	central []FileHeader
+	err     error
+}
+
+// NewWriter begins an archive.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (zw *Writer) write(b []byte) {
+	if zw.err != nil {
+		return
+	}
+	n, err := zw.w.Write(b)
+	zw.off += uint32(n)
+	zw.err = err
+}
+
+// localHeader emits a local file header.
+func (zw *Writer) localHeader(name string, method uint16, crc, csize, usize uint32, extra []byte) {
+	h := make([]byte, 30)
+	binary.LittleEndian.PutUint32(h[0:], sigLocal)
+	binary.LittleEndian.PutUint16(h[4:], 20) // version needed
+	binary.LittleEndian.PutUint16(h[6:], 0)  // flags
+	binary.LittleEndian.PutUint16(h[8:], method)
+	binary.LittleEndian.PutUint16(h[10:], 0)    // mod time
+	binary.LittleEndian.PutUint16(h[12:], 0x21) // mod date (1980-01-01)
+	binary.LittleEndian.PutUint32(h[14:], crc)
+	binary.LittleEndian.PutUint32(h[18:], csize)
+	binary.LittleEndian.PutUint32(h[22:], usize)
+	binary.LittleEndian.PutUint16(h[26:], uint16(len(name)))
+	binary.LittleEndian.PutUint16(h[28:], uint16(len(extra)))
+	zw.write(h)
+	zw.write([]byte(name))
+	zw.write(extra)
+}
+
+// AddDecoder stores a VXA decoder as a pseudo-file: an anonymous local
+// header holding the deflate-compressed ELF image, not referenced by the
+// central directory (§3.2). It returns the pseudo-file's offset for use
+// in VXA extension headers.
+func (zw *Writer) AddDecoder(elf []byte) (uint32, error) {
+	if zw.err != nil {
+		return 0, zw.err
+	}
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestCompression)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fw.Write(elf); err != nil {
+		return 0, err
+	}
+	if err := fw.Close(); err != nil {
+		return 0, err
+	}
+	off := zw.off
+	crc := crc32.ChecksumIEEE(elf)
+	zw.localHeader("", MethodDeflate, crc, uint32(comp.Len()), uint32(len(elf)), nil)
+	zw.write(comp.Bytes())
+	return off, zw.err
+}
+
+// AddFile writes one archived file entry with pre-compressed payload.
+// crc must be the CRC-32 of the original uncompressed data.
+func (zw *Writer) AddFile(hdr FileHeader, payload []byte) error {
+	if zw.err != nil {
+		return zw.err
+	}
+	var extra []byte
+	if hdr.VXA != nil {
+		extra = hdr.VXA.encode()
+	}
+	hdr.Offset = zw.off
+	hdr.CSize = uint32(len(payload))
+	zw.localHeader(hdr.Name, hdr.Method, hdr.CRC32, hdr.CSize, hdr.USize, extra)
+	zw.write(payload)
+	zw.central = append(zw.central, hdr)
+	return zw.err
+}
+
+// Close writes the central directory and end-of-central-directory record.
+func (zw *Writer) Close() error {
+	if zw.err != nil {
+		return zw.err
+	}
+	cdStart := zw.off
+	for _, f := range zw.central {
+		var extra []byte
+		if f.VXA != nil {
+			extra = f.VXA.encode()
+		}
+		h := make([]byte, 46)
+		binary.LittleEndian.PutUint32(h[0:], sigCentral)
+		binary.LittleEndian.PutUint16(h[4:], 3<<8|20) // made by unix
+		binary.LittleEndian.PutUint16(h[6:], 20)      // version needed
+		binary.LittleEndian.PutUint16(h[8:], 0)
+		binary.LittleEndian.PutUint16(h[10:], f.Method)
+		binary.LittleEndian.PutUint16(h[12:], 0)
+		binary.LittleEndian.PutUint16(h[14:], 0x21)
+		binary.LittleEndian.PutUint32(h[16:], f.CRC32)
+		binary.LittleEndian.PutUint32(h[20:], f.CSize)
+		binary.LittleEndian.PutUint32(h[24:], f.USize)
+		binary.LittleEndian.PutUint16(h[28:], uint16(len(f.Name)))
+		binary.LittleEndian.PutUint16(h[30:], uint16(len(extra)))
+		// comment len, disk start, internal attrs: zero
+		binary.LittleEndian.PutUint32(h[38:], f.Mode<<16) // external attrs
+		binary.LittleEndian.PutUint32(h[42:], f.Offset)
+		zw.write(h)
+		zw.write([]byte(f.Name))
+		zw.write(extra)
+	}
+	cdSize := zw.off - cdStart
+	e := make([]byte, 22)
+	binary.LittleEndian.PutUint32(e[0:], sigEOCD)
+	binary.LittleEndian.PutUint16(e[8:], uint16(len(zw.central)))
+	binary.LittleEndian.PutUint16(e[10:], uint16(len(zw.central)))
+	binary.LittleEndian.PutUint32(e[12:], cdSize)
+	binary.LittleEndian.PutUint32(e[16:], cdStart)
+	zw.write(e)
+	return zw.err
+}
+
+// ---------- reader ----------
+
+// Reader reads a vxZIP archive from memory.
+type Reader struct {
+	data  []byte
+	Files []FileHeader
+}
+
+// NewReader parses the central directory of an archive.
+func NewReader(data []byte) (*Reader, error) {
+	// Find EOCD: scan backwards over a possible comment.
+	if len(data) < 22 {
+		return nil, fmt.Errorf("%w: too small", ErrFormat)
+	}
+	var eocd int = -1
+	min := len(data) - 22 - 0xFFFF
+	if min < 0 {
+		min = 0
+	}
+	for i := len(data) - 22; i >= min; i-- {
+		if binary.LittleEndian.Uint32(data[i:]) == sigEOCD {
+			eocd = i
+			break
+		}
+	}
+	if eocd < 0 {
+		return nil, fmt.Errorf("%w: no end-of-central-directory record", ErrFormat)
+	}
+	count := int(binary.LittleEndian.Uint16(data[eocd+10:]))
+	cdOff := binary.LittleEndian.Uint32(data[eocd+16:])
+	r := &Reader{data: data}
+	pos := int(cdOff)
+	for i := 0; i < count; i++ {
+		if pos+46 > len(data) || binary.LittleEndian.Uint32(data[pos:]) != sigCentral {
+			return nil, fmt.Errorf("%w: bad central directory entry", ErrFormat)
+		}
+		h := data[pos:]
+		nameLen := int(binary.LittleEndian.Uint16(h[28:]))
+		extraLen := int(binary.LittleEndian.Uint16(h[30:]))
+		commentLen := int(binary.LittleEndian.Uint16(h[32:]))
+		if pos+46+nameLen+extraLen+commentLen > len(data) {
+			return nil, fmt.Errorf("%w: truncated central directory", ErrFormat)
+		}
+		f := FileHeader{
+			Name:   string(h[46 : 46+nameLen]),
+			Method: binary.LittleEndian.Uint16(h[10:]),
+			CRC32:  binary.LittleEndian.Uint32(h[16:]),
+			CSize:  binary.LittleEndian.Uint32(h[20:]),
+			USize:  binary.LittleEndian.Uint32(h[24:]),
+			Mode:   binary.LittleEndian.Uint32(h[38:]) >> 16,
+			Offset: binary.LittleEndian.Uint32(h[42:]),
+		}
+		vxa, err := parseVXAExtra(h[46+nameLen : 46+nameLen+extraLen])
+		if err != nil {
+			return nil, err
+		}
+		f.VXA = vxa
+		r.Files = append(r.Files, f)
+		pos += 46 + nameLen + extraLen + commentLen
+	}
+	return r, nil
+}
+
+// payloadAt parses the local header at off and returns the stored
+// payload plus the header fields.
+func (r *Reader) payloadAt(off uint32) (payload []byte, method uint16, usize uint32, err error) {
+	if int(off)+30 > len(r.data) || binary.LittleEndian.Uint32(r.data[off:]) != sigLocal {
+		return nil, 0, 0, fmt.Errorf("%w: bad local header at %#x", ErrFormat, off)
+	}
+	h := r.data[off:]
+	method = binary.LittleEndian.Uint16(h[8:])
+	csize := binary.LittleEndian.Uint32(h[18:])
+	usize = binary.LittleEndian.Uint32(h[22:])
+	nameLen := uint32(binary.LittleEndian.Uint16(h[26:]))
+	extraLen := uint32(binary.LittleEndian.Uint16(h[28:]))
+	start := off + 30 + nameLen + extraLen
+	end := start + csize
+	if uint64(end) > uint64(len(r.data)) || end < start {
+		return nil, 0, 0, fmt.Errorf("%w: truncated payload", ErrFormat)
+	}
+	return r.data[start:end], method, usize, nil
+}
+
+// Payload returns the raw stored bytes of an archived file (compressed
+// form, exactly as archived).
+func (r *Reader) Payload(f *FileHeader) ([]byte, error) {
+	p, _, _, err := r.payloadAt(f.Offset)
+	return p, err
+}
+
+// Decoder extracts and decompresses the decoder pseudo-file at the given
+// archive offset (decoders are always deflate-compressed, §3.2).
+func (r *Reader) Decoder(off uint32) ([]byte, error) {
+	payload, method, usize, err := r.payloadAt(off)
+	if err != nil {
+		return nil, err
+	}
+	if method != MethodDeflate {
+		return nil, fmt.Errorf("%w: decoder pseudo-file not deflated", ErrFormat)
+	}
+	fr := flate.NewReader(bytes.NewReader(payload))
+	defer fr.Close()
+	out, err := io.ReadAll(io.LimitReader(fr, int64(usize)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: decoder decompression: %v", ErrFormat, err)
+	}
+	if uint32(len(out)) != usize {
+		return nil, fmt.Errorf("%w: decoder size mismatch", ErrFormat)
+	}
+	return out, nil
+}

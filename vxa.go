@@ -1,0 +1,83 @@
+// Package vxa is the public API of the VXA archival storage system, a
+// reproduction of Bryan Ford's "VXA: A Virtual Architecture for Durable
+// Compressed Archives" (FAST 2005).
+//
+// VXA archives embed an executable decoder next to every compressed
+// stream. Decoders are 32-bit x86 ELF executables produced by the
+// bundled VXC compiler and run inside a sandboxed virtual machine with
+// exactly five virtual system calls, so archived data remains decodable
+// — safely — long after the codecs that produced it are gone.
+//
+// Quick start:
+//
+//	var buf bytes.Buffer
+//	w := vxa.NewWriter(&buf, vxa.WriterOptions{})
+//	w.AddFile("notes.txt", text, 0644)
+//	w.Close()
+//
+//	r, _ := vxa.OpenReader(buf.Bytes())
+//	for _, e := range r.Entries() {
+//	    data, _ := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+//	    ...
+//	}
+//
+// The underlying pieces — the x86 subset, the vx32-analog VM, the ELF
+// tooling, the VXC compiler, and the codec plug-ins — live in internal
+// packages; this package re-exports the archive-level operations.
+package vxa
+
+import (
+	"io"
+
+	"vxa/internal/codec"
+	"vxa/internal/core"
+
+	// Register the standard codec set (Table 1): general-purpose
+	// deflate/zlib/bwt, still images dct/haar, audio lpc/adpcm, and the
+	// gzip redec.
+	_ "vxa/internal/codec/adpcm"
+	_ "vxa/internal/codec/bwt"
+	_ "vxa/internal/codec/dctimg"
+	_ "vxa/internal/codec/deflate"
+	_ "vxa/internal/codec/haarimg"
+	_ "vxa/internal/codec/lpc"
+)
+
+// Re-exported archive types. See package core for full documentation.
+type (
+	// WriterOptions configure archive creation.
+	WriterOptions = core.WriterOptions
+	// Writer creates VXA archives.
+	Writer = core.Writer
+	// Reader extracts VXA archives.
+	Reader = core.Reader
+	// Entry is one archived file.
+	Entry = core.Entry
+	// ExtractOptions configure extraction.
+	ExtractOptions = core.ExtractOptions
+	// ExtractMode selects native-first or always-VXA decoding.
+	ExtractMode = core.ExtractMode
+)
+
+// Extraction modes.
+const (
+	// NativeFirst prefers fast native decoders, with VXA fallback.
+	NativeFirst = core.NativeFirst
+	// AlwaysVXA always runs the archived decoder in the sandbox.
+	AlwaysVXA = core.AlwaysVXA
+)
+
+// NewWriter begins writing an archive to w.
+func NewWriter(w io.Writer, opts WriterOptions) *Writer {
+	return core.NewWriter(w, opts)
+}
+
+// OpenReader opens an archive held in memory.
+func OpenReader(data []byte) (*Reader, error) {
+	return core.NewReader(data)
+}
+
+// Codecs returns the registered codec set (Table 1 of the paper).
+func Codecs() []*codec.Codec {
+	return codec.All()
+}
