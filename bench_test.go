@@ -8,6 +8,7 @@ package vxa
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"vxa/internal/codec"
 	"vxa/internal/elf32"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 	"vxa/internal/vxcc"
 )
 
@@ -205,3 +207,125 @@ func BenchmarkDecoderBuild(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent sandbox engine: snapshot/reset pool + parallel extraction ---
+//
+// BenchmarkStreamColdVM vs BenchmarkStreamPooledVM is the per-stream
+// decoder-setup comparison: a fresh VM parsed from the decoder ELF for
+// every stream against a pooled VM resumed (or reset from the pristine
+// snapshot) per stream. BenchmarkExtractAll* compares whole-archive
+// extraction throughput, serial versus the bounded worker pipeline.
+
+func smallDeflateStream(b *testing.B) (*codec.Codec, []byte, []byte) {
+	c, ok := codec.ByName("deflate")
+	if !ok {
+		b.Fatal("deflate not registered")
+	}
+	raw := bytes.Repeat([]byte("a small stream that makes setup cost visible | "), 64)
+	var enc bytes.Buffer
+	if err := c.Encode(&enc, raw); err != nil {
+		b.Fatal(err)
+	}
+	elf, err := c.DecoderELF()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, elf, enc.Bytes()
+}
+
+func runBenchStream(b *testing.B, v *vm.VM, encoded []byte) (reusable bool) {
+	b.Helper()
+	reusable, err := v.RunStream(bytes.NewReader(encoded), io.Discard, nil, vm.StreamFuel(len(encoded)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reusable
+}
+
+func BenchmarkStreamColdVM(b *testing.B) {
+	_, elf, encoded := smallDeflateStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := elf32.NewVM(elf, vm.Config{MemSize: 64 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runBenchStream(b, v, encoded)
+	}
+}
+
+func BenchmarkStreamPooledVM(b *testing.B) {
+	c, elf, encoded := smallDeflateStream(b)
+	pool := vmpool.New(vmpool.Options{VM: vm.Config{MemSize: 64 << 20}})
+	elfFn := func() ([]byte, error) { return elf, nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := pool.Get(c.Name, 0644, elfFn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lease.Release(runBenchStream(b, lease.VM(), encoded))
+	}
+}
+
+// BenchmarkStreamPooledVMReset forces the reset path on every stream by
+// alternating security modes: the cost of copy-on-reset from the
+// pristine snapshot, without the parked-VM resume shortcut.
+func BenchmarkStreamPooledVMReset(b *testing.B) {
+	c, elf, encoded := smallDeflateStream(b)
+	pool := vmpool.New(vmpool.Options{VM: vm.Config{MemSize: 64 << 20}})
+	elfFn := func() ([]byte, error) { return elf, nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := pool.Get(c.Name, uint32(0600+i%2), elfFn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lease.Release(runBenchStream(b, lease.VM(), encoded))
+	}
+}
+
+var (
+	parallelArchOnce sync.Once
+	parallelArch     []byte
+	parallelArchErr  error
+)
+
+func parallelArchive(b *testing.B) []byte {
+	parallelArchOnce.Do(func() {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, WriterOptions{})
+		for i := 0; i < 16; i++ {
+			data := bytes.Repeat([]byte(fmt.Sprintf("archive entry %02d | ", i)), 800)
+			if err := w.AddFile(fmt.Sprintf("doc%02d.txt", i), data, 0644); err != nil {
+				parallelArchErr = err
+				return
+			}
+		}
+		parallelArchErr = w.Close()
+		parallelArch = buf.Bytes()
+	})
+	if parallelArchErr != nil {
+		b.Fatal(parallelArchErr)
+	}
+	return parallelArch
+}
+
+func benchExtractAll(b *testing.B, parallel int) {
+	arch := parallelArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := OpenReader(arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range r.ExtractAll(ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: parallel}) {
+			if res.Err != nil {
+				b.Fatalf("%s: %v", res.Entry.Name, res.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkExtractAllSerial(b *testing.B)   { benchExtractAll(b, 1) }
+func BenchmarkExtractAllParallel(b *testing.B) { benchExtractAll(b, 0) }

@@ -1,31 +1,61 @@
 // Command vxbench regenerates the paper's evaluation tables and figures
-// (§5) against this reproduction. Each flag prints one artifact; the
-// default prints everything. EXPERIMENTS.md records the interpretation.
+// (§5) against this reproduction, plus the concurrent-engine benchmarks
+// (snapshot/reset pool, parallel extraction). Each flag prints one
+// artifact; the default prints everything. EXPERIMENTS.md records the
+// interpretation.
+//
+// With -json FILE, every computed artifact is also written as one JSON
+// document (BENCH_*.json style), so the performance trajectory can be
+// tracked machine-readably across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vxa"
 	"vxa/internal/bench"
 )
+
+// report is the -json document: every artifact that was computed in this
+// run, plus enough host context to compare runs.
+type report struct {
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Table1     []bench.Table1Row   `json:"table1,omitempty"`
+	Table2     []bench.Table2Row   `json:"table2,omitempty"`
+	Overhead   []bench.OverheadRow `json:"overhead,omitempty"`
+	Fig7       []bench.Fig7Row     `json:"fig7,omitempty"`
+	Pool       []bench.PoolRow     `json:"pool,omitempty"`
+	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
+}
 
 func main() {
 	t1 := flag.Bool("table1", false, "print the decoder inventory (Table 1)")
 	t2 := flag.Bool("table2", false, "print decoder code sizes (Table 2)")
 	f7 := flag.Bool("fig7", false, "measure native vs virtualized decode time (Figure 7)")
 	ov := flag.Bool("overhead", false, "print decoder storage overhead (section 5.3)")
+	pl := flag.Bool("pool", false, "measure cold vs pooled per-stream decoder setup")
+	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
+	streams := flag.Int("streams", 16, "streams per codec for -pool")
+	entries := flag.Int("entries", 16, "archive entries for -parallel")
+	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
+	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
 	flag.Parse()
 	_ = vxa.Codecs()
-	all := !*t1 && !*t2 && !*f7 && !*ov
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par
+
+	rep := report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	if *t1 || all {
+		rep.Table1 = bench.Table1()
 		fmt.Println("Table 1: Decoders Implemented in vxZIP/vxUnZIP")
 		fmt.Printf("  %-8s %-14s %-16s %s\n", "codec", "role", "output", "description")
-		for _, r := range bench.Table1() {
+		for _, r := range rep.Table1 {
 			fmt.Printf("  %-8s %-14s %-16s %s\n", r.Codec, r.Kind, r.Output, r.Desc)
 		}
 		fmt.Println()
@@ -35,6 +65,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		rep.Table2 = rows
 		fmt.Println("Table 2: Code Size of Virtualized Decoders")
 		fmt.Printf("  %-8s %9s %18s %18s %11s\n", "decoder", "total", "decoder", "runtime lib", "compressed")
 		for _, r := range rows {
@@ -49,6 +80,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		rep.Overhead = rows
 		fmt.Println("Section 5.3: Decoder Storage Overhead")
 		fmt.Printf("  %-26s %12s %12s %12s %9s\n", "scenario", "payload", "decoder", "archive", "overhead")
 		for _, r := range rows {
@@ -57,6 +89,30 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *pl || all {
+		rows, err := bench.PoolBench(*streams)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Pool = rows
+		fmt.Println("Pool: per-stream decoder setup, cold VM vs snapshot/reset pool")
+		fmt.Printf("  %-8s %8s %14s %14s %9s\n", "decoder", "streams", "cold/stream", "pooled/stream", "speedup")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %8d %14v %14v %8.1fx\n",
+				r.Codec, r.Streams, r.ColdPerStream.Round(10e3), r.PooledPerStream.Round(10e3), r.Speedup)
+		}
+		fmt.Println()
+	}
+	if *par || all {
+		row, err := bench.ParallelExtract(*entries, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Parallel = &row
+		fmt.Println("ExtractAll: serial vs parallel archived-decoder extraction")
+		fmt.Printf("  %d entries, %d workers: serial %v, parallel %v, %.1fx speedup (%d VM re-inits)\n\n",
+			row.Entries, row.Workers, row.Serial.Round(10e3), row.Parallel.Round(10e3), row.Speedup, row.Reinits)
+	}
 	if *f7 || all {
 		fmt.Println("Figure 7: Performance of Virtualized Decoders")
 		fmt.Println("  (interpreted VM; see EXPERIMENTS.md for the shape comparison)")
@@ -64,6 +120,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		rep.Fig7 = rows
 		fmt.Printf("  %-8s %10s %12s %12s %10s %9s\n", "decoder", "input", "native", "vx32", "slowdown", "MIPS")
 		for _, r := range rows {
 			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %9.1fx %9.1f",
@@ -74,6 +131,17 @@ func main() {
 			}
 			fmt.Println(line)
 		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxbench: wrote %s\n", *jsonPath)
 	}
 }
 

@@ -3,67 +3,186 @@
 // codec's built decoder (-codec name) or an ELF image from disk — e.g.
 // one extracted from an archive.
 //
+// With input files named on the command line, vxrun decodes each file to
+// <file>.out instead, fanning the streams out over -p worker goroutines
+// that draw decoder VMs from a shared snapshot/reset pool — the CLI face
+// of the parallel extraction engine.
+//
 // Usage:
 //
 //	vxrun -codec zlib < file.z > file
 //	vxrun decoder.elf < stream > out
+//	vxrun -codec zlib -p 4 a.z b.z c.z d.z    (writes a.z.out, ...)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 
 	"vxa"
 	"vxa/internal/codec"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 )
 
 func main() {
 	codecName := flag.String("codec", "", "run the named codec's VXA decoder")
 	mem := flag.Int("mem", 64, "guest memory in MiB")
 	verbose := flag.Bool("v", false, "show decoder diagnostics")
+	parallel := flag.Int("p", 0, "decode workers for file inputs (0 = all cores)")
 	flag.Parse()
 	_ = vxa.Codecs() // link the codec registry
 
+	name := *codecName
+	args := flag.Args()
 	var elf []byte
 	switch {
-	case *codecName != "":
-		c, ok := codec.ByName(*codecName)
+	case name != "":
+		c, ok := codec.ByName(name)
 		if !ok {
-			fatal(fmt.Errorf("unknown codec %q (have %v)", *codecName, codec.Names()))
+			fatal(fmt.Errorf("unknown codec %q (have %v)", name, codec.Names()))
 		}
 		var err error
 		elf, err = c.DecoderELF()
 		if err != nil {
 			fatal(err)
 		}
-	case flag.NArg() == 1:
+	case len(args) >= 1:
 		var err error
-		elf, err = os.ReadFile(flag.Arg(0))
+		elf, err = os.ReadFile(args[0])
 		if err != nil {
 			fatal(err)
 		}
+		name = args[0]
+		args = args[1:]
 	default:
-		fmt.Fprintln(os.Stderr, "usage: vxrun (-codec name | decoder.elf) < in > out")
+		fmt.Fprintln(os.Stderr, "usage: vxrun (-codec name | decoder.elf) [-p N] [input...]")
 		os.Exit(2)
 	}
+	cfg := vm.Config{MemSize: uint32(*mem) << 20}
 
-	input, err := io.ReadAll(os.Stdin)
-	if err != nil {
-		fatal(err)
+	// Filter mode: one stream, stdin to stdout.
+	if len(args) == 0 {
+		input, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := codec.RunDecoderELF(name, elf, input, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(out); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), len(out))
+		}
+		return
 	}
-	out, err := codec.RunDecoderELF(*codecName, elf, input, vm.Config{MemSize: uint32(*mem) << 20})
-	if err != nil {
-		fatal(err)
+
+	// File mode: decode every input through a pooled VM per worker.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if _, err := os.Stdout.Write(out); err != nil {
-		fatal(err)
+	if workers > len(args) {
+		workers = len(args)
 	}
+	pool := vmpool.New(vmpool.Options{VM: cfg, MaxIdlePerKey: workers})
+	jobs := make(chan string)
+	failed := make(chan struct{}, len(args))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				if err := decodeFile(pool, name, elf, path, *verbose); err != nil {
+					fmt.Fprintf(os.Stderr, "vxrun: %s: %v\n", path, err)
+					failed <- struct{}{}
+				}
+			}
+		}()
+	}
+	for _, path := range args {
+		jobs <- path
+	}
+	close(jobs)
+	wg.Wait()
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), len(out))
+		st := pool.Stats()
+		fmt.Fprintf(os.Stderr, "vxrun: %d files, %d workers; pool: %d snapshot, %d built, %d resumed\n",
+			len(args), workers, st.Snapshots, st.Builds, st.Resumes)
 	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+// decodeFile runs one input file through a leased decoder VM, streaming
+// the decoded output to <path>.out; a failed decode removes the partial
+// file.
+func decodeFile(pool *vmpool.Pool, name string, elf []byte, path string, verbose bool) error {
+	input, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dst := path + ".out"
+	f, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0644)
+	if err != nil {
+		return err
+	}
+	out := &countingWriter{w: f}
+	var stderr io.Writer
+	if verbose {
+		stderr = os.Stderr
+	}
+	lease, err := pool.Get(name, 0, func() ([]byte, error) { return elf, nil })
+	if err != nil {
+		f.Close()
+		os.Remove(dst)
+		return err
+	}
+	reusable, err := lease.VM().RunStream(bytes.NewReader(input), out, stderr, vm.StreamFuel(len(input)))
+	lease.Release(err == nil && reusable)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	// A failed host write surfaces as itself, not as the decoder abort
+	// it provokes — and never as a silently truncated output file.
+	if out.err != nil {
+		err = out.err
+	}
+	if err != nil {
+		os.Remove(dst)
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "vxrun: %s: %d -> %d bytes\n", path, len(input), out.n)
+	}
+	return nil
+}
+
+// countingWriter counts bytes written through to w and remembers the
+// first write error (the guest only sees a virtual EIO).
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return n, err
 }
 
 func fatal(err error) {

@@ -4,9 +4,13 @@
 // Usage:
 //
 //	vxunzip -l archive.zip             list contents
-//	vxunzip [-vxa] [-all] [-d dir] archive.zip   extract
+//	vxunzip [-vxa] [-all] [-p N] [-d dir] archive.zip   extract
 //	vxunzip -t archive.zip             integrity check (always uses the
 //	                                   archived VXA decoders, §2.3)
+//
+// Extraction and verification decode entries through a parallel worker
+// pipeline over pooled decoder VMs; -p bounds the worker count (0 means
+// one worker per core, 1 forces the serial path).
 package main
 
 import (
@@ -14,6 +18,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 
 	"vxa"
 )
@@ -25,9 +32,10 @@ func main() {
 	decodeAll := flag.Bool("all", false, "decode pre-compressed files to their raw form")
 	verbose := flag.Bool("v", false, "show decoder stderr diagnostics")
 	dir := flag.String("d", ".", "output directory")
+	parallel := flag.Int("p", 0, "extraction/verify workers (0 = all cores, 1 = serial)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vxunzip [-l|-t] [-vxa] [-all] [-v] [-d dir] archive.zip")
+		fmt.Fprintln(os.Stderr, "usage: vxunzip [-l|-t] [-vxa] [-all] [-v] [-p N] [-d dir] archive.zip")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -39,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := vxa.ExtractOptions{Mode: vxa.NativeFirst, DecodeAll: *decodeAll, ReuseVM: true}
+	opts := vxa.ExtractOptions{Mode: vxa.NativeFirst, DecodeAll: *decodeAll, ReuseVM: true, Parallel: *parallel}
 	if *forceVXA {
 		opts.Mode = vxa.AlwaysVXA
 	}
@@ -72,22 +80,93 @@ func main() {
 		}
 		os.Exit(1)
 	default:
-		for i := range r.Entries() {
-			e := &r.Entries()[i]
-			out, err := r.Extract(e, opts)
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", e.Name, err))
+		// Decode entries across a bounded worker pool, each streamed
+		// straight to its destination file — peak memory stays one
+		// stream per worker, not the whole decoded archive.
+		entries := r.Entries()
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(entries) {
+			workers = len(entries)
+		}
+		// Entries mapping to the same output path would have two workers
+		// interleaving writes into one file, so such archives extract
+		// serially (preserving the traditional last-writer-wins result).
+		// The comparison is case-insensitive so the fallback also covers
+		// case-insensitive filesystems (macOS, Windows).
+		if workers > 1 {
+			seen := make(map[string]bool, len(entries))
+			for i := range entries {
+				p := strings.ToLower(filepath.Clean(filepath.FromSlash(entries[i].Name)))
+				if seen[p] {
+					fmt.Fprintf(os.Stderr, "vxunzip: entries share output path %q; extracting serially\n", entries[i].Name)
+					workers = 1
+					break
+				}
+				seen[p] = true
 			}
-			dst := filepath.Join(*dir, filepath.FromSlash(e.Name))
-			if err := os.MkdirAll(filepath.Dir(dst), 0755); err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(dst, out, os.FileMode(e.Mode)); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("  extracted %s (%d bytes)\n", e.Name, len(out))
+		}
+		jobs := make(chan int)
+		errc := make(chan error, len(entries))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					e := &entries[i]
+					if err := extractEntry(r, e, *dir, opts); err != nil {
+						errc <- fmt.Errorf("%s: %w", e.Name, err)
+					}
+				}
+			}()
+		}
+		for i := range entries {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(errc)
+		failed := false
+		for err := range errc {
+			fmt.Fprintln(os.Stderr, "vxunzip:", err)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
 		}
 	}
+}
+
+// extractEntry streams one entry's decoded output to its destination
+// file; a failed extraction removes the partial file. Entry names are
+// untrusted: anything absolute or escaping the output directory
+// (zip-slip) is rejected.
+func extractEntry(r *vxa.Reader, e *vxa.Entry, dir string, opts vxa.ExtractOptions) error {
+	rel := filepath.FromSlash(e.Name)
+	if !filepath.IsLocal(rel) {
+		return fmt.Errorf("unsafe entry path %q", e.Name)
+	}
+	dst := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, os.FileMode(e.Mode))
+	if err != nil {
+		return err
+	}
+	n, err := r.ExtractTo(e, f, opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+		return err
+	}
+	fmt.Printf("  extracted %s (%d bytes)\n", e.Name, n)
+	return nil
 }
 
 func fatal(err error) {

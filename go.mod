@@ -1,0 +1,3 @@
+module vxa
+
+go 1.21

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"vxa/internal/bmp"
@@ -15,6 +16,7 @@ import (
 	"vxa/internal/core"
 	"vxa/internal/corpus"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 	"vxa/internal/wav"
 )
 
@@ -63,13 +65,13 @@ func Workloads() ([]Workload, error) {
 
 // Fig7Row is one decoder's virtualization-cost measurement.
 type Fig7Row struct {
-	Codec       string
-	InputBytes  int
-	Native      time.Duration
-	VX32        time.Duration
-	VX32NoCache time.Duration // §4.2 ablation: fragment cache disabled
-	Slowdown    float64       // VX32 / Native
-	GuestMIPS   float64       // guest instructions per second under VX32
+	Codec       string        `json:"codec"`
+	InputBytes  int           `json:"input_bytes"`
+	Native      time.Duration `json:"native_ns"`
+	VX32        time.Duration `json:"vx32_ns"`
+	VX32NoCache time.Duration `json:"vx32_nocache_ns,omitempty"` // §4.2 ablation: fragment cache disabled; omitted when not measured
+	Slowdown    float64       `json:"slowdown"`                  // VX32 / Native
+	GuestMIPS   float64       `json:"guest_mips"`                // guest instructions per second under VX32
 }
 
 // Fig7 measures native vs virtualized decode time for every codec.
@@ -132,7 +134,10 @@ func runVX(w Workload, cfg vm.Config) (steps uint64, dur time.Duration, err erro
 
 // Table1Row is one line of the decoder inventory.
 type Table1Row struct {
-	Codec, Desc, Output, Kind string
+	Codec  string `json:"codec"`
+	Desc   string `json:"desc"`
+	Output string `json:"output"`
+	Kind   string `json:"kind"`
 }
 
 // Table1 reproduces the decoder inventory table.
@@ -153,13 +158,13 @@ func Table1() []Table1Row {
 
 // Table2Row is one decoder's code-size accounting.
 type Table2Row struct {
-	Codec          string
-	Total          int // ELF executable bytes
-	DecoderBytes   int // text attributable to the decoder proper
-	RuntimeBytes   int // text attributable to the libvx runtime ("C library")
-	Compressed     int // deflate-compressed size, as stored in archives
-	DecoderPercent float64
-	RuntimePercent float64
+	Codec          string  `json:"codec"`
+	Total          int     `json:"total_bytes"`      // ELF executable bytes
+	DecoderBytes   int     `json:"decoder_bytes"`    // text attributable to the decoder proper
+	RuntimeBytes   int     `json:"runtime_bytes"`    // text attributable to the libvx runtime ("C library")
+	Compressed     int     `json:"compressed_bytes"` // deflate-compressed size, as stored in archives
+	DecoderPercent float64 `json:"decoder_percent"`
+	RuntimePercent float64 `json:"runtime_percent"`
 }
 
 // Table2 reproduces the decoder code-size table.
@@ -191,11 +196,11 @@ func Table2() ([]Table2Row, error) {
 
 // OverheadRow is one §5.3 storage-overhead scenario.
 type OverheadRow struct {
-	Scenario     string
-	PayloadBytes int
-	DecoderBytes int
-	ArchiveBytes int
-	OverheadPct  float64
+	Scenario     string  `json:"scenario"`
+	PayloadBytes int     `json:"payload_bytes"`
+	DecoderBytes int     `json:"decoder_bytes"`
+	ArchiveBytes int     `json:"archive_bytes"`
+	OverheadPct  float64 `json:"overhead_pct"`
 }
 
 // Overhead reproduces the §5.3 analysis: decoder storage cost amortized
@@ -252,4 +257,181 @@ func Overhead() ([]OverheadRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// smallWorkloads builds a reduced corpus for the per-stream pool
+// benchmark: inputs small enough that decoder setup is a visible
+// fraction of each stream.
+func smallWorkloads() ([]Workload, error) {
+	text := corpus.Text(1<<13, 1)
+	img := bmp.Encode(corpus.Image(48, 48, 2))
+	aud := wav.Encode(corpus.Audio(8820, 2, 3))
+
+	var out []Workload
+	for _, name := range paperCodecs {
+		c, ok := codec.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: codec %s not registered", name)
+		}
+		var raw []byte
+		switch c.Output {
+		case "BMP image":
+			raw = img
+		case "WAV audio":
+			raw = aud
+		default:
+			raw = text
+		}
+		var enc bytes.Buffer
+		if err := c.Encode(&enc, raw); err != nil {
+			return nil, fmt.Errorf("bench: %s encode: %w", name, err)
+		}
+		out = append(out, Workload{Codec: c, Raw: raw, Encoded: enc.Bytes()})
+	}
+	return out, nil
+}
+
+// PoolRow is one codec's per-stream decoder-setup measurement: a cold VM
+// constructed from the ELF for every stream versus a pooled VM restored
+// from the pristine snapshot.
+type PoolRow struct {
+	Codec           string        `json:"codec"`
+	Streams         int           `json:"streams"`
+	InputBytes      int           `json:"input_bytes"`
+	ColdPerStream   time.Duration `json:"cold_per_stream_ns"`
+	PooledPerStream time.Duration `json:"pooled_per_stream_ns"`
+	Speedup         float64       `json:"speedup"` // Cold / Pooled
+}
+
+// PoolBench measures snapshot/reset amortization: the same short stream
+// decoded `streams` times per codec, once with a fresh VM per stream
+// (re-parsing the decoder ELF each time) and once drawing VMs from a
+// vmpool. Alternating security modes forces the pool through its reset
+// path on every stream, so the pooled figure includes the copy-on-reset
+// cost, not just parked-VM resumes.
+func PoolBench(streams int) ([]PoolRow, error) {
+	if streams < 1 {
+		return nil, fmt.Errorf("bench: streams must be >= 1 (got %d)", streams)
+	}
+	ws, err := smallWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	cfg := vm.Config{MemSize: 64 << 20}
+	var rows []PoolRow
+	for _, w := range ws {
+		elf, err := w.Codec.DecoderELF()
+		if err != nil {
+			return nil, err
+		}
+		runStream := func(v *vm.VM) (bool, error) {
+			reusable, err := v.RunStream(bytes.NewReader(w.Encoded), io.Discard, nil, vm.StreamFuel(len(w.Encoded)))
+			if err != nil {
+				return false, fmt.Errorf("%s: %w", w.Codec.Name, err)
+			}
+			return reusable, nil
+		}
+
+		start := time.Now()
+		for i := 0; i < streams; i++ {
+			v, err := newVM(elf, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := runStream(v); err != nil {
+				return nil, err
+			}
+		}
+		cold := time.Since(start)
+
+		pool := vmpool.New(vmpool.Options{VM: cfg})
+		elfFn := func() ([]byte, error) { return elf, nil }
+		start = time.Now()
+		for i := 0; i < streams; i++ {
+			lease, err := pool.Get(w.Codec.Name, uint32(0600+i%2), elfFn)
+			if err != nil {
+				return nil, err
+			}
+			reusable, err := runStream(lease.VM())
+			if err != nil {
+				lease.Release(false)
+				return nil, err
+			}
+			lease.Release(reusable)
+		}
+		pooled := time.Since(start)
+
+		rows = append(rows, PoolRow{
+			Codec:           w.Codec.Name,
+			Streams:         streams,
+			InputBytes:      len(w.Raw),
+			ColdPerStream:   cold / time.Duration(streams),
+			PooledPerStream: pooled / time.Duration(streams),
+			Speedup:         float64(cold) / float64(pooled),
+		})
+	}
+	return rows, nil
+}
+
+// ParallelRow is the ExtractAll serial-vs-parallel measurement.
+type ParallelRow struct {
+	Entries  int           `json:"entries"`
+	Workers  int           `json:"workers"`
+	Serial   time.Duration `json:"serial_ns"`
+	Parallel time.Duration `json:"parallel_ns"`
+	Speedup  float64       `json:"speedup"` // Serial / Parallel
+	Reinits  int           `json:"reinits"` // pristine VM loads in the parallel run
+}
+
+// ParallelExtract builds an archive of `entries` deflate-coded text
+// files and times Reader.ExtractAll through the archived decoders,
+// serial versus `workers` workers (0 = GOMAXPROCS). Each run uses a
+// fresh Reader so neither sees the other's warm pool.
+func ParallelExtract(entries, workers int) (ParallelRow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var buf bytes.Buffer
+	w := core.NewWriter(&buf, core.WriterOptions{})
+	for i := 0; i < entries; i++ {
+		data := corpus.Text(1<<14, int64(i+1))
+		if err := w.AddFile(fmt.Sprintf("doc%03d.txt", i), data, 0644); err != nil {
+			return ParallelRow{}, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return ParallelRow{}, err
+	}
+
+	run := func(parallel int) (time.Duration, int, error) {
+		r, err := core.NewReader(buf.Bytes())
+		if err != nil {
+			return 0, 0, err
+		}
+		opts := core.ExtractOptions{Mode: core.AlwaysVXA, ReuseVM: true, Parallel: parallel}
+		start := time.Now()
+		for _, res := range r.ExtractAll(opts) {
+			if res.Err != nil {
+				return 0, 0, fmt.Errorf("%s: %w", res.Entry.Name, res.Err)
+			}
+		}
+		return time.Since(start), r.ReinitCount, nil
+	}
+
+	serial, _, err := run(1)
+	if err != nil {
+		return ParallelRow{}, err
+	}
+	parallel, reinits, err := run(workers)
+	if err != nil {
+		return ParallelRow{}, err
+	}
+	return ParallelRow{
+		Entries:  entries,
+		Workers:  workers,
+		Serial:   serial,
+		Parallel: parallel,
+		Speedup:  float64(serial) / float64(parallel),
+		Reinits:  reinits,
+	}, nil
 }

@@ -2,7 +2,9 @@ package codec
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 
 	"vxa/internal/elf32"
 	"vxa/internal/vm"
@@ -39,22 +41,47 @@ func (c *Codec) RunVXA(input []byte, cfg vm.Config) ([]byte, error) {
 // RunDecoderELF runs an arbitrary decoder executable (e.g. one loaded
 // from an archive rather than built locally) over one input stream.
 func RunDecoderELF(name string, elfBytes, input []byte, cfg vm.Config) ([]byte, error) {
-	v, err := elf32.NewVM(elfBytes, cfg)
-	if err != nil {
+	var out bytes.Buffer
+	if err := RunDecoderELFTo(name, elfBytes, input, &out, cfg); err != nil {
 		return nil, err
 	}
-	var out, diag bytes.Buffer
-	v.Stdin = bytes.NewReader(input)
-	v.Stdout = &out
-	v.Stderr = &diag
-	st, err := v.Run()
-	if err != nil {
-		return nil, &DecodeError{Codec: name, Trap: err, Stderr: diag.String()}
-	}
-	// The decoder protocol: "done" after a complete stream means success;
-	// exit(0) is also accepted. Any other exit is a decode failure.
-	if st == vm.StatusExit && v.ExitCode() != 0 {
-		return nil, &DecodeError{Codec: name, Code: v.ExitCode(), Stderr: diag.String()}
-	}
 	return out.Bytes(), nil
+}
+
+// RunDecoderELFTo is RunDecoderELF streaming the decoded output to w
+// instead of buffering it. On a decode error, partial output may already
+// have been written. The stream runs under the standard absolute
+// per-stream fuel budget (vm.StreamFuel) unless cfg.Fuel overrides it,
+// so a looping decoder is cut off on the cold path exactly as on the
+// pooled one.
+func RunDecoderELFTo(name string, elfBytes, input []byte, w io.Writer, cfg vm.Config) error {
+	v, err := elf32.NewVM(elfBytes, cfg)
+	if err != nil {
+		return err
+	}
+	fuel := cfg.Fuel
+	if fuel == 0 {
+		fuel = vm.StreamFuel(len(input))
+	}
+	var diag bytes.Buffer
+	if _, err := v.RunStream(bytes.NewReader(input), w, &diag, fuel); err != nil {
+		return ClassifyDecodeError(name, err, v.ExitCode(), diag.String())
+	}
+	return nil
+}
+
+// ClassifyDecodeError wraps a RunStream failure as a DecodeError per the
+// decoder protocol: "done" after a complete stream means success and
+// exit(0) is also accepted, so a failure is either a nonzero exit
+// (carried in Code) or a sandbox trap (carried in Trap). Both the cold
+// and the pooled decode paths classify through this one function.
+func ClassifyDecodeError(name string, err error, exitCode int32, stderr string) *DecodeError {
+	de := &DecodeError{Codec: name, Stderr: stderr}
+	var trap *vm.Trap
+	if !errors.As(err, &trap) && exitCode != 0 {
+		de.Code = exitCode
+	} else {
+		de.Trap = err
+	}
+	return de
 }

@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
+	"sync"
 
 	"vxa/internal/codec"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 	"vxa/internal/zipfile"
 )
 
@@ -187,14 +190,27 @@ type ExtractOptions struct {
 	// DecodeAll forces decoding of pre-compressed files to their
 	// uncompressed form instead of extracting them still compressed.
 	DecodeAll bool
-	// VM configures decoder virtual machines; zero means defaults.
+	// VM configures decoder virtual machines; zero means defaults. When
+	// VM.Fuel is set it becomes the absolute per-stream instruction
+	// budget; a stream never inherits leftovers from earlier streams.
+	// The first extraction that touches the VM pool fixes its
+	// configuration; later calls with a different VM config keep the
+	// pool's original one.
 	VM vm.Config
-	// ReuseVM keeps one VM per decoder alive across files with equal
-	// security attributes (§2.4); a change of attributes or a disabled
-	// flag re-initializes from the pristine decoder image.
+	// ReuseVM routes archived decoders through the reader's VM pool:
+	// files with equal security attributes resume a parked VM (§2.4),
+	// while an attribute change or a fresh worker re-initializes from
+	// the pristine decoder snapshot instead of re-parsing the ELF.
 	ReuseVM bool
 	// Verbose streams decoder stderr diagnostics to this writer.
+	// ExtractAll and Verify serialize concurrent writes to it; callers
+	// running their own goroutines over Extract must pass a
+	// concurrency-safe writer.
 	Verbose io.Writer
+	// Parallel bounds the worker count ExtractAll and Verify fan out
+	// to: 0 selects GOMAXPROCS, 1 forces serial operation. Single-entry
+	// calls (Extract, ExtractTo) are unaffected.
+	Parallel int
 }
 
 // Entry is one archived file as seen by the reader.
@@ -208,19 +224,23 @@ type Entry struct {
 	hdr           *zipfile.FileHeader
 }
 
-// Reader extracts VXA archives.
+// Reader extracts VXA archives. It is safe for concurrent use: any
+// number of goroutines may call Extract/ExtractTo/ExtractAll/Verify on
+// one Reader, sharing its decoder VM pool.
 type Reader struct {
 	zr      *zipfile.Reader
 	entries []Entry
 
-	// VM reuse state (§2.4).
-	vms         map[string]*reusableVM
-	ReinitCount int // statistics: how many times a pristine VM was loaded
-}
+	// VM reuse state (§2.4): a pool of decoder VMs keyed by
+	// (codec, security mode), created on first use.
+	mu   sync.Mutex
+	pool *vmpool.Pool
 
-type reusableVM struct {
-	v    *vm.VM
-	mode uint32 // security attributes the VM last touched
+	// ReinitCount is a statistic: how many times a pristine decoder
+	// image was loaded (cold ELF run, snapshot build or snapshot reset).
+	// It is consistent once extraction calls have returned; do not read
+	// it while extractions are in flight.
+	ReinitCount int
 }
 
 // NewReader opens an archive held in memory.
@@ -229,7 +249,7 @@ func NewReader(data []byte) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{zr: zr, vms: make(map[string]*reusableVM)}
+	r := &Reader{zr: zr}
 	for i := range zr.Files {
 		f := &zr.Files[i]
 		e := Entry{
@@ -255,59 +275,128 @@ var ErrNoDecoder = errors.New("core: no decoder available for entry")
 
 // Extract decodes one entry per the options and verifies its CRC-32.
 func (r *Reader) Extract(e *Entry, opts ExtractOptions) ([]byte, error) {
+	var out bytes.Buffer
+	if _, err := r.ExtractTo(e, &out, opts); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// ExtractTo decodes one entry, streaming the output to w, and returns
+// the number of bytes written. The CRC-32 is checked incrementally as
+// the decoder produces output; on a CRC or decode error, partial output
+// may already have been written to w (callers extracting to files should
+// remove the file on error).
+func (r *Reader) ExtractTo(e *Entry, w io.Writer, opts ExtractOptions) (int64, error) {
 	payload, err := r.zr.Payload(e.hdr)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 
 	// Stored entries: either plain stored files or pre-compressed media.
+	// The payload is on hand, so the CRC is checked before writing.
 	if e.Method == zipfile.MethodStore && (!e.PreCompressed || !opts.DecodeAll) {
 		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-			return nil, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+			return 0, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
 		}
-		return append([]byte(nil), payload...), nil
+		n, err := w.Write(payload)
+		return int64(n), err
 	}
 
-	out, err := r.decodeStream(e, payload, opts)
-	if err != nil {
-		return nil, err
-	}
 	// The archive CRC covers the original input. For pre-compressed
 	// entries being force-decoded, the CRC covers the compressed form
-	// (which we already have), so check that instead.
+	// (which we already have), so check that up front; decoding itself
+	// is the integrity check for the decoded form.
 	if e.PreCompressed {
 		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-			return nil, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+			return 0, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
 		}
-		return out, nil
+		cw := &countWriter{w: w}
+		if err := r.decodeStream(e, payload, opts, cw); err != nil {
+			return cw.n, cw.firstError(e, err)
+		}
+		return cw.n, nil
 	}
-	if crc32.ChecksumIEEE(out) != e.hdr.CRC32 {
-		return nil, fmt.Errorf("core: %s: decoded data CRC mismatch", e.Name)
+
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(crc, w)}
+	if err := r.decodeStream(e, payload, opts, cw); err != nil {
+		return cw.n, cw.firstError(e, err)
 	}
-	return out, nil
+	if crc.Sum32() != e.hdr.CRC32 {
+		return cw.n, fmt.Errorf("core: %s: decoded data CRC mismatch", e.Name)
+	}
+	return cw.n, nil
 }
 
-func (r *Reader) decodeStream(e *Entry, payload []byte, opts ExtractOptions) ([]byte, error) {
+// serializeWriter wraps w so concurrent workers can share it as decoder
+// stderr; nil passes through.
+func serializeWriter(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	return &lockedWriter{w: w}
+}
+
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// countWriter counts bytes passed through to w and remembers the first
+// write error, so a host-side failure (full disk, closed pipe) can be
+// reported as itself rather than as the decoder abort it provokes.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return n, err
+}
+
+// firstError prefers the host write error over the decode error it
+// triggered: the guest sees only a virtual EIO and aborts with its own
+// message, but the user needs the real cause.
+func (c *countWriter) firstError(e *Entry, decodeErr error) error {
+	if c.err != nil {
+		return fmt.Errorf("core: %s: write: %w", e.Name, c.err)
+	}
+	return decodeErr
+}
+
+func (r *Reader) decodeStream(e *Entry, payload []byte, opts ExtractOptions, out io.Writer) error {
 	// Native fast path (§2.3): method tag or codec name identifies a
-	// well-known algorithm with a native decoder.
+	// well-known algorithm with a native decoder. The attempt is
+	// buffered so a mid-stream native failure leaves out untouched for
+	// the archived-decoder fallback.
 	if opts.Mode == NativeFirst {
 		if c, ok := codec.ByName(e.Codec); ok && c.Decode != nil {
-			var out bytes.Buffer
-			if err := c.Decode(&out, bytes.NewReader(payload)); err == nil {
-				return out.Bytes(), nil
+			var buf bytes.Buffer
+			if err := c.Decode(&buf, bytes.NewReader(payload)); err == nil {
+				_, err := out.Write(buf.Bytes())
+				return err
 			}
 			// Native decoder failed: fall back to the archived decoder,
 			// exactly the contingency §2.3 describes.
 		}
 	}
 	if e.hdr.VXA == nil {
-		return nil, fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
+		return fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
 	}
-	elf, err := r.zr.Decoder(e.hdr.VXA.DecoderOffset)
-	if err != nil {
-		return nil, err
-	}
-	return r.runArchivedDecoder(e, elf, payload, opts)
+	return r.runArchivedDecoder(e, payload, opts, out)
 }
 
 // DefaultDecoderMemSize is the guest address space the reader gives
@@ -316,109 +405,234 @@ func (r *Reader) decodeStream(e *Entry, payload []byte, opts ExtractOptions) ([]
 // bare VM default (the paper's sandbox allows up to 1 GiB).
 const DefaultDecoderMemSize = 64 << 20
 
+// vmPool returns the reader's decoder pool, creating it on first use.
+// Like the VM configuration, the idle cap is fixed by the first call:
+// it is sized to the larger of that call's worker count and GOMAXPROCS,
+// so a Reader whose first pooled extraction is its most parallel one
+// never churns VMs through the discard path. A later call with a larger
+// Parallel keeps the original cap.
+func (r *Reader) vmPool(cfg vm.Config, parallel int) *vmpool.Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pool == nil {
+		idle := runtime.GOMAXPROCS(0)
+		if parallel > idle {
+			idle = parallel
+		}
+		r.pool = vmpool.New(vmpool.Options{VM: cfg, MaxIdlePerKey: idle})
+	}
+	return r.pool
+}
+
+// DrainVMs drops the pool's idle decoder VMs, releasing their guest
+// memory, and reports how many were dropped. Decoder snapshots are
+// kept, so later extractions stay cheap. Useful on a long-lived Reader
+// between bursts of extraction.
+func (r *Reader) DrainVMs() int {
+	r.mu.Lock()
+	p := r.pool
+	r.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.Drain()
+}
+
+// PoolStats reports the decoder pool's cumulative counters (zero before
+// the first ReuseVM extraction).
+func (r *Reader) PoolStats() vmpool.Stats {
+	r.mu.Lock()
+	p := r.pool
+	r.mu.Unlock()
+	if p == nil {
+		return vmpool.Stats{}
+	}
+	return p.Stats()
+}
+
+func (r *Reader) noteReinit() {
+	r.mu.Lock()
+	r.ReinitCount++
+	r.mu.Unlock()
+}
+
 // runArchivedDecoder executes the archived VXA decoder over the payload,
-// honouring the VM reuse policy.
-func (r *Reader) runArchivedDecoder(e *Entry, elf, payload []byte, opts ExtractOptions) ([]byte, error) {
+// streaming the decoded output to out and honouring the VM reuse policy.
+func (r *Reader) runArchivedDecoder(e *Entry, payload []byte, opts ExtractOptions, out io.Writer) error {
 	if opts.VM.MemSize == 0 {
 		opts.VM.MemSize = DefaultDecoderMemSize
 	}
+	// The decoder executable is fetched lazily: with the pool warm, the
+	// per-stream cost is a snapshot lookup, not an ELF decompress+parse.
+	elf := func() ([]byte, error) { return r.zr.Decoder(e.hdr.VXA.DecoderOffset) }
+
 	if !opts.ReuseVM {
-		r.ReinitCount++
-		return codec.RunDecoderELF(e.Codec, elf, payload, opts.VM)
-	}
-	ru := r.vms[e.Codec]
-	// Re-initialize with a pristine decoder image whenever the security
-	// attributes change (§2.4), so a malicious decoder cannot leak data
-	// from a protected file into a public one.
-	if ru == nil || ru.mode != e.Mode {
-		v, err := newDecoderVM(elf, opts)
+		elfBytes, err := elf()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r.ReinitCount++
-		ru = &reusableVM{v: v, mode: e.Mode}
-		r.vms[e.Codec] = ru
+		r.noteReinit()
+		return codec.RunDecoderELFTo(e.Codec, elfBytes, payload, out, opts.VM)
 	}
-	out, err := runOneStream(ru.v, payload, opts)
+
+	// Pooled path (§2.4): resume a parked VM for equal security
+	// attributes; an attribute change or a new worker re-initializes
+	// from the pristine snapshot, so a malicious decoder cannot leak
+	// data from a protected file into a public one. The pool key
+	// includes the decoder offset, not just the codec name: a foreign
+	// or merged archive may carry two different decoders under one
+	// name, and each must run in its own VM line.
+	poolKey := fmt.Sprintf("%s@%#x", e.Codec, e.hdr.VXA.DecoderOffset)
+	lease, err := r.vmPool(opts.VM, opts.Parallel).Get(poolKey, e.Mode, elf)
 	if err != nil {
-		// A trapped or exited VM is not reusable.
-		delete(r.vms, e.Codec)
-		return nil, &codec.DecodeError{Codec: e.Codec, Trap: err}
+		return err
 	}
-	return out, nil
+	if lease.Pristine() {
+		r.noteReinit()
+	}
+	reusable, err := runOneStream(lease.VM(), payload, out, opts)
+	if err != nil {
+		// A trapped or failed VM is not reusable. (Diagnostics stream
+		// to opts.Verbose live on this path rather than being captured.)
+		de := codec.ClassifyDecodeError(e.Codec, err, lease.VM().ExitCode(), "")
+		lease.Release(false)
+		return de
+	}
+	// A decoder that decoded the stream but exited instead of parking at
+	// the done gate succeeded; it just cannot serve another stream.
+	lease.Release(reusable)
+	return nil
 }
 
-func newDecoderVM(elf []byte, opts ExtractOptions) (*vm.VM, error) {
-	v, err := newVMFromELF(elf, opts.VM)
-	if err != nil {
-		return nil, err
+// streamFuel is the absolute instruction budget for decoding one stream,
+// so a reused VM cannot accumulate an unbounded budget (a looping
+// decoder is cut off no matter how many streams ran before it).
+// ExtractOptions.VM.Fuel, when set, overrides the standard policy.
+func streamFuel(payloadLen int, cfg vm.Config) int64 {
+	if cfg.Fuel != 0 {
+		return cfg.Fuel
 	}
-	v.Stderr = opts.Verbose
-	return v, nil
+	return vm.StreamFuel(payloadLen)
 }
 
 // runOneStream feeds one payload to a (possibly resumed) decoder VM and
-// collects the decoded stream, expecting the done protocol.
-func runOneStream(v *vm.VM, payload []byte, opts ExtractOptions) ([]byte, error) {
-	var out bytes.Buffer
-	v.Stdin = bytes.NewReader(payload)
-	v.Stdout = &out
-	v.AddFuel(int64(len(payload))*4096 + 1<<30)
-	st, err := v.Run()
-	if err != nil {
-		return nil, err
+// streams the decoded output; reusable reports whether the VM parked at
+// the done gate and can take another stream.
+func runOneStream(v *vm.VM, payload []byte, out io.Writer, opts ExtractOptions) (reusable bool, err error) {
+	return v.RunStream(bytes.NewReader(payload), out, opts.Verbose, streamFuel(len(payload), opts.VM))
+}
+
+// ExtractResult is one entry's outcome from ExtractAll.
+type ExtractResult struct {
+	Entry *Entry
+	Data  []byte
+	Err   error
+}
+
+// ExtractAll decodes every entry through a bounded worker pipeline
+// (opts.Parallel workers; 0 selects GOMAXPROCS) and returns one result
+// per entry, in archive order. Combined with ReuseVM, workers draw
+// decoder VMs from the shared pool, so each worker pays the decoder
+// setup cost at most once per (codec, mode).
+func (r *Reader) ExtractAll(opts ExtractOptions) []ExtractResult {
+	opts.Verbose = serializeWriter(opts.Verbose)
+	results := make([]ExtractResult, len(r.entries))
+	r.forEachEntry(opts.Parallel, func(i int) {
+		e := &r.entries[i]
+		data, err := r.Extract(e, opts)
+		results[i] = ExtractResult{Entry: e, Data: data, Err: err}
+	})
+	return results
+}
+
+// forEachEntry runs fn(i) for every entry index across a bounded pool of
+// workers. parallel <= 0 selects GOMAXPROCS; 1 degenerates to a serial
+// loop.
+func (r *Reader) forEachEntry(parallel int, fn func(i int)) {
+	n := parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	if st == vm.StatusExit && v.ExitCode() != 0 {
-		return nil, fmt.Errorf("decoder exit status %d", v.ExitCode())
+	if n > len(r.entries) {
+		n = len(r.entries)
 	}
-	if st == vm.StatusExit {
-		return nil, errors.New("decoder exited instead of signalling done; not reusable")
+	if n <= 1 {
+		for i := range r.entries {
+			fn(i)
+		}
+		return
 	}
-	return out.Bytes(), nil
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := range r.entries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // Verify runs the §2.3 integrity check over every entry: each file is
 // decoded with its archived VXA decoder (never a native one) and checked
-// against its CRC. It returns one error per failing entry.
+// against its CRC. Entries are verified by a bounded worker pipeline
+// (opts.Parallel workers; 0 selects GOMAXPROCS). It returns one error
+// per failing entry, in archive order.
 func (r *Reader) Verify(opts ExtractOptions) []error {
 	opts.Mode = AlwaysVXA
 	opts.DecodeAll = false
+	opts.Verbose = serializeWriter(opts.Verbose)
+	perEntry := make([]error, len(r.entries))
+	r.forEachEntry(opts.Parallel, func(i int) {
+		perEntry[i] = r.verifyEntry(&r.entries[i], opts)
+	})
 	var errs []error
-	for i := range r.entries {
-		e := &r.entries[i]
-		if e.Codec == "" {
-			// Stored entries: CRC only.
-			if _, err := r.Extract(e, opts); err != nil {
-				errs = append(errs, err)
-			}
-			continue
-		}
-		payload, err := r.zr.Payload(e.hdr)
+	for _, err := range perEntry {
 		if err != nil {
 			errs = append(errs, err)
-			continue
-		}
-		elf, err := r.zr.Decoder(e.hdr.VXA.DecoderOffset)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", e.Name, err))
-			continue
-		}
-		out, err := r.runArchivedDecoder(e, elf, payload, opts)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", e.Name, err))
-			continue
-		}
-		if e.PreCompressed {
-			if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-				errs = append(errs, fmt.Errorf("%s: stored CRC mismatch", e.Name))
-			}
-			continue // decoded form has no recorded CRC; decoding itself is the check
-		}
-		if crc32.ChecksumIEEE(out) != e.hdr.CRC32 {
-			errs = append(errs, fmt.Errorf("%s: decoded CRC mismatch", e.Name))
 		}
 	}
 	return errs
+}
+
+// verifyEntry checks one entry with its archived decoder. The decoded
+// stream is CRC-summed as it is produced and never buffered.
+func (r *Reader) verifyEntry(e *Entry, opts ExtractOptions) error {
+	if e.Codec == "" {
+		// Stored entries: CRC only, with the payload discarded unread.
+		_, err := r.ExtractTo(e, io.Discard, opts)
+		return err
+	}
+	payload, err := r.zr.Payload(e.hdr)
+	if err != nil {
+		return err
+	}
+	if e.PreCompressed {
+		// Decoded form has no recorded CRC; decoding itself is the
+		// check, plus the stored CRC over the compressed payload.
+		if err := r.runArchivedDecoder(e, payload, opts, io.Discard); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
+			return fmt.Errorf("%s: stored CRC mismatch", e.Name)
+		}
+		return nil
+	}
+	crc := crc32.NewIEEE()
+	if err := r.runArchivedDecoder(e, payload, opts, crc); err != nil {
+		return fmt.Errorf("%s: %w", e.Name, err)
+	}
+	if crc.Sum32() != e.hdr.CRC32 {
+		return fmt.Errorf("%s: decoded CRC mismatch", e.Name)
+	}
+	return nil
 }
 
 // LocalOffset returns the entry's local file header offset within the
@@ -438,5 +652,9 @@ func (r *Reader) ExtractDecodedForm(e *Entry, opts ExtractOptions) ([]byte, erro
 	if e.hdr.VXA == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
 	}
-	return r.decodeStream(e, payload, opts)
+	var out bytes.Buffer
+	if err := r.decodeStream(e, payload, opts, &out); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }

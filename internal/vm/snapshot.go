@@ -1,0 +1,163 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Snapshot is a frozen copy of a VM's architectural state: the accessible
+// memory image, registers, flags, sandbox bounds and (optionally) the
+// predecoded basic-block cache. It is the mechanism behind cheap decoder
+// reuse (§2.4): the reader captures one snapshot per decoder right after
+// ELF load, then materializes or re-pristines VMs from it per stream
+// instead of re-parsing the executable each time.
+//
+// A Snapshot is safe for concurrent use: many goroutines may NewVM/Reset
+// from the same snapshot at once. Decoded blocks are immutable after
+// construction, so they are shared, never copied.
+type Snapshot struct {
+	memSize uint32
+
+	// Only the accessible regions are stored: [0, brk) covers the
+	// never-mapped first page plus text/data/heap, and [stackBase,
+	// memSize) covers the stack. The guard gap between them is
+	// unreachable by the guest, so its contents never need restoring.
+	low  []byte // copy of mem[0:brk]
+	high []byte // copy of mem[stackBase:memSize]
+
+	regs               [8]uint32
+	eip                uint32
+	cf, zf, sf, of, pf bool
+
+	brk, roLimit, stackBase uint32
+	fuel                    int64
+	noCache                 bool
+
+	mu     sync.Mutex
+	blocks map[uint32]*block
+}
+
+// Snapshot captures the VM's current state. The usual call site is right
+// after elf32.Load, when the image is pristine; AbsorbBlocks can later
+// fold a warmed-up VM's translation cache into the snapshot.
+func (v *VM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		memSize: uint32(len(v.mem)),
+		low:     append([]byte(nil), v.mem[:v.brk]...),
+		high:    append([]byte(nil), v.mem[v.stackBase:]...),
+		regs:    v.regs,
+		eip:     v.eip,
+		cf:      v.cf, zf: v.zf, sf: v.sf, of: v.of, pf: v.pf,
+		brk:       v.brk,
+		roLimit:   v.roLimit,
+		stackBase: v.stackBase,
+		fuel:      v.fuel,
+		noCache:   v.noCache,
+		blocks:    make(map[uint32]*block, len(v.blocks)),
+	}
+	for addr, b := range v.blocks {
+		s.blocks[addr] = b
+	}
+	return s
+}
+
+// MemSize returns the guest address-space size the snapshot was taken at.
+func (s *Snapshot) MemSize() uint32 { return s.memSize }
+
+// blockMap returns a private copy of the snapshot's block cache. The
+// *block values are shared (immutable once built); only the map is fresh,
+// since each VM grows its own cache during execution.
+func (s *Snapshot) blockMap() map[uint32]*block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[uint32]*block, len(s.blocks))
+	for addr, b := range s.blocks {
+		m[addr] = b
+	}
+	return m
+}
+
+// NewVM materializes a fresh VM in the snapshot's state, including the
+// predecoded block cache — the fast path for spinning up one more decoder
+// instance for parallel extraction.
+func (s *Snapshot) NewVM() *VM {
+	v := &VM{mem: make([]byte, s.memSize)}
+	s.restore(v)
+	return v
+}
+
+// Reset rewinds an existing VM to the snapshot: every guest-visible
+// region is restored byte-for-byte, registers/flags/bounds/fuel return to
+// their captured values, and the I/O streams are detached so no writer
+// from a previous stream can leak into the next. Execution statistics
+// accumulate across resets. The VM must have the same memory size as the
+// snapshot.
+func (v *VM) Reset(s *Snapshot) error {
+	if uint32(len(v.mem)) != s.memSize {
+		return fmt.Errorf("vm: reset across memory sizes (%d != %d)", len(v.mem), s.memSize)
+	}
+	s.restore(v)
+	return nil
+}
+
+func (s *Snapshot) restore(v *VM) {
+	// Memory beyond the restored brk stays dirty but unreachable: the
+	// sandbox bounds make it inaccessible, and sysSetPerm re-zeroes any
+	// region before exposing it again.
+	copy(v.mem[:s.brk], s.low)
+	copy(v.mem[s.stackBase:], s.high)
+	v.regs = s.regs
+	v.eip = s.eip
+	v.cf, v.zf, v.sf, v.of, v.pf = s.cf, s.zf, s.sf, s.of, s.pf
+	v.brk = s.brk
+	v.roLimit = s.roLimit
+	v.stackBase = s.stackBase
+	v.fuel = s.fuel
+	v.noCache = s.noCache
+	v.blocks = s.blockMap()
+	v.exitCode = 0
+	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil
+}
+
+// AbsorbBlocks folds v's decoded block cache into the snapshot so that
+// future NewVM/Reset calls start with a warm translation cache. Only
+// blocks that lie entirely inside the read-only region below the
+// snapshot's roLimit are taken: those bytes cannot have changed since the
+// snapshot, so the decoded fragments are valid for the pristine image.
+func (s *Snapshot) AbsorbBlocks(v *VM) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for addr, b := range v.blocks {
+		if _, ok := s.blocks[addr]; ok {
+			continue
+		}
+		n := len(b.insts)
+		if n == 0 {
+			continue
+		}
+		end := b.addrs[n-1] + uint32(b.insts[n-1].Len)
+		if addr >= PageSize && end <= s.roLimit {
+			s.blocks[addr] = b
+		}
+	}
+}
+
+// BlockCount reports how many decoded fragments the snapshot carries
+// (exposed for the evaluation harness).
+func (s *Snapshot) BlockCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// SetFuel sets the remaining instruction budget to an absolute value —
+// the per-stream discipline: each stream gets exactly its own budget,
+// never the leftovers of earlier streams.
+func (v *VM) SetFuel(n int64) { v.fuel = n }
+
+// StreamFuel is the standard absolute per-stream instruction budget for
+// decoding a payload of n bytes: generous per input byte plus a flat
+// floor, but never carried over between streams. Every per-stream
+// consumer (the archive reader, vxrun, the benchmarks) budgets through
+// this one function so the policy cannot silently diverge.
+func StreamFuel(n int) int64 { return int64(n)*4096 + 1<<30 }

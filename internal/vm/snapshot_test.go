@@ -1,0 +1,190 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"vxa/internal/x86"
+	"vxa/internal/x86/asm"
+)
+
+// counterProgram is a multi-stream guest with observable state: each
+// stream writes the 4-byte counter to stdout, increments it, and signals
+// done. Without a reset, successive streams see 0, 1, 2, ...
+func counterProgram(u *asm.Unit) {
+	u.DefBSS("ctr", 4, 4)
+	u.Label("start")
+	u.Label("loop")
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysWrite))
+	u.Op2(x86.MOV, x86.R(x86.EBX), x86.I(1))
+	u.Op2(x86.MOV, x86.R(x86.ECX), x86.ISym("ctr"))
+	u.Op2(x86.MOV, x86.R(x86.EDX), x86.I(4))
+	u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	u.Op2(x86.MOV, x86.R(x86.ECX), x86.ISym("ctr"))
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.M(x86.ECX, 0))
+	u.Op1(x86.INC, x86.R(x86.EAX))
+	u.Op2(x86.MOV, x86.M(x86.ECX, 0), x86.R(x86.EAX))
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysDone))
+	u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	u.Jmp("loop")
+}
+
+func runStream(t *testing.T, v *VM) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	v.Stdout = &out
+	if st, err := v.Run(); err != nil || st != StatusDone {
+		t.Fatalf("run: st=%v err=%v", st, err)
+	}
+	return out.Bytes()
+}
+
+func counterValue(t *testing.T, out []byte) uint32 {
+	t.Helper()
+	if len(out) != 4 {
+		t.Fatalf("stream wrote %d bytes, want 4", len(out))
+	}
+	return uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24
+}
+
+// TestSnapshotReset: a reset rewinds guest memory, registers and bounds
+// to the captured image, erasing everything later streams did.
+func TestSnapshotReset(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, counterProgram)
+	snap := v.Snapshot()
+
+	if got := counterValue(t, runStream(t, v)); got != 0 {
+		t.Fatalf("stream 1 counter = %d, want 0", got)
+	}
+	if got := counterValue(t, runStream(t, v)); got != 1 {
+		t.Fatalf("stream 2 counter = %d, want 1 (no reset)", got)
+	}
+
+	if err := v.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stdin != nil || v.Stdout != nil || v.Stderr != nil {
+		t.Fatal("reset must detach the I/O streams")
+	}
+	if got := counterValue(t, runStream(t, v)); got != 0 {
+		t.Fatalf("post-reset counter = %d, want 0 (state leaked)", got)
+	}
+	if v.EIP() == snap.eip {
+		// The VM is parked after the done gate; only right after Reset
+		// should it sit at the snapshot entry again.
+		t.Fatal("expected the VM to have advanced past the entry point")
+	}
+}
+
+// TestSnapshotRestoresBounds: heap growth (setperm) is rolled back.
+func TestSnapshotRestoresBounds(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, func(u *asm.Unit) {
+		u.Label("start")
+		u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysSetPerm))
+		u.Op2(x86.MOV, x86.R(x86.EBX), x86.I(PageSize))
+		u.Op2(x86.MOV, x86.R(x86.ECX), x86.I(1<<20))
+		u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+		u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysDone))
+		u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	})
+	snap := v.Snapshot()
+	brk0 := v.Brk()
+	v.Stdout = &bytes.Buffer{}
+	if st, err := v.Run(); err != nil || st != StatusDone {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if v.Brk() <= brk0 {
+		t.Fatalf("setperm did not grow the heap (brk=%#x)", v.Brk())
+	}
+	if err := v.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v.Brk() != brk0 {
+		t.Fatalf("post-reset brk = %#x, want %#x", v.Brk(), brk0)
+	}
+}
+
+// TestSnapshotNewVM: VMs materialized from one snapshot are independent.
+func TestSnapshotNewVM(t *testing.T) {
+	v1, _ := buildVM(t, Config{}, nil, counterProgram)
+	snap := v1.Snapshot()
+
+	runStream(t, v1)
+	runStream(t, v1) // v1's counter is now 2
+
+	v2 := snap.NewVM()
+	if got := counterValue(t, runStream(t, v2)); got != 0 {
+		t.Fatalf("fresh-from-snapshot counter = %d, want 0", got)
+	}
+	if got := counterValue(t, runStream(t, v1)); got != 2 {
+		t.Fatalf("original VM counter = %d, want 2 (snapshot VMs must not alias)", got)
+	}
+}
+
+// TestAbsorbBlocks: read-only-text fragments decoded by one VM warm the
+// snapshot, so later VMs start with a populated translation cache.
+func TestAbsorbBlocks(t *testing.T) {
+	v1, _ := buildVM(t, Config{}, nil, counterProgram)
+	snap := v1.Snapshot()
+	if snap.BlockCount() != 0 {
+		t.Fatalf("pristine snapshot has %d blocks", snap.BlockCount())
+	}
+	runStream(t, v1)
+	snap.AbsorbBlocks(v1)
+	if snap.BlockCount() == 0 {
+		t.Fatal("AbsorbBlocks picked up nothing from a warmed-up VM")
+	}
+
+	v2 := snap.NewVM()
+	runStream(t, v2)
+	if built := v2.Stats().BlocksBuilt; built != 0 {
+		t.Fatalf("warm-cache VM built %d blocks, want 0", built)
+	}
+}
+
+// TestSetFuel: the budget is absolute, not additive.
+func TestSetFuel(t *testing.T) {
+	v, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetFuel(7)
+	v.SetFuel(7)
+	if v.FuelRemaining() != 7 {
+		t.Fatalf("fuel = %d, want 7 (SetFuel must not accumulate)", v.FuelRemaining())
+	}
+	v.AddFuel(3)
+	if v.FuelRemaining() != 10 {
+		t.Fatalf("fuel = %d, want 10", v.FuelRemaining())
+	}
+}
+
+// TestFuelBudgetEnforced: a looping guest with a tiny absolute budget
+// stops with a fuel trap.
+func TestFuelBudgetEnforced(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, func(u *asm.Unit) {
+		u.Label("start")
+		u.Label("spin")
+		u.Jmp("spin")
+	})
+	v.SetFuel(100)
+	_, err := v.Run()
+	if k, ok := trapKind(err); !ok || k != TrapFuel {
+		t.Fatalf("err = %v, want fuel trap", err)
+	}
+}
+
+// TestResetSizeMismatch: restoring across address-space sizes is refused.
+func TestResetSizeMismatch(t *testing.T) {
+	small, err := New(Config{MemSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(Config{MemSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Reset(small.Snapshot()); err == nil {
+		t.Fatal("reset across memory sizes must fail")
+	}
+}

@@ -1,0 +1,27 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunStream drives one stream of the VXA decoder protocol on v: attach
+// the stream's I/O, set the absolute per-stream fuel budget, and run
+// until the decoder parks at the done gate or exits. A decoder that
+// calls exit(0) has decoded its stream successfully — single-stream
+// decoders are allowed to end that way (§4.3) — but cannot take another
+// stream, so reusable is false. Every per-stream entry point (the
+// archive reader, vxrun, the benchmarks) routes through this one
+// function so the protocol cannot diverge between callers.
+func (v *VM) RunStream(stdin io.Reader, stdout, stderr io.Writer, fuel int64) (reusable bool, err error) {
+	v.Stdin, v.Stdout, v.Stderr = stdin, stdout, stderr
+	v.SetFuel(fuel)
+	st, err := v.Run()
+	if err != nil {
+		return false, err
+	}
+	if st == StatusExit && v.ExitCode() != 0 {
+		return false, fmt.Errorf("decoder exit status %d", v.ExitCode())
+	}
+	return st == StatusDone, nil
+}

@@ -1,0 +1,268 @@
+// Package vmpool is a concurrency-safe pool of decoder virtual machines,
+// the engine behind parallel archive extraction. It amortizes the §2.4
+// decoder setup cost at two levels:
+//
+//   - Per codec, the decoder ELF is parsed exactly once into a pristine
+//     vm.Snapshot (memory image, registers, sandbox bounds and, once the
+//     first stream has run, the predecoded basic-block cache).
+//   - Per (codec, security mode) key, idle VMs parked at the done gate
+//     are kept and resumed in place for the next stream — the paper's
+//     VM-reuse policy. A VM last used under different security
+//     attributes is never resumed: it is first rewound to the pristine
+//     snapshot, so no decoder state can leak between protection domains.
+//
+// Get hands out a Lease; the caller runs exactly one stream on the
+// leased VM and returns it with Release. The pool never runs guest code
+// itself.
+package vmpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+)
+
+// Key identifies one reuse class: VMs are interchangeable only within
+// the same decoder and the same security attributes (§2.4).
+type Key struct {
+	Codec string
+	Mode  uint32 // Unix permission bits, the archive's security attributes
+}
+
+// Options configure a Pool.
+type Options struct {
+	// VM is the per-VM configuration (memory size, fuel, cache policy).
+	// All VMs in the pool share it; the zero value selects vm defaults.
+	VM vm.Config
+	// MaxIdlePerKey bounds how many idle VMs are retained per key;
+	// returning a VM beyond the bound drops it. 0 selects GOMAXPROCS.
+	MaxIdlePerKey int
+}
+
+// Stats are cumulative pool counters.
+type Stats struct {
+	Snapshots int // decoder ELFs parsed into a pristine snapshot
+	Builds    int // VMs materialized fresh from a snapshot
+	Resets    int // idle VMs rewound to the pristine snapshot
+	Resumes   int // idle VMs resumed in place (same key, no reset)
+	Discards  int // VMs dropped (trapped, exited, or over the idle bound)
+}
+
+// Pool is a concurrency-safe VM pool. The zero value is not usable; use
+// New.
+type Pool struct {
+	opts Options
+
+	mu    sync.Mutex
+	codec map[string]*codecState
+	idle  map[Key][]*vm.VM
+	stats Stats
+}
+
+// codecState is the per-codec snapshot, built once under once. spare and
+// warmed are guarded by the pool mutex (after once has completed).
+type codecState struct {
+	once sync.Once
+	snap *vm.Snapshot
+	err  error
+
+	// spare is the VM the snapshot was captured from: byte-identical to
+	// the snapshot state, it is handed to the first lease instead of
+	// paying a second full-image allocation.
+	spare *vm.VM
+	// warmed records that a finished stream's block cache has been
+	// absorbed into the snapshot; later releases skip the scan.
+	warmed bool
+}
+
+// New creates an empty pool.
+func New(opts Options) *Pool {
+	if opts.MaxIdlePerKey <= 0 {
+		opts.MaxIdlePerKey = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		opts:  opts,
+		codec: make(map[string]*codecState),
+		idle:  make(map[Key][]*vm.VM),
+	}
+}
+
+// Lease is one checked-out VM. The holder runs exactly one stream on it
+// and must call Release exactly once: Release(true) for a VM parked at
+// the done gate, Release(false) for one that trapped or exited.
+type Lease struct {
+	p        *Pool
+	v        *vm.VM
+	key      Key
+	pristine bool
+	done     bool
+}
+
+// VM returns the leased machine.
+func (l *Lease) VM() *vm.VM { return l.v }
+
+// Pristine reports whether this lease handed out a VM in the pristine
+// decoder image (fresh build or reset) rather than one resumed in place —
+// the datum behind the reader's ReinitCount statistic.
+func (l *Lease) Pristine() bool { return l.pristine }
+
+// Get returns a VM ready to decode one stream for (codec, mode). codec
+// is an opaque decoder identity key — callers embedding decoders from an
+// archive should include the decoder's storage offset in it, so two
+// decoders sharing a name never share a VM line. The elf callback
+// supplies the decoder executable; it is invoked only the first time a
+// codec key is seen, so callers can defer the (possibly expensive) fetch
+// from the archive.
+//
+// Preference order: an idle VM for the same key resumed in place; the
+// pristine VM the snapshot was captured from; an idle VM from another
+// security mode, rewound to the pristine snapshot; a VM materialized
+// fresh from the snapshot.
+func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Lease, error) {
+	key := Key{Codec: codec, Mode: mode}
+
+	p.mu.Lock()
+	cs := p.codec[codec]
+	if cs == nil {
+		cs = &codecState{}
+		p.codec[codec] = cs
+	}
+	p.mu.Unlock()
+
+	// Build the pristine snapshot once per codec, outside the pool lock:
+	// ELF fetch + parse + image copy can be slow and must not serialize
+	// unrelated codecs.
+	cs.once.Do(func() {
+		elfBytes, err := elf()
+		if err != nil {
+			cs.err = err
+			return
+		}
+		v, err := elf32.NewVM(elfBytes, p.opts.VM)
+		if err != nil {
+			cs.err = err
+			return
+		}
+		cs.snap = v.Snapshot()
+		cs.spare = v
+		p.mu.Lock()
+		p.stats.Snapshots++
+		p.mu.Unlock()
+	})
+	if cs.err != nil {
+		return nil, fmt.Errorf("vmpool: decoder %s: %w", codec, cs.err)
+	}
+
+	p.mu.Lock()
+	// Same key: resume the parked VM without touching its state.
+	if vs := p.idle[key]; len(vs) > 0 {
+		v := vs[len(vs)-1]
+		p.idle[key] = vs[:len(vs)-1]
+		p.stats.Resumes++
+		p.mu.Unlock()
+		return &Lease{p: p, v: v, key: key}, nil
+	}
+	// The snapshot's own source VM is still pristine: first lease takes
+	// it for free.
+	if cs.spare != nil {
+		v := cs.spare
+		cs.spare = nil
+		p.stats.Builds++
+		p.mu.Unlock()
+		return &Lease{p: p, v: v, key: key, pristine: true}, nil
+	}
+	// Same codec, different mode: steal an idle VM and rewind it to the
+	// pristine image, the §2.4 attribute-change re-initialization.
+	for k, vs := range p.idle {
+		if k.Codec != codec || len(vs) == 0 {
+			continue
+		}
+		v := vs[len(vs)-1]
+		p.idle[k] = vs[:len(vs)-1]
+		p.stats.Resets++
+		p.mu.Unlock()
+		if err := v.Reset(cs.snap); err != nil {
+			return nil, err
+		}
+		return &Lease{p: p, v: v, key: key, pristine: true}, nil
+	}
+	p.stats.Builds++
+	p.mu.Unlock()
+	return &Lease{p: p, v: cs.snap.NewVM(), key: key, pristine: true}, nil
+}
+
+// Release returns the leased VM to the pool. reusable says the stream
+// ended with the done gate and the VM is parked, ready for another
+// stream; a VM that trapped or exited is not reusable and is dropped.
+// The VM's I/O streams are detached either way.
+func (l *Lease) Release(reusable bool) {
+	if l.done {
+		return
+	}
+	l.done = true
+	v := l.v
+	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil
+
+	p := l.p
+	// First return of a warmed-up VM: fold its translation cache into
+	// the snapshot so every future build/reset starts warm. Done once
+	// per codec, outside the pool lock, and before the VM re-enters the
+	// idle list (no other goroutine can be running it here).
+	p.mu.Lock()
+	cs := p.codec[l.key.Codec]
+	absorb := reusable && cs != nil && cs.snap != nil && !cs.warmed
+	if absorb {
+		cs.warmed = true
+	}
+	p.mu.Unlock()
+	if absorb {
+		cs.snap.AbsorbBlocks(v)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !reusable || len(p.idle[l.key]) >= p.opts.MaxIdlePerKey {
+		p.stats.Discards++
+		return
+	}
+	p.idle[l.key] = append(p.idle[l.key], v)
+}
+
+// Stats returns a copy of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Drain drops every idle VM, releasing their guest memory, and returns
+// how many were dropped. The pool stays usable: snapshots are retained,
+// so later streams re-materialize VMs cheaply. Call it when a burst of
+// extraction is over and the owner will stay alive (e.g. a long-lived
+// serving Reader).
+func (p *Pool) Drain() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for k, vs := range p.idle {
+		n += len(vs)
+		p.stats.Discards += len(vs)
+		delete(p.idle, k)
+	}
+	return n
+}
+
+// IdleCount reports how many idle VMs the pool currently retains across
+// all keys (exposed for tests and monitoring).
+func (p *Pool) IdleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, vs := range p.idle {
+		n += len(vs)
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package vmpool
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"vxa/internal/vm"
+	"vxa/internal/vxcc"
+)
+
+// leakySrc is a hostile multi-stream decoder: each stream first echoes
+// whatever its static buffer held before (i.e. the previous stream's
+// data), then records the new stream into the buffer. Run back-to-back
+// without a reset it leaks stream N-1 into stream N's output — exactly
+// the channel the §2.4 attribute-change re-initialization must close.
+const leakySrc = `
+byte secret[64];
+int main(void) {
+	while (1) {
+		__stdio_reset();
+		putn(secret, 64);
+		int i;
+		for (i = 0; i < 64; i++) {
+			int c = getb();
+			if (c < 0) c = 0;
+			secret[i] = (byte)c;
+		}
+		vxa_done();
+	}
+	return 0;
+}`
+
+// echoSrc copies each stream through unchanged.
+const echoSrc = `
+int main(void) {
+	while (1) {
+		__stdio_reset();
+		int c;
+		while ((c = getb()) >= 0) putb(c);
+		vxa_done();
+	}
+	return 0;
+}`
+
+func compile(t testing.TB, src string) func() ([]byte, error) {
+	t.Helper()
+	build, err := vxcc.Compile(vxcc.Options{}, vxcc.Source{Name: "test.vxc", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() ([]byte, error) { return build.ELF, nil }
+}
+
+// runStream drives one stream on a leased VM and returns its output.
+func runStream(t testing.TB, l *Lease, input []byte) []byte {
+	t.Helper()
+	v := l.VM()
+	var out bytes.Buffer
+	v.Stdin = bytes.NewReader(input)
+	v.Stdout = &out
+	st, err := v.Run()
+	if err != nil {
+		l.Release(false)
+		t.Fatal(err)
+	}
+	if st != vm.StatusDone {
+		l.Release(false)
+		t.Fatalf("decoder exited (status %v) instead of signalling done", st)
+	}
+	return out.Bytes()
+}
+
+// TestModeIsolation proves both halves of the §2.4 policy: same-key
+// leases resume the parked VM (decoder state intentionally persists),
+// and a mode change hands out a pristine image (nothing persists).
+func TestModeIsolation(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
+	elf := compile(t, leakySrc)
+	zeros := make([]byte, 64)
+	aaaa := bytes.Repeat([]byte("A"), 64)
+	bbbb := bytes.Repeat([]byte("B"), 64)
+
+	l1, err := p.Get("leaky", 0600, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l1.Pristine() {
+		t.Fatal("first lease must be pristine")
+	}
+	if got := runStream(t, l1, aaaa); !bytes.Equal(got, zeros) {
+		t.Fatalf("pristine VM emitted %q, want zeros", got)
+	}
+	l1.Release(true)
+
+	// Same key: the parked VM resumes, and the previous stream's data is
+	// visible — that is what "reuse within equal attributes" means.
+	l2, err := p.Get("leaky", 0600, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Pristine() {
+		t.Fatal("same-key lease should resume, not re-init")
+	}
+	if got := runStream(t, l2, bbbb); !bytes.Equal(got, aaaa) {
+		t.Fatalf("resumed VM emitted %q, want the previous stream's %q", got, aaaa)
+	}
+	l2.Release(true)
+
+	// Different security mode: the idle VM is rewound to the pristine
+	// snapshot; stream B's secret must be gone.
+	l3, err := p.Get("leaky", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l3.Pristine() {
+		t.Fatal("mode change must hand out a pristine image")
+	}
+	if got := runStream(t, l3, zeros); !bytes.Equal(got, zeros) {
+		t.Fatalf("reset VM leaked %q across security modes", got)
+	}
+	l3.Release(true)
+
+	st := p.Stats()
+	if st.Snapshots != 1 || st.Builds != 1 || st.Resumes != 1 || st.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 snapshot / 1 build / 1 resume / 1 reset", st)
+	}
+}
+
+// TestConcurrentLeases hammers one pool from many goroutines across two
+// security modes; run with -race. Every stream must come back verbatim
+// through its own VM.
+func TestConcurrentLeases(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
+	elf := compile(t, echoSrc)
+
+	const workers = 8
+	const streams = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mode := uint32(0600)
+			if w%2 == 0 {
+				mode = 0644
+			}
+			for i := 0; i < streams; i++ {
+				input := bytes.Repeat([]byte{byte('a' + w)}, 128+i)
+				l, err := p.Get("echo", mode, elf)
+				if err != nil {
+					errc <- err
+					return
+				}
+				v := l.VM()
+				var out bytes.Buffer
+				v.Stdin = bytes.NewReader(input)
+				v.Stdout = &out
+				st, err := v.Run()
+				if err != nil || st != vm.StatusDone {
+					l.Release(false)
+					errc <- fmt.Errorf("worker %d stream %d: st=%v err=%v", w, i, st, err)
+					return
+				}
+				l.Release(true)
+				if !bytes.Equal(out.Bytes(), input) {
+					errc <- fmt.Errorf("worker %d stream %d: echo mismatch", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Snapshots != 1 {
+		t.Fatalf("snapshots = %d, want 1 (one ELF parse total)", st.Snapshots)
+	}
+	if st.Builds+st.Resets+st.Resumes != workers*streams {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+}
+
+// TestIdleBound: the pool retains at most MaxIdlePerKey VMs per key.
+func TestIdleBound(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}, MaxIdlePerKey: 1})
+	elf := compile(t, echoSrc)
+	var leases []*Lease
+	for i := 0; i < 3; i++ {
+		l, err := p.Get("echo", 0644, elf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runStream(t, l, []byte("x"))
+		leases = append(leases, l)
+	}
+	for _, l := range leases {
+		l.Release(true)
+	}
+	if p.IdleCount() != 1 {
+		t.Fatalf("idle = %d, want 1", p.IdleCount())
+	}
+	if p.Stats().Discards != 2 {
+		t.Fatalf("discards = %d, want 2", p.Stats().Discards)
+	}
+}
+
+// TestDoubleReleaseAndBadELF: Release is idempotent and a failing ELF
+// fetch surfaces (and stays) as an error for the codec.
+func TestDoubleReleaseAndBadELF(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
+	l, err := p.Get("echo", 0644, compile(t, echoSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStream(t, l, nil)
+	l.Release(true)
+	l.Release(true)
+	if p.IdleCount() != 1 {
+		t.Fatalf("double release duplicated the VM: idle = %d", p.IdleCount())
+	}
+
+	if _, err := p.Get("broken", 0644, func() ([]byte, error) {
+		return nil, fmt.Errorf("no such decoder")
+	}); err == nil {
+		t.Fatal("want error from failing elf fetch")
+	}
+	// The elf callback must not be retried: the failure is cached.
+	if _, err := p.Get("broken", 0644, func() ([]byte, error) {
+		t.Fatal("elf callback retried after cached failure")
+		return nil, nil
+	}); err == nil {
+		t.Fatal("want cached error")
+	}
+}
+
+// TestDrain: idle VMs are droppable without losing the snapshot.
+func TestDrain(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
+	elf := compile(t, echoSrc)
+	l, err := p.Get("echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStream(t, l, []byte("x"))
+	l.Release(true)
+	if n := p.Drain(); n != 1 {
+		t.Fatalf("drained %d VMs, want 1", n)
+	}
+	if p.IdleCount() != 0 {
+		t.Fatalf("idle = %d after drain", p.IdleCount())
+	}
+	// The snapshot survives: the next stream needs no new ELF parse.
+	l2, err := p.Get("echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runStream(t, l2, []byte("y")); !bytes.Equal(got, []byte("y")) {
+		t.Fatalf("post-drain stream = %q", got)
+	}
+	l2.Release(true)
+	if p.Stats().Snapshots != 1 {
+		t.Fatalf("snapshots = %d after drain, want 1", p.Stats().Snapshots)
+	}
+}

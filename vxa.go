@@ -31,6 +31,7 @@ import (
 
 	"vxa/internal/codec"
 	"vxa/internal/core"
+	"vxa/internal/vmpool"
 
 	// Register the standard codec set (Table 1): general-purpose
 	// deflate/zlib/bwt, still images dct/haar, audio lpc/adpcm, and the
@@ -49,7 +50,10 @@ type (
 	WriterOptions = core.WriterOptions
 	// Writer creates VXA archives.
 	Writer = core.Writer
-	// Reader extracts VXA archives.
+	// Reader extracts VXA archives. A Reader is safe for concurrent
+	// use; Reader.ExtractAll and Reader.Verify fan out across a bounded
+	// worker pipeline (ExtractOptions.Parallel), drawing sandboxed
+	// decoder VMs from a shared snapshot/reset pool.
 	Reader = core.Reader
 	// Entry is one archived file.
 	Entry = core.Entry
@@ -57,6 +61,11 @@ type (
 	ExtractOptions = core.ExtractOptions
 	// ExtractMode selects native-first or always-VXA decoding.
 	ExtractMode = core.ExtractMode
+	// ExtractResult is one entry's outcome from Reader.ExtractAll.
+	ExtractResult = core.ExtractResult
+	// PoolStats are the decoder VM pool's cumulative counters, from
+	// Reader.PoolStats.
+	PoolStats = vmpool.Stats
 )
 
 // Extraction modes.

@@ -150,3 +150,51 @@ func TestFig7Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelPublicAPI exercises the concurrent engine end to end
+// through the public surface: ExtractAll over the worker pipeline with
+// pooled VMs, streamed verification, and the pool counters.
+func TestParallelPublicAPI(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{})
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i), ' '}, 3000+200*i)
+		name := string(rune('a'+i)) + ".txt"
+		if err := w.AddFile(name, data, 0644); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: 4}
+	results := r.ExtractAll(opts)
+	if len(results) != len(want) {
+		t.Fatalf("results = %d, want %d", len(results), len(want))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Entry.Name, res.Err)
+		}
+		if !bytes.Equal(res.Data, want[i]) {
+			t.Fatalf("%s: content mismatch", res.Entry.Name)
+		}
+	}
+	if errs := r.Verify(opts); len(errs) != 0 {
+		t.Fatalf("parallel verify: %v", errs)
+	}
+	st := r.PoolStats()
+	if st.Snapshots != 1 {
+		t.Fatalf("pool stats %+v: want exactly one decoder snapshot", st)
+	}
+	if st.Resumes == 0 {
+		t.Fatalf("pool stats %+v: expected parked-VM resumes across 16 streams", st)
+	}
+}
