@@ -45,9 +45,24 @@ func main() {
 	entries := flag.Int("entries", 16, "archive entries for -parallel")
 	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
+	baseline := flag.String("baseline", "", "compare -fig7 against a previous -json file; exit nonzero on >10% geomean regression")
 	flag.Parse()
 	_ = vxa.Codecs()
 	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par
+	if *baseline != "" {
+		*f7 = true // the compare mode needs a fresh Figure 7 run
+	}
+
+	// Load the baseline up front: it must be the *previous* run even
+	// when -json later overwrites the same file, and a bad path should
+	// fail before minutes of benchmarking.
+	var baseRows []bench.Fig7Row
+	if *baseline != "" {
+		var err error
+		if baseRows, err = loadBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+	}
 
 	rep := report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
@@ -121,10 +136,12 @@ func main() {
 			fatal(err)
 		}
 		rep.Fig7 = rows
-		fmt.Printf("  %-8s %10s %12s %12s %10s %9s\n", "decoder", "input", "native", "vx32", "slowdown", "MIPS")
+		fmt.Printf("  %-8s %10s %12s %12s %12s %10s %9s %9s %11s\n",
+			"decoder", "input", "native", "vx32", "translate", "slowdown", "vs-nat", "MIPS", "flags/kuop")
 		for _, r := range rows {
-			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %9.1fx %9.1f",
-				r.Codec, kb(r.InputBytes), r.Native.Round(10e3), r.VX32.Round(10e3), r.Slowdown, r.GuestMIPS)
+			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %12v %9.1fx %8.4fx %9.1f %11.1f",
+				r.Codec, kb(r.InputBytes), r.Native.Round(10e3), r.VX32.Round(10e3),
+				r.Translate.Round(10e3), r.Slowdown, r.SpeedupVsNative, r.GuestMIPS, r.FlagsPerKuop)
 			if r.VX32NoCache > 0 {
 				line += fmt.Sprintf("   (no-cache %v, %.1fx vs cached)",
 					r.VX32NoCache.Round(10e3), float64(r.VX32NoCache)/float64(r.VX32))
@@ -143,6 +160,58 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "vxbench: wrote %s\n", *jsonPath)
 	}
+
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, baseRows, rep.Fig7); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// maxGeomeanRegression is the compare-mode failure threshold: a >10%
+// geometric-mean slowdown across the Figure 7 codecs fails the run.
+const maxGeomeanRegression = 1.10
+
+// loadBaseline reads the Figure 7 rows of a previously written -json
+// report.
+func loadBaseline(path string) ([]bench.Fig7Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Fig7) == 0 {
+		return nil, fmt.Errorf("%s: no fig7 rows to compare against", path)
+	}
+	return base.Fig7, nil
+}
+
+// compareBaseline diffs the fresh Figure 7 rows against the baseline and
+// enforces the regression gate.
+func compareBaseline(path string, baseRows, current []bench.Fig7Row) error {
+	regs, geomean := bench.CompareFig7(baseRows, current)
+	if len(regs) == 0 {
+		return fmt.Errorf("%s: no codecs in common with the current fig7 run", path)
+	}
+	fmt.Printf("\nBaseline comparison vs %s (vx32 decode time; <1.00x is faster)\n", path)
+	fmt.Printf("  %-8s %14s %14s %9s\n", "decoder", "baseline", "current", "ratio")
+	for _, r := range regs {
+		note := ""
+		if r.Ratio > maxGeomeanRegression {
+			note = "  <-- regression"
+		}
+		fmt.Printf("  %-8s %14v %14v %8.2fx%s\n",
+			r.Codec, r.Baseline.Round(10e3), r.Current.Round(10e3), r.Ratio, note)
+	}
+	fmt.Printf("  geomean %.3fx\n", geomean)
+	if geomean > maxGeomeanRegression {
+		return fmt.Errorf("geomean regression %.1f%% exceeds the %.0f%% gate",
+			(geomean-1)*100, (maxGeomeanRegression-1)*100)
+	}
+	return nil
 }
 
 func kb(n int) float64 { return float64(n) / 1024 }

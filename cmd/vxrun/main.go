@@ -72,15 +72,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		out, err := codec.RunDecoderELF(name, elf, input, cfg)
+		var out bytes.Buffer
+		st, err := codec.RunDecoderELFToStats(name, elf, input, &out, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := os.Stdout.Write(out); err != nil {
+		if _, err := os.Stdout.Write(out.Bytes()); err != nil {
 			fatal(err)
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), len(out))
+			fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), out.Len())
+			fmt.Fprintf(os.Stderr,
+				"vxrun: engine: %d steps, %d uops, %d blocks built, %d chained, %d lookups, %d flag bits materialized, %d syscalls\n",
+				st.Steps, st.UopsExecuted, st.BlocksBuilt, st.BlocksChained,
+				st.BlockLookups, st.FlagsMaterialized, st.Syscalls)
 		}
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"time"
 
@@ -63,15 +64,24 @@ func Workloads() ([]Workload, error) {
 	return out, nil
 }
 
-// Fig7Row is one decoder's virtualization-cost measurement.
+// Fig7Row is one decoder's virtualization-cost measurement. The VX32
+// time splits into the translate phase (decoding + lowering fragments to
+// micro-ops) and the execute phase (running them); the translation
+// engine's counters expose how the speedup mechanisms behaved.
 type Fig7Row struct {
-	Codec       string        `json:"codec"`
-	InputBytes  int           `json:"input_bytes"`
-	Native      time.Duration `json:"native_ns"`
-	VX32        time.Duration `json:"vx32_ns"`
-	VX32NoCache time.Duration `json:"vx32_nocache_ns,omitempty"` // §4.2 ablation: fragment cache disabled; omitted when not measured
-	Slowdown    float64       `json:"slowdown"`                  // VX32 / Native
-	GuestMIPS   float64       `json:"guest_mips"`                // guest instructions per second under VX32
+	Codec           string        `json:"codec"`
+	InputBytes      int           `json:"input_bytes"`
+	Native          time.Duration `json:"native_ns"`
+	VX32            time.Duration `json:"vx32_ns"`
+	VX32NoCache     time.Duration `json:"vx32_nocache_ns,omitempty"` // §4.2 ablation: fragment cache disabled; omitted when not measured
+	Translate       time.Duration `json:"translate_ns"`              // decode+lower phase of the VX32 run
+	Execute         time.Duration `json:"execute_ns"`                // VX32 minus the translate phase
+	Slowdown        float64       `json:"slowdown"`                  // VX32 / Native
+	SpeedupVsNative float64       `json:"speedup_vs_native"`         // Native / VX32 (< 1 while the VM is slower than native)
+	GuestMIPS       float64       `json:"guest_mips"`                // guest instructions per second under VX32
+	UopsExecuted    uint64        `json:"uops_executed"`
+	BlocksChained   uint64        `json:"blocks_chained"`
+	FlagsPerKuop    float64       `json:"flags_materialized_per_kuop"` // lazily materialized flag bits per 1000 uops
 }
 
 // Fig7 measures native vs virtualized decode time for every codec.
@@ -90,12 +100,19 @@ func Fig7(withAblation bool) ([]Fig7Row, error) {
 		}
 		row.Native = time.Since(start)
 
-		steps, dur, err := runVX(w, vm.Config{MemSize: 64 << 20})
+		stats, dur, err := runVX(w, vm.Config{MemSize: 64 << 20})
 		if err != nil {
 			return nil, err
 		}
 		row.VX32 = dur
-		row.GuestMIPS = float64(steps) / dur.Seconds() / 1e6
+		row.Translate = time.Duration(stats.TranslateNS)
+		row.Execute = dur - row.Translate
+		row.GuestMIPS = float64(stats.Steps) / dur.Seconds() / 1e6
+		row.UopsExecuted = stats.UopsExecuted
+		row.BlocksChained = stats.BlocksChained
+		if stats.UopsExecuted > 0 {
+			row.FlagsPerKuop = 1000 * float64(stats.FlagsMaterialized) / float64(stats.UopsExecuted)
+		}
 		if withAblation {
 			_, durNC, err := runVX(w, vm.Config{MemSize: 64 << 20, NoBlockCache: true})
 			if err != nil {
@@ -104,19 +121,20 @@ func Fig7(withAblation bool) ([]Fig7Row, error) {
 			row.VX32NoCache = durNC
 		}
 		row.Slowdown = float64(row.VX32) / float64(row.Native)
+		row.SpeedupVsNative = float64(row.Native) / float64(row.VX32)
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func runVX(w Workload, cfg vm.Config) (steps uint64, dur time.Duration, err error) {
+func runVX(w Workload, cfg vm.Config) (stats vm.Stats, dur time.Duration, err error) {
 	elf, err := w.Codec.DecoderELF()
 	if err != nil {
-		return 0, 0, err
+		return vm.Stats{}, 0, err
 	}
 	v, err := newVM(elf, cfg)
 	if err != nil {
-		return 0, 0, err
+		return vm.Stats{}, 0, err
 	}
 	v.Stdin = bytes.NewReader(w.Encoded)
 	v.Stdout = io.Discard
@@ -124,12 +142,47 @@ func runVX(w Workload, cfg vm.Config) (steps uint64, dur time.Duration, err erro
 	st, err := v.Run()
 	dur = time.Since(start)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%s vx32: %w", w.Codec.Name, err)
+		return vm.Stats{}, 0, fmt.Errorf("%s vx32: %w", w.Codec.Name, err)
 	}
 	if st == vm.StatusExit && v.ExitCode() != 0 {
-		return 0, 0, fmt.Errorf("%s vx32: exit %d", w.Codec.Name, v.ExitCode())
+		return vm.Stats{}, 0, fmt.Errorf("%s vx32: exit %d", w.Codec.Name, v.ExitCode())
 	}
-	return v.Stats().Steps, dur, nil
+	return v.Stats(), dur, nil
+}
+
+// Regression is one codec's comparison against a baseline run.
+type Regression struct {
+	Codec    string        `json:"codec"`
+	Baseline time.Duration `json:"baseline_vx32_ns"`
+	Current  time.Duration `json:"vx32_ns"`
+	Ratio    float64       `json:"ratio"` // Current / Baseline; > 1 is a regression
+}
+
+// CompareFig7 matches the current Figure-7 rows against a baseline run
+// by codec name and returns the per-codec time ratios plus their
+// geometric mean (1.0 = unchanged, above 1 = slower than the baseline).
+// Codecs present on only one side are skipped.
+func CompareFig7(baseline, current []Fig7Row) ([]Regression, float64) {
+	base := make(map[string]Fig7Row, len(baseline))
+	for _, r := range baseline {
+		base[r.Codec] = r
+	}
+	var regs []Regression
+	logSum, matched := 0.0, 0
+	for _, r := range current {
+		b, ok := base[r.Codec]
+		if !ok || b.VX32 <= 0 || r.VX32 <= 0 {
+			continue
+		}
+		ratio := float64(r.VX32) / float64(b.VX32)
+		regs = append(regs, Regression{Codec: r.Codec, Baseline: b.VX32, Current: r.VX32, Ratio: ratio})
+		logSum += math.Log(ratio)
+		matched++
+	}
+	if matched == 0 {
+		return regs, 1
+	}
+	return regs, math.Exp(logSum / float64(matched))
 }
 
 // Table1Row is one line of the decoder inventory.

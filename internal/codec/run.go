@@ -55,9 +55,17 @@ func RunDecoderELF(name string, elfBytes, input []byte, cfg vm.Config) ([]byte, 
 // so a looping decoder is cut off on the cold path exactly as on the
 // pooled one.
 func RunDecoderELFTo(name string, elfBytes, input []byte, w io.Writer, cfg vm.Config) error {
+	_, err := RunDecoderELFToStats(name, elfBytes, input, w, cfg)
+	return err
+}
+
+// RunDecoderELFToStats is RunDecoderELFTo surfacing the VM's execution
+// statistics after the run (valid even when the decode failed), for
+// callers like vxrun -v that report on the translation engine.
+func RunDecoderELFToStats(name string, elfBytes, input []byte, w io.Writer, cfg vm.Config) (vm.Stats, error) {
 	v, err := elf32.NewVM(elfBytes, cfg)
 	if err != nil {
-		return err
+		return vm.Stats{}, err
 	}
 	fuel := cfg.Fuel
 	if fuel == 0 {
@@ -65,9 +73,9 @@ func RunDecoderELFTo(name string, elfBytes, input []byte, w io.Writer, cfg vm.Co
 	}
 	var diag bytes.Buffer
 	if _, err := v.RunStream(bytes.NewReader(input), w, &diag, fuel); err != nil {
-		return ClassifyDecodeError(name, err, v.ExitCode(), diag.String())
+		return v.Stats(), ClassifyDecodeError(name, err, v.ExitCode(), diag.String())
 	}
-	return nil
+	return v.Stats(), nil
 }
 
 // ClassifyDecodeError wraps a RunStream failure as a DecodeError per the

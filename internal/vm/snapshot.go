@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"sync"
+
+	"vxa/internal/vm/uop"
 )
 
 // Snapshot is a frozen copy of a VM's architectural state: the accessible
@@ -39,13 +41,15 @@ type Snapshot struct {
 
 // Snapshot captures the VM's current state. The usual call site is right
 // after elf32.Load, when the image is pristine; AbsorbBlocks can later
-// fold a warmed-up VM's translation cache into the snapshot.
+// fold a warmed-up VM's translation cache into the snapshot. Lazy flags
+// are materialized first, so the snapshot stores the architectural bits.
 func (v *VM) Snapshot() *Snapshot {
+	v.materializeFlags()
 	s := &Snapshot{
 		memSize: uint32(len(v.mem)),
 		low:     append([]byte(nil), v.mem[:v.brk]...),
 		high:    append([]byte(nil), v.mem[v.stackBase:]...),
-		regs:    v.regs,
+		regs:    [8]uint32(v.regs[:8]),
 		eip:     v.eip,
 		cf:      v.cf, zf: v.zf, sf: v.sf, of: v.of, pf: v.pf,
 		brk:       v.brk,
@@ -55,8 +59,8 @@ func (v *VM) Snapshot() *Snapshot {
 		noCache:   v.noCache,
 		blocks:    make(map[uint32]*block, len(v.blocks)),
 	}
-	for addr, b := range v.blocks {
-		s.blocks[addr] = b
+	for addr, br := range v.blocks {
+		s.blocks[addr] = br.b
 	}
 	return s
 }
@@ -64,15 +68,17 @@ func (v *VM) Snapshot() *Snapshot {
 // MemSize returns the guest address-space size the snapshot was taken at.
 func (s *Snapshot) MemSize() uint32 { return s.memSize }
 
-// blockMap returns a private copy of the snapshot's block cache. The
-// *block values are shared (immutable once built); only the map is fresh,
-// since each VM grows its own cache during execution.
-func (s *Snapshot) blockMap() map[uint32]*block {
+// blockMap returns a private view of the snapshot's block cache: the
+// *block values are shared (immutable once built), but each is wrapped
+// in a fresh per-VM bref, since chain links and cache growth are private
+// to the receiving VM. Handing out fresh wrappers is also what
+// invalidates chained successor links across Reset.
+func (s *Snapshot) blockMap() map[uint32]*bref {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := make(map[uint32]*block, len(s.blocks))
+	m := make(map[uint32]*bref, len(s.blocks))
 	for addr, b := range s.blocks {
-		m[addr] = b
+		m[addr] = &bref{b: b}
 	}
 	return m
 }
@@ -106,9 +112,10 @@ func (s *Snapshot) restore(v *VM) {
 	// region before exposing it again.
 	copy(v.mem[:s.brk], s.low)
 	copy(v.mem[s.stackBase:], s.high)
-	v.regs = s.regs
+	copy(v.regs[:], s.regs[:])
 	v.eip = s.eip
 	v.cf, v.zf, v.sf, v.of, v.pf = s.cf, s.zf, s.sf, s.of, s.pf
+	v.fl = uop.Flags{} // snapshots carry materialized flags
 	v.brk = s.brk
 	v.roLimit = s.roLimit
 	v.stackBase = s.stackBase
@@ -127,16 +134,15 @@ func (s *Snapshot) restore(v *VM) {
 func (s *Snapshot) AbsorbBlocks(v *VM) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for addr, b := range v.blocks {
+	for addr, br := range v.blocks {
 		if _, ok := s.blocks[addr]; ok {
 			continue
 		}
-		n := len(b.insts)
-		if n == 0 {
+		b := br.b
+		if len(b.insts) == 0 {
 			continue
 		}
-		end := b.addrs[n-1] + uint32(b.insts[n-1].Len)
-		if addr >= PageSize && end <= s.roLimit {
+		if addr >= PageSize && b.end <= s.roLimit {
 			s.blocks[addr] = b
 		}
 	}

@@ -153,9 +153,85 @@ func TestSetFuel(t *testing.T) {
 	if v.FuelRemaining() != 7 {
 		t.Fatalf("fuel = %d, want 7 (SetFuel must not accumulate)", v.FuelRemaining())
 	}
+	// The deprecated additive shim still works for legacy callers.
 	v.AddFuel(3)
 	if v.FuelRemaining() != 10 {
 		t.Fatalf("fuel = %d, want 10", v.FuelRemaining())
+	}
+	v.SetFuel(7)
+	if v.FuelRemaining() != 7 {
+		t.Fatalf("fuel = %d, want 7 (SetFuel is absolute)", v.FuelRemaining())
+	}
+}
+
+// TestSnapshotInvalidatesChains: block chaining is per-VM state. After a
+// Reset every chained successor link must be dropped, and VMs
+// materialized from one snapshot must chain independently — the shared
+// decoded blocks themselves stay common.
+func TestSnapshotInvalidatesChains(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, counterProgram)
+	snap := v.Snapshot()
+	runStream(t, v)
+	snap.AbsorbBlocks(v)
+
+	if chained := v.Stats().BlocksChained; chained == 0 {
+		t.Fatal("running the counter program installed no chain links")
+	}
+	for _, br := range v.blocks {
+		if br.taken != nil || br.fall != nil || br.ind != nil {
+			// Found at least one link; verify Reset drops them all.
+			if err := v.Reset(snap); err != nil {
+				t.Fatal(err)
+			}
+			for addr, nbr := range v.blocks {
+				if nbr.taken != nil || nbr.fall != nil || nbr.ind != nil {
+					t.Fatalf("block %#x kept a chain link across Reset", addr)
+				}
+			}
+			// And the VM still runs correctly from the invalidated state.
+			if got := counterValue(t, runStream(t, v)); got != 0 {
+				t.Fatalf("post-reset counter = %d, want 0", got)
+			}
+			return
+		}
+	}
+	t.Fatal("no chain links found on any cached block")
+}
+
+// TestSnapshotSharedUopCacheRace: many VMs materialized from one warmed
+// snapshot run concurrently, each building its own chain links over the
+// shared immutable uop arrays. Run with -race this pins the sharing
+// contract: blocks are read-only, chains are per-VM.
+func TestSnapshotSharedUopCacheRace(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, counterProgram)
+	snap := v.Snapshot()
+	runStream(t, v)
+	snap.AbsorbBlocks(v)
+
+	const vms = 8
+	done := make(chan error, vms)
+	for i := 0; i < vms; i++ {
+		go func() {
+			w := snap.NewVM()
+			for s := 0; s < 4; s++ {
+				var out bytes.Buffer
+				w.Stdout = &out
+				if st, err := w.Run(); err != nil || st != StatusDone {
+					done <- err
+					return
+				}
+				if got := uint32(out.Bytes()[0]); got != uint32(s) {
+					done <- &Trap{Msg: "bad counter"}
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < vms; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,1036 @@
+package vm
+
+import (
+	"vxa/internal/vm/uop"
+	"vxa/internal/x86"
+)
+
+// This file is the micro-op execution engine: the hot path that replaced
+// the per-instruction exec switch. Each cached fragment carries a dense
+// []uop.Uop lowered at translate time (operand forms resolved into
+// specialized kinds), so the inner loop is one jump-table dispatch per
+// guest instruction with no operand re-inspection. Arithmetic flags are
+// lazy (see uop.Flags): ALU micro-ops record their inputs and result,
+// and individual EFLAGS bits are computed only when Jcc/SETcc/ADC/SBB or
+// a generic-fallback instruction consumes them. The old exec engine
+// (exec.go) remains as the semantic reference: rare instructions escape
+// to it via KindGeneric, and the end-of-fuel slow path re-walks a block
+// on it to preserve exact per-instruction trap EIPs.
+
+// ---- lazy flag access --------------------------------------------------
+
+// The VM's cf/zf/sf/of/pf bools are authoritative only while v.fl.Op is
+// FlagNone. The f* accessors below read one flag, computing it from the
+// lazy record when necessary; they never change the representation, so
+// consumers that need a single flag pay for exactly one.
+
+func (v *VM) fCF() bool {
+	switch v.fl.Op {
+	case uop.FlagNone, uop.FlagSZP:
+		return v.cf
+	}
+	v.stats.FlagsMaterialized++
+	return v.fl.CF()
+}
+
+func (v *VM) fOF() bool {
+	switch v.fl.Op {
+	case uop.FlagNone, uop.FlagSZP:
+		return v.of
+	}
+	v.stats.FlagsMaterialized++
+	return v.fl.OF()
+}
+
+func (v *VM) fZF() bool {
+	if v.fl.Op == uop.FlagNone {
+		return v.zf
+	}
+	v.stats.FlagsMaterialized++
+	return v.fl.ZF()
+}
+
+func (v *VM) fSF() bool {
+	if v.fl.Op == uop.FlagNone {
+		return v.sf
+	}
+	v.stats.FlagsMaterialized++
+	return v.fl.SF()
+}
+
+func (v *VM) fPF() bool {
+	if v.fl.Op == uop.FlagNone {
+		return v.pf
+	}
+	v.stats.FlagsMaterialized++
+	return v.fl.PF()
+}
+
+// materializeFlags resolves the lazy record into the eager bools. Called
+// before any code that reads or writes v.cf..v.pf directly: the generic
+// escape, the end-of-fuel slow path, and Snapshot.
+func (v *VM) materializeFlags() {
+	switch v.fl.Op {
+	case uop.FlagNone:
+		return
+	case uop.FlagSZP:
+		v.zf, v.sf, v.pf = v.fl.ZF(), v.fl.SF(), v.fl.PF()
+		v.stats.FlagsMaterialized += 3
+	default:
+		v.cf, v.of = v.fl.CF(), v.fl.OF()
+		v.zf, v.sf, v.pf = v.fl.ZF(), v.fl.SF(), v.fl.PF()
+		v.stats.FlagsMaterialized += 5
+	}
+	v.fl.Op = uop.FlagNone
+}
+
+// ucond evaluates a condition code against the current flags, lazily
+// materializing only the flags the condition reads (one for the common
+// cmp-then-je case, never more than three).
+func (v *VM) ucond(cc x86.CC) bool {
+	if v.fl.Op == uop.FlagNone {
+		return v.cond(cc)
+	}
+	switch cc {
+	case x86.CCO:
+		return v.fOF()
+	case x86.CCNO:
+		return !v.fOF()
+	case x86.CCB:
+		return v.fCF()
+	case x86.CCAE:
+		return !v.fCF()
+	case x86.CCE:
+		return v.fZF()
+	case x86.CCNE:
+		return !v.fZF()
+	case x86.CCBE:
+		return v.fCF() || v.fZF()
+	case x86.CCA:
+		return !v.fCF() && !v.fZF()
+	case x86.CCS:
+		return v.fSF()
+	case x86.CCNS:
+		return !v.fSF()
+	case x86.CCP:
+		return v.fPF()
+	case x86.CCNP:
+		return !v.fPF()
+	case x86.CCL:
+		return v.fSF() != v.fOF()
+	case x86.CCGE:
+		return v.fSF() == v.fOF()
+	case x86.CCLE:
+		return v.fZF() || v.fSF() != v.fOF()
+	default: // CCG
+		return !v.fZF() && v.fSF() == v.fOF()
+	}
+}
+
+// ---- sandboxed guest memory, fast forms --------------------------------
+
+// rdOK and wrOK are the sandbox bounds checks with the bounds passed as
+// hoisted locals, small enough to inline into the dispatch loop. The
+// `addr <= limit-size` form rejects address-wraparound for free, since
+// limit-size never underflows (every limit is at least one page).
+
+func rdOK(addr, size, brk, stackBase, memLen uint32) bool {
+	return (addr >= PageSize && addr <= brk-size) ||
+		(addr >= stackBase && addr <= memLen-size)
+}
+
+func wrOK(addr, size, roLimit, brk, stackBase, memLen uint32) bool {
+	return (addr >= roLimit && addr <= brk-size) ||
+		(addr >= stackBase && addr <= memLen-size)
+}
+
+// le32 and st32 are raw little-endian accesses; bounds must have been
+// checked by the caller.
+func le32(m []byte, addr uint32) uint32 {
+	mm := m[addr : addr+4]
+	return uint32(mm[0]) | uint32(mm[1])<<8 | uint32(mm[2])<<16 | uint32(mm[3])<<24
+}
+
+func st32(m []byte, addr, val uint32) {
+	mm := m[addr : addr+4]
+	mm[0] = byte(val)
+	mm[1] = byte(val >> 8)
+	mm[2] = byte(val >> 16)
+	mm[3] = byte(val >> 24)
+}
+
+// The u* accessors are the out-of-line load/store paths used by the
+// colder handlers; they report failure as a bool so no error value is
+// allocated until a trap is certain.
+
+func (v *VM) uload32(addr uint32) (uint32, bool) {
+	if !v.readable(addr, 4) {
+		return 0, false
+	}
+	return le32(v.mem, addr), true
+}
+
+func (v *VM) uload8(addr uint32) (uint32, bool) {
+	if !v.readable(addr, 1) {
+		return 0, false
+	}
+	return uint32(v.mem[addr]), true
+}
+
+func (v *VM) ustore32(addr, val uint32) bool {
+	if !v.writable(addr, 4) {
+		return false
+	}
+	st32(v.mem, addr, val)
+	return true
+}
+
+func (v *VM) ustore8(addr, val uint32) bool {
+	if !v.writable(addr, 1) {
+		return false
+	}
+	v.mem[addr] = byte(val)
+	return true
+}
+
+// memTrap reports a failed guest load.
+func memTrap(eip, addr uint32) error {
+	return &Trap{Kind: TrapMemory, EIP: eip, Addr: addr}
+}
+
+// storeTrap reports a failed guest store, distinguishing a write to
+// read-only memory from an out-of-sandbox access exactly as store does.
+func (v *VM) storeTrap(eip, addr, size uint32) error {
+	k := TrapMemory
+	if v.readable(addr, size) {
+		k = TrapWrite
+	}
+	return &Trap{Kind: k, EIP: eip, Addr: addr}
+}
+
+// uea computes the effective address of a lowered memory operand.
+// Absent base/index registers were mapped to the always-zero regs[8]
+// slot at translate time, so there is nothing to test here.
+func (v *VM) uea(u *uop.Uop) uint32 {
+	return u.Disp + v.regs[u.Base] + v.regs[u.Idx]*uint32(u.Scale)
+}
+
+// rd8 and wr8 access a pre-resolved byte register slot.
+func (v *VM) rd8(r, sh uint8) uint32 {
+	return (v.regs[r] >> sh) & 0xFF
+}
+
+func (v *VM) wr8(r, sh uint8, val uint32) {
+	v.regs[r] = v.regs[r]&^(uint32(0xFF)<<sh) | (val&0xFF)<<sh
+}
+
+// ---- ALU / shift / multiply helpers ------------------------------------
+
+// ualu performs one ALU sub-operation, records the lazy flag state, and
+// reports whether the result is written back (CMP/TEST suppress it).
+// The hottest 32-bit forms never reach it — they are fully specialized
+// kinds inlined in the dispatch loop — so this covers ADC/SBB, byte
+// operands and memory destinations.
+func (v *VM) ualu(op uop.AluOp, a, b uint32, size uint8) (uint32, bool) {
+	if size == 1 {
+		return v.ualu8(op, a&0xFF, b&0xFF)
+	}
+	switch op {
+	case uop.AluAdd:
+		res := a + b
+		v.fl = uop.Flags{Op: uop.FlagAdd, A: a, B: b, Res: res}
+		return res, true
+	case uop.AluAdc:
+		var c uint32
+		if v.fCF() {
+			c = 1
+		}
+		res := a + b + c
+		v.fl = uop.Flags{Op: uop.FlagAdc, A: a, B: b, Cin: c, Res: res}
+		return res, true
+	case uop.AluSub:
+		res := a - b
+		v.fl = uop.Flags{Op: uop.FlagSub, A: a, B: b, Res: res}
+		return res, true
+	case uop.AluSbb:
+		var c uint32
+		if v.fCF() {
+			c = 1
+		}
+		res := a - b - c
+		v.fl = uop.Flags{Op: uop.FlagSbb, A: a, B: b, Cin: c, Res: res}
+		return res, true
+	case uop.AluCmp:
+		v.fl = uop.Flags{Op: uop.FlagSub, A: a, B: b, Res: a - b}
+		return 0, false
+	case uop.AluAnd:
+		res := a & b
+		v.fl = uop.Flags{Op: uop.FlagLogic, Res: res}
+		return res, true
+	case uop.AluOr:
+		res := a | b
+		v.fl = uop.Flags{Op: uop.FlagLogic, Res: res}
+		return res, true
+	case uop.AluXor:
+		res := a ^ b
+		v.fl = uop.Flags{Op: uop.FlagLogic, Res: res}
+		return res, true
+	default: // AluTest
+		v.fl = uop.Flags{Op: uop.FlagLogic, Res: a & b}
+		return 0, false
+	}
+}
+
+// ualu8 is the byte-width ALU; a and b arrive pre-masked.
+func (v *VM) ualu8(op uop.AluOp, a, b uint32) (uint32, bool) {
+	switch op {
+	case uop.AluAdd:
+		res := (a + b) & 0xFF
+		v.fl = uop.Flags{Op: uop.FlagAdd8, A: a, B: b, Res: res}
+		return res, true
+	case uop.AluAdc:
+		var c uint32
+		if v.fCF() {
+			c = 1
+		}
+		res := (a + b + c) & 0xFF
+		v.fl = uop.Flags{Op: uop.FlagAdc8, A: a, B: b, Cin: c, Res: res}
+		return res, true
+	case uop.AluSub:
+		res := (a - b) & 0xFF
+		v.fl = uop.Flags{Op: uop.FlagSub8, A: a, B: b, Res: res}
+		return res, true
+	case uop.AluSbb:
+		var c uint32
+		if v.fCF() {
+			c = 1
+		}
+		res := (a - b - c) & 0xFF
+		v.fl = uop.Flags{Op: uop.FlagSbb8, A: a, B: b, Cin: c, Res: res}
+		return res, true
+	case uop.AluCmp:
+		v.fl = uop.Flags{Op: uop.FlagSub8, A: a, B: b, Res: (a - b) & 0xFF}
+		return 0, false
+	case uop.AluAnd:
+		res := a & b
+		v.fl = uop.Flags{Op: uop.FlagLogic8, Res: res}
+		return res, true
+	case uop.AluOr:
+		res := a | b
+		v.fl = uop.Flags{Op: uop.FlagLogic8, Res: res}
+		return res, true
+	case uop.AluXor:
+		res := a ^ b
+		v.fl = uop.Flags{Op: uop.FlagLogic8, Res: res}
+		return res, true
+	default: // AluTest
+		v.fl = uop.Flags{Op: uop.FlagLogic8, Res: a & b}
+		return 0, false
+	}
+}
+
+// ushift32 performs a 32-bit register shift with a nonzero count in
+// 1..31, recording the lazy flag state.
+func (v *VM) ushift32(op uop.ShOp, r uint8, count uint32) {
+	val := v.regs[r]
+	var res uint32
+	var fo uop.FlagOp
+	switch op {
+	case uop.ShShl:
+		res = val << count
+		fo = uop.FlagShl
+	case uop.ShShr:
+		res = val >> count
+		fo = uop.FlagShr
+	default: // ShSar
+		res = uint32(int32(val) >> count)
+		fo = uop.FlagSar
+	}
+	v.regs[r] = res
+	v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = fo, val, count, res
+}
+
+// uimul is the two/three-operand signed multiply: dst = a * b, CF/OF on
+// overflow, SF/ZF/PF defined from the low result as in the reference.
+func (v *VM) uimul(dst uint8, a, b uint32) {
+	full := int64(int32(a)) * int64(int32(b))
+	res := uint32(full)
+	v.regs[dst] = res
+	over := full != int64(int32(res))
+	v.cf, v.of = over, over
+	v.fl.Op, v.fl.Res = uop.FlagSZP, res
+}
+
+// umul1 is the one-operand widening multiply into edx:eax.
+func (v *VM) umul1(src uint32, signed bool) {
+	if signed {
+		full := int64(int32(v.regs[x86.EAX])) * int64(int32(src))
+		v.regs[x86.EAX] = uint32(full)
+		v.regs[x86.EDX] = uint32(uint64(full) >> 32)
+		over := full != int64(int32(full))
+		v.cf, v.of = over, over
+		v.fl.Op, v.fl.Res = uop.FlagSZP, uint32(full)
+		return
+	}
+	full := uint64(v.regs[x86.EAX]) * uint64(src)
+	v.regs[x86.EAX] = uint32(full)
+	v.regs[x86.EDX] = uint32(full >> 32)
+	over := v.regs[x86.EDX] != 0
+	v.cf, v.of = over, over
+	v.fl.Op, v.fl.Res = uop.FlagSZP, uint32(full)
+}
+
+// udiv is the one-operand divide of edx:eax; flags are unaffected.
+func (v *VM) udiv(src uint32, signed bool, eip uint32) error {
+	if src == 0 {
+		return &Trap{Kind: TrapDivide, EIP: eip}
+	}
+	if signed {
+		dividend := int64(uint64(v.regs[x86.EDX])<<32 | uint64(v.regs[x86.EAX]))
+		divisor := int64(int32(src))
+		q := dividend / divisor
+		if q > 0x7FFFFFFF || q < -0x80000000 {
+			return &Trap{Kind: TrapDivide, EIP: eip, Msg: "quotient overflow"}
+		}
+		v.regs[x86.EAX] = uint32(int32(q))
+		v.regs[x86.EDX] = uint32(int32(dividend % divisor))
+		return nil
+	}
+	dividend := uint64(v.regs[x86.EDX])<<32 | uint64(v.regs[x86.EAX])
+	q := dividend / uint64(src)
+	if q > 0xFFFFFFFF {
+		return &Trap{Kind: TrapDivide, EIP: eip, Msg: "quotient overflow"}
+	}
+	v.regs[x86.EAX] = uint32(q)
+	v.regs[x86.EDX] = uint32(dividend % uint64(src))
+	return nil
+}
+
+// upush32 pushes val, reporting the trap against eip.
+func (v *VM) upush32(val, eip uint32) error {
+	sp := v.regs[x86.ESP] - 4
+	if !v.ustore32(sp, val) {
+		return v.storeTrap(eip, sp, 4)
+	}
+	v.regs[x86.ESP] = sp
+	return nil
+}
+
+// ---- block execution ---------------------------------------------------
+
+// uopTrap accounts for an error raised at micro-op index i of an n-op
+// block whose fuel and counters were charged up front: the unexecuted
+// tail is refunded so accounting matches per-instruction semantics.
+func (v *VM) uopTrap(i, n int, err error) error {
+	unrun := uint64(n - i - 1)
+	v.fuel += int64(unrun)
+	v.stats.Steps -= unrun
+	v.stats.UopsExecuted -= unrun
+	return err
+}
+
+// chainTo resolves the successor block at addr through the per-VM chain
+// slot: after the first resolution, control transfers along this edge
+// skip the fragment-cache map lookup entirely. Chain links live in the
+// per-VM bref wrapper, never in the shared immutable block, so VMs
+// materialized from one snapshot chain independently; Reset drops the
+// wrappers, invalidating every link.
+func (v *VM) chainTo(slot **bref, addr uint32) (*bref, error) {
+	if c := *slot; c != nil {
+		return c, nil
+	}
+	br, err := v.lookupBlock(addr)
+	if err != nil || v.noCache {
+		return br, err
+	}
+	*slot = br
+	v.stats.BlocksChained++
+	return br, nil
+}
+
+// indirect resolves an indirect transfer (RET, jmp/call through a
+// register or memory) through the block's monomorphic inline cache: a
+// repeat of the last observed target skips the map lookup, which makes
+// the dominant pattern — a function returning to the one loop that calls
+// it — as cheap as a direct chain.
+func (v *VM) indirect(br *bref, target uint32) (*bref, error) {
+	if c := br.ind; c != nil && br.indAddr == target {
+		return c, nil
+	}
+	nb, err := v.lookupBlock(target)
+	if err != nil || v.noCache {
+		return nb, err
+	}
+	br.ind, br.indAddr = nb, target
+	v.stats.BlocksChained++
+	return nb, nil
+}
+
+// execUops runs translated fragments starting at br until the guest
+// exits, parks at the done gate, or traps; the returned error is always
+// non-nil (errExit/errDone or a *Trap). Staying in one frame keeps the
+// hoisted sandbox geometry and register file in registers across block
+// transfers.
+//
+// Fuel is charged once per block — len(uops) on entry — instead of
+// decrement-and-compare per instruction. When the remaining budget is
+// smaller than the block, execution drops to the reference engine's
+// per-instruction walk so the fuel trap reports the exact EIP.
+func (v *VM) execUops(br *bref) error {
+	// The sandbox geometry is constant during straight-line execution:
+	// the only thing that moves it (the setperm syscall) runs under
+	// KindInt, after which brk is re-hoisted.
+	regs := &v.regs
+	mem := v.mem
+	memLen := uint32(len(mem))
+	roLimit, stackBase := v.roLimit, v.stackBase
+	brk := v.brk
+
+blocks:
+	for {
+		b := br.b
+		us := b.uops
+		n := len(us)
+		if v.fuel < int64(n) {
+			// End-of-budget: re-walk this block on the reference engine
+			// for an exact fuel-trap EIP. (The walk always traps before
+			// the block completes, but stay general.)
+			v.materializeFlags()
+			if err := v.execBlock(b); err != nil {
+				return err
+			}
+			nb, err := v.lookupBlock(v.eip)
+			if err != nil {
+				return err
+			}
+			br = nb
+			brk = v.brk
+			continue
+		}
+		v.fuel -= int64(n)
+		v.stats.Steps += uint64(n)
+		v.stats.UopsExecuted += uint64(n)
+
+		for i := range us {
+			u := &us[i]
+			switch u.Kind {
+			case uop.KindNop:
+
+			// --- moves ---
+			case uop.KindMovRR:
+				regs[u.Dst] = regs[u.Src]
+			case uop.KindMovRI:
+				regs[u.Dst] = u.Imm
+			case uop.KindMovRR8:
+				v.wr8(u.Dst, u.Dsh, v.rd8(u.Src, u.Ssh))
+			case uop.KindMovRI8:
+				v.wr8(u.Dst, u.Dsh, u.Imm)
+			case uop.KindLoad:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				regs[u.Dst] = le32(mem, addr)
+			case uop.KindLoad8:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				v.wr8(u.Dst, u.Dsh, uint32(mem[addr]))
+			case uop.KindStore:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+				}
+				st32(mem, addr, regs[u.Src])
+			case uop.KindStore8:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+				}
+				mem[addr] = byte(v.rd8(u.Src, u.Ssh))
+			case uop.KindStoreI:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+				}
+				st32(mem, addr, u.Imm)
+			case uop.KindStoreI8:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+				}
+				mem[addr] = byte(u.Imm)
+			case uop.KindLea:
+				regs[u.Dst] = u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+
+			// --- widening moves ---
+			case uop.KindMovzxRR8:
+				regs[u.Dst] = v.rd8(u.Src, u.Ssh)
+			case uop.KindMovzxRR16:
+				regs[u.Dst] = regs[u.Src] & 0xFFFF
+			case uop.KindMovzxRM8:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				regs[u.Dst] = uint32(mem[addr])
+			case uop.KindMovzxRM16:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 2, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				regs[u.Dst] = uint32(mem[addr]) | uint32(mem[addr+1])<<8
+			case uop.KindMovsxRR8:
+				regs[u.Dst] = uint32(int32(int8(v.rd8(u.Src, u.Ssh))))
+			case uop.KindMovsxRR16:
+				regs[u.Dst] = uint32(int32(int16(regs[u.Src])))
+			case uop.KindMovsxRM8:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				regs[u.Dst] = uint32(int32(int8(mem[addr])))
+			case uop.KindMovsxRM16:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 2, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				regs[u.Dst] = uint32(int32(int16(uint32(mem[addr]) | uint32(mem[addr+1])<<8)))
+
+			case uop.KindXchgRR:
+				regs[u.Dst], regs[u.Src] = regs[u.Src], regs[u.Dst]
+
+			// --- fully specialized 32-bit ALU forms ---
+			case uop.KindAddRR:
+				a, bb := regs[u.Dst], regs[u.Src]
+				res := a + bb
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagAdd, a, bb, res
+			case uop.KindAddRI:
+				a := regs[u.Dst]
+				res := a + u.Imm
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagAdd, a, u.Imm, res
+			case uop.KindSubRR:
+				a, bb := regs[u.Dst], regs[u.Src]
+				res := a - bb
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, res
+			case uop.KindSubRI:
+				a := regs[u.Dst]
+				res := a - u.Imm
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, u.Imm, res
+			case uop.KindCmpRR:
+				a, bb := regs[u.Dst], regs[u.Src]
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+			case uop.KindCmpRI:
+				a := regs[u.Dst]
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, u.Imm, a-u.Imm
+			case uop.KindAndRR:
+				res := regs[u.Dst] & regs[u.Src]
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindAndRI:
+				res := regs[u.Dst] & u.Imm
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindOrRR:
+				res := regs[u.Dst] | regs[u.Src]
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindOrRI:
+				res := regs[u.Dst] | u.Imm
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindXorRR:
+				res := regs[u.Dst] ^ regs[u.Src]
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindXorRI:
+				res := regs[u.Dst] ^ u.Imm
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+			case uop.KindTestRR:
+				v.fl.Op, v.fl.Res = uop.FlagLogic, regs[u.Dst]&regs[u.Src]
+			case uop.KindTestRI:
+				v.fl.Op, v.fl.Res = uop.FlagLogic, regs[u.Dst]&u.Imm
+
+			// --- remaining ALU forms (ADC/SBB, memory, byte operands) ---
+			case uop.KindAluRR:
+				if res, wb := v.ualu(uop.AluOp(u.Sub), regs[u.Dst], regs[u.Src], 4); wb {
+					regs[u.Dst] = res
+				}
+			case uop.KindAluRI:
+				if res, wb := v.ualu(uop.AluOp(u.Sub), regs[u.Dst], u.Imm, 4); wb {
+					regs[u.Dst] = res
+				}
+			case uop.KindAluRM:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu(uop.AluOp(u.Sub), regs[u.Dst], le32(mem, addr), 4); wb {
+					regs[u.Dst] = res
+				}
+			case uop.KindAluMR:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu(uop.AluOp(u.Sub), le32(mem, addr), regs[u.Src], 4); wb {
+					if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
+						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+					}
+					st32(mem, addr, res)
+				}
+			case uop.KindAluMI:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu(uop.AluOp(u.Sub), le32(mem, addr), u.Imm, 4); wb {
+					if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
+						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+					}
+					st32(mem, addr, res)
+				}
+			case uop.KindAlu8RR:
+				if res, wb := v.ualu8(uop.AluOp(u.Sub), v.rd8(u.Dst, u.Dsh), v.rd8(u.Src, u.Ssh)); wb {
+					v.wr8(u.Dst, u.Dsh, res)
+				}
+			case uop.KindAlu8RI:
+				if res, wb := v.ualu8(uop.AluOp(u.Sub), v.rd8(u.Dst, u.Dsh), u.Imm); wb {
+					v.wr8(u.Dst, u.Dsh, res)
+				}
+			case uop.KindAlu8RM:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu8(uop.AluOp(u.Sub), v.rd8(u.Dst, u.Dsh), uint32(mem[addr])); wb {
+					v.wr8(u.Dst, u.Dsh, res)
+				}
+			case uop.KindAlu8MR:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu8(uop.AluOp(u.Sub), uint32(mem[addr]), v.rd8(u.Src, u.Ssh)); wb {
+					if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
+						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+					}
+					mem[addr] = byte(res)
+				}
+			case uop.KindAlu8MI:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 1, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+				}
+				if res, wb := v.ualu8(uop.AluOp(u.Sub), uint32(mem[addr]), u.Imm); wb {
+					if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
+						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+					}
+					mem[addr] = byte(res)
+				}
+
+			case uop.KindIncR:
+				cf := v.fCF() // INC preserves CF
+				val := regs[u.Dst]
+				res := val + 1
+				regs[u.Dst] = res
+				v.fl = uop.Flags{Op: uop.FlagAddKeep, A: val, B: 1, Res: res, KeptCF: cf}
+			case uop.KindDecR:
+				cf := v.fCF() // DEC preserves CF
+				val := regs[u.Dst]
+				res := val - 1
+				regs[u.Dst] = res
+				v.fl = uop.Flags{Op: uop.FlagSubKeep, A: val, B: 1, Res: res, KeptCF: cf}
+			case uop.KindNegR:
+				val := regs[u.Dst]
+				res := -val
+				regs[u.Dst] = res
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, 0, val, res
+			case uop.KindNotR:
+				regs[u.Dst] = ^regs[u.Dst]
+
+			// --- shifts ---
+			case uop.KindShiftRI:
+				v.ushift32(uop.ShOp(u.Sub), u.Dst, u.Imm)
+			case uop.KindShiftRCL:
+				if c := regs[x86.ECX] & 31; c != 0 {
+					v.ushift32(uop.ShOp(u.Sub), u.Dst, c)
+				}
+
+			// --- multiply / divide ---
+			case uop.KindImulRR:
+				v.uimul(u.Dst, regs[u.Dst], regs[u.Src])
+			case uop.KindImulRM:
+				bv, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				v.uimul(u.Dst, regs[u.Dst], bv)
+			case uop.KindImulRRI:
+				v.uimul(u.Dst, u.Imm, regs[u.Src])
+			case uop.KindImulRMI:
+				bv, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				v.uimul(u.Dst, u.Imm, bv)
+			case uop.KindMulR:
+				v.umul1(regs[u.Src], u.Sub != 0)
+			case uop.KindMulM:
+				val, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				v.umul1(val, u.Sub != 0)
+			case uop.KindDivR:
+				if err := v.udiv(regs[u.Src], u.Sub != 0, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+			case uop.KindDivM:
+				val, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				if err := v.udiv(val, u.Sub != 0, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+			case uop.KindCdq:
+				regs[x86.EDX] = uint32(int32(regs[x86.EAX]) >> 31)
+
+			// --- stack ---
+			case uop.KindPushR:
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+			case uop.KindPushI:
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, sp, 4))
+				}
+				st32(mem, sp, u.Imm)
+				regs[x86.ESP] = sp
+			case uop.KindPushM:
+				val, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				if err := v.upush32(val, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+			case uop.KindPopR:
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				regs[u.Dst] = le32(mem, sp) // a popped ESP wins over the increment
+			case uop.KindPopM:
+				sp := regs[x86.ESP]
+				val, ok := v.uload32(sp)
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				addr := v.uea(u) // the store address sees the popped ESP
+				if !v.ustore32(addr, val) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+				}
+
+			// --- setcc ---
+			case uop.KindSetccR8:
+				var val uint32
+				if v.ucond(x86.CC(u.Sub)) {
+					val = 1
+				}
+				v.wr8(u.Dst, u.Dsh, val)
+			case uop.KindSetccM8:
+				var val uint32
+				if v.ucond(x86.CC(u.Sub)) {
+					val = 1
+				}
+				addr := v.uea(u)
+				if !v.ustore8(addr, val) {
+					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+				}
+
+			// --- control transfers (always the last micro-op) ---
+			case uop.KindJmp:
+				v.eip = u.Target
+				if c := br.taken; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.taken, u.Target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindJcc:
+				if v.ucond(x86.CC(u.Sub)) {
+					v.eip = u.Target
+					if c := br.taken; c != nil {
+						br = c
+						continue blocks
+					}
+					nb, err := v.chainTo(&br.taken, u.Target)
+					if err != nil {
+						return err
+					}
+					br = nb
+					continue blocks
+				}
+				v.eip = u.Next
+				if c := br.fall; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.fall, u.Next)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindCall:
+				if err := v.upush32(u.Next, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+				v.eip = u.Target
+				if c := br.taken; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.taken, u.Target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindCallR:
+				target := regs[u.Src]
+				if err := v.upush32(u.Next, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+				v.eip = target
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindCallM:
+				target, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				if err := v.upush32(u.Next, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+				v.eip = target
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindRet:
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+				}
+				target := le32(mem, sp)
+				regs[x86.ESP] = sp + 4 + u.Imm
+				v.eip = target
+				if c := br.ind; c != nil && br.indAddr == target {
+					br = c
+					continue blocks
+				}
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindJmpR:
+				target := regs[u.Src]
+				v.eip = target
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindJmpM:
+				target, ok := v.uload32(v.uea(u))
+				if !ok {
+					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+				}
+				v.eip = target
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindInt:
+				v.eip = u.Next // the guest resumes after the gate
+				if u.Imm != 0x80 {
+					return v.uopTrap(i, n, &Trap{Kind: TrapSyscall, EIP: u.EIP,
+						Msg: "interrupt vector not the VXA syscall gate"})
+				}
+				if err := v.syscall(); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+				brk = v.brk // setperm may have grown the heap
+				if c := br.taken; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.taken, u.Next)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindHlt:
+				return v.uopTrap(i, n, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "privileged instruction"})
+			case uop.KindUd2:
+				return v.uopTrap(i, n, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "ud2"})
+
+			// --- escapes to the reference engine ---
+			case uop.KindString:
+				v.eip = u.EIP // string traps report the op itself
+				if err := v.stringOp(u.Inst); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+			default: // KindGeneric
+				v.materializeFlags()
+				if err := v.exec(u.Inst, u.EIP); err != nil {
+					return v.uopTrap(i, n, err)
+				}
+			}
+		}
+
+		// The block ended without a control transfer (fragment length
+		// cap): fall through to the next address.
+		v.eip = b.end
+		if c := br.fall; c != nil {
+			br = c
+			continue
+		}
+		nb, err := v.chainTo(&br.fall, b.end)
+		if err != nil {
+			return err
+		}
+		br = nb
+	}
+}

@@ -1,0 +1,121 @@
+package uop
+
+import "math/bits"
+
+// FlagOp says how the current EFLAGS contents are represented. FlagNone
+// means the flags are materialized (the VM's eager cf/zf/sf/of/pf bools
+// are authoritative); every other value means the Flags record below
+// holds the deferred inputs of the last flag-writing operation and the
+// individual bits are computed on demand.
+//
+// The operand width and carry-in use are encoded in the op itself (the
+// *8 variants are the byte-width forms, FlagAdc/FlagSbb the carry-
+// consuming forms) so the recording side writes only the fields its
+// operation actually uses: a logic op stores two words, an add three.
+type FlagOp uint8
+
+// Flag representation states. The byte-width group must stay contiguous
+// at the end: is8 tests Op >= FlagAdd8.
+const (
+	FlagNone    FlagOp = iota // flags are materialized in the VM's bools
+	FlagSZP                   // SF/ZF/PF from Res; CF/OF already eager (MUL)
+	FlagAdd                   // Res = A + B
+	FlagAdc                   // Res = A + B + Cin
+	FlagSub                   // Res = A - B
+	FlagSbb                   // Res = A - B - Cin
+	FlagAddKeep               // like FlagAdd with B = 1, CF preserved in KeptCF (INC)
+	FlagSubKeep               // like FlagSub with B = 1, CF preserved in KeptCF (DEC)
+	FlagLogic                 // Res = A op B; CF = OF = 0
+	FlagShl                   // Res = A << B, B in 1..31
+	FlagShr                   // Res = A >> B logical, B in 1..31
+	FlagSar                   // Res = A >> B arithmetic, B in 1..31
+
+	FlagAdd8 // byte-width forms of the above; A, B, Res are masked to 8 bits
+	FlagAdc8
+	FlagSub8
+	FlagSbb8
+	FlagLogic8
+)
+
+// Flags is the deferred-flags record: the operands and result of the
+// last flag-writing operation, from which any EFLAGS bit can be
+// reconstructed. Writers only set the fields their FlagOp reads: A and B
+// must be pre-masked to the op's width, Res is the masked result, Cin is
+// the carry/borrow-in of FlagAdc/FlagSbb (and their byte forms), KeptCF
+// the carried-over CF of the INC/DEC ops that preserve it. The shift ops
+// are recorded only at 32-bit width with a count in 1..31; other shapes
+// take the eager path.
+type Flags struct {
+	Op     FlagOp
+	KeptCF bool
+	A, B   uint32
+	Cin    uint32
+	Res    uint32
+}
+
+func (f *Flags) is8() bool { return f.Op >= FlagAdd8 }
+
+func (f *Flags) sign() uint32 {
+	if f.is8() {
+		return 0x80
+	}
+	return 0x80000000
+}
+
+// CF computes the carry flag from the record. Valid for Op != FlagNone
+// and Op != FlagSZP (those keep CF in the VM's eager bool).
+func (f *Flags) CF() bool {
+	switch f.Op {
+	case FlagAdd:
+		return uint64(f.A)+uint64(f.B) > 0xFFFFFFFF
+	case FlagAdc:
+		return uint64(f.A)+uint64(f.B)+uint64(f.Cin) > 0xFFFFFFFF
+	case FlagSub:
+		return f.A < f.B
+	case FlagSbb:
+		return uint64(f.A) < uint64(f.B)+uint64(f.Cin)
+	case FlagAddKeep, FlagSubKeep:
+		return f.KeptCF
+	case FlagLogic, FlagLogic8:
+		return false
+	case FlagShl:
+		return f.A&(1<<(32-f.B)) != 0
+	case FlagShr:
+		return f.A&(1<<(f.B-1)) != 0
+	case FlagSar:
+		return uint32(int32(f.A)>>(f.B-1))&1 != 0
+	case FlagAdd8:
+		return f.A+f.B > 0xFF
+	case FlagAdc8:
+		return f.A+f.B+f.Cin > 0xFF
+	case FlagSub8:
+		return f.A < f.B
+	case FlagSbb8:
+		return f.A < f.B+f.Cin
+	}
+	return false
+}
+
+// OF computes the overflow flag from the record.
+func (f *Flags) OF() bool {
+	switch f.Op {
+	case FlagAdd, FlagAdc, FlagAddKeep, FlagAdd8, FlagAdc8:
+		return (^(f.A ^ f.B) & (f.A ^ f.Res) & f.sign()) != 0
+	case FlagSub, FlagSbb, FlagSubKeep, FlagSub8, FlagSbb8:
+		return ((f.A ^ f.B) & (f.A ^ f.Res) & f.sign()) != 0
+	case FlagShl:
+		return ((f.Res & 0x80000000) != 0) != f.CF()
+	case FlagShr:
+		return f.A&0x80000000 != 0
+	}
+	return false // logic ops, FlagSar
+}
+
+// ZF computes the zero flag; writers store Res pre-masked.
+func (f *Flags) ZF() bool { return f.Res == 0 }
+
+// SF computes the sign flag: the result's top bit at its width.
+func (f *Flags) SF() bool { return f.Res&f.sign() != 0 }
+
+// PF computes the parity flag: even parity of the low result byte.
+func (f *Flags) PF() bool { return bits.OnesCount8(uint8(f.Res))%2 == 0 }

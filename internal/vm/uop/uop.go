@@ -1,0 +1,197 @@
+// Package uop defines the VM's micro-op intermediate representation: the
+// dense, operand-specialized form that decoded x86 fragments are lowered
+// into before execution. Where the x86.Inst form is symbolic (operand
+// kinds re-inspected on every step), a Uop resolves the operand shape at
+// translate time — register numbers, partial-register byte slots,
+// effective-address components and immediates sit in flat fields keyed by
+// a specialized Kind, so the executor is a single dense switch with no
+// per-step interface dance.
+//
+// The package also implements the lazy-flags discipline (see Flags):
+// arithmetic micro-ops record {op, a, b, result} and the individual
+// EFLAGS bits are materialized only when a consumer (Jcc, SETcc, ADC,
+// SBB, or a generic-fallback instruction) actually asks for them.
+//
+// Lowering is total: any instruction without a specialized handler
+// lowers to KindGeneric, which carries the decoded x86.Inst through to
+// the VM's reference interpreter. Correctness therefore never depends on
+// the specialization coverage — only speed does.
+package uop
+
+import "vxa/internal/x86"
+
+// RegZero is the lowered encoding of an absent base or index register:
+// it indexes the VM's ninth, always-zero register slot, so the executor
+// computes every effective address branchlessly as
+// disp + regs[Base] + regs[Idx]*Scale (an absent index also gets Scale
+// 0). Translate time absorbs the x86.NoReg checks the interpreter used
+// to make per step.
+const RegZero uint8 = 8
+
+// Kind selects the specialized handler for one micro-op. The executor
+// switches on it; translate-time specialization means each kind's fields
+// have a fixed, fully-resolved meaning.
+type Kind uint8
+
+// Micro-op kinds. Unless suffixed otherwise, operands are 32-bit.
+// Suffix letters read dst-then-src: RR = reg←reg, RI = reg←imm,
+// RM = reg←mem, MR = mem←reg, MI = mem←imm. An "8" names the byte form,
+// whose register operands are pre-resolved (storage register + shift)
+// partial-register slots.
+const (
+	KindNop Kind = iota
+
+	// Moves.
+	KindMovRR  // Dst ← Src
+	KindMovRI  // Dst ← Imm
+	KindMovRR8 // Dst.byte[Dsh] ← Src.byte[Ssh]
+	KindMovRI8 // Dst.byte[Dsh] ← Imm
+	KindLoad   // Dst ← mem32[ea]
+	KindLoad8  // Dst.byte[Dsh] ← mem8[ea]
+	KindStore  // mem32[ea] ← Src
+	KindStore8 // mem8[ea] ← Src.byte[Ssh]
+	KindStoreI // mem32[ea] ← Imm
+	KindStoreI8
+	KindLea // Dst ← ea
+
+	// Widening moves.
+	KindMovzxRR8  // Dst ← zx(Src.byte[Ssh])
+	KindMovzxRR16 // Dst ← zx(Src & 0xFFFF)
+	KindMovzxRM8  // Dst ← zx(mem8[ea])
+	KindMovzxRM16 // Dst ← zx(mem16[ea])
+	KindMovsxRR8
+	KindMovsxRR16
+	KindMovsxRM8
+	KindMovsxRM16
+
+	KindXchgRR // Dst ↔ Src
+
+	// Fully specialized 32-bit ALU forms for the hottest operations:
+	// the operation is baked into the kind, so the executor's case body
+	// is a handful of machine ops with no secondary dispatch.
+	KindAddRR
+	KindAddRI
+	KindSubRR
+	KindSubRI
+	KindCmpRR
+	KindCmpRI
+	KindAndRR
+	KindAndRI
+	KindOrRR
+	KindOrRI
+	KindXorRR
+	KindXorRI
+	KindTestRR
+	KindTestRI
+
+	// ALU, Sub = AluOp. CMP and TEST suppress the writeback.
+	KindAluRR  // a=Dst, b=Src
+	KindAluRI  // a=Dst, b=Imm
+	KindAluRM  // a=Dst, b=mem32[ea]
+	KindAluMR  // a=mem32[ea], b=Src, result back to mem
+	KindAluMI  // a=mem32[ea], b=Imm, result back to mem
+	KindAlu8RR // byte forms, reg slots pre-resolved
+	KindAlu8RI
+	KindAlu8RM
+	KindAlu8MR
+	KindAlu8MI
+
+	KindIncR // Dst++ (CF preserved)
+	KindDecR // Dst-- (CF preserved)
+	KindNegR
+	KindNotR
+
+	// Shifts, Sub = ShOp; 32-bit register destinations only.
+	KindShiftRI  // count = Imm (1..31; a zero count lowers to KindNop)
+	KindShiftRCL // count = CL & 31 (a zero count is a runtime no-op)
+
+	// Multiply/divide.
+	KindImulRR  // Dst ← Dst * Src (signed, flags = overflow)
+	KindImulRM  // Dst ← Dst * mem32[ea]
+	KindImulRRI // Dst ← Src * Imm
+	KindImulRMI // Dst ← mem32[ea] * Imm
+	KindMulR    // edx:eax ← eax * Src; Sub != 0 means signed (IMUL1)
+	KindMulM
+	KindDivR // eax,edx ← edx:eax ÷ Src; Sub != 0 means signed (IDIV)
+	KindDivM
+	KindCdq
+
+	// Stack.
+	KindPushR
+	KindPushI
+	KindPushM
+	KindPopR
+	KindPopM
+
+	KindSetccR8 // Dst.byte[Dsh] ← Sub(cc) ? 1 : 0
+	KindSetccM8
+
+	// Control transfers; always the last micro-op of a block.
+	KindJmp   // eip ← Target (chainable)
+	KindJcc   // Sub = cc; eip ← Target or Next (both chainable)
+	KindCall  // push Next; eip ← Target (chainable)
+	KindCallR // push Next; eip ← Src (indirect)
+	KindCallM // push Next; eip ← mem32[ea] (indirect)
+	KindRet   // eip ← pop; esp += Imm
+	KindJmpR  // eip ← Src (indirect)
+	KindJmpM  // eip ← mem32[ea] (indirect)
+	KindInt   // syscall gate; resumes at Next (chainable)
+	KindHlt
+	KindUd2
+
+	// Escapes to the reference interpreter.
+	KindString  // MOVS/STOS (flag-free; Inst carries the REP prefix)
+	KindGeneric // materialize flags, run Inst on the reference engine
+)
+
+// AluOp is the Sub selector of the KindAlu* micro-ops.
+type AluOp uint8
+
+// ALU sub-operations.
+const (
+	AluAdd AluOp = iota
+	AluAdc
+	AluSub
+	AluSbb
+	AluAnd
+	AluOr
+	AluXor
+	AluCmp
+	AluTest
+)
+
+// ShOp is the Sub selector of the KindShift* micro-ops.
+type ShOp uint8
+
+// Shift sub-operations.
+const (
+	ShShl ShOp = iota
+	ShShr
+	ShSar
+)
+
+// Uop is one micro-op. Field meaning is keyed by Kind; unused fields are
+// zero. Register fields hold register numbers (or pre-resolved byte-slot
+// storage registers for the 8-bit kinds, with Dsh/Ssh the slot shifts).
+// Base/Idx/Scale/Disp describe the effective address of the memory
+// operand; an absent base or index is encoded as RegZero (with Scale 0
+// for an absent index), never as x86.NoReg.
+type Uop struct {
+	Kind  Kind
+	Sub   uint8 // AluOp, ShOp, condition code, or signedness selector
+	Dst   uint8
+	Src   uint8
+	Dsh   uint8 // byte-slot shift of Dst (0 or 8)
+	Ssh   uint8 // byte-slot shift of Src (0 or 8)
+	Base  uint8
+	Idx   uint8
+	Scale uint8
+
+	Imm    uint32 // immediate / RET stack adjustment
+	Disp   uint32 // effective-address displacement
+	EIP    uint32 // address of the source instruction (trap reporting)
+	Next   uint32 // address of the following instruction
+	Target uint32 // absolute branch target for Jmp/Jcc/Call
+
+	Inst *x86.Inst // KindString / KindGeneric escape payload
+}

@@ -1,0 +1,374 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vxa/internal/x86"
+)
+
+// These are the differential tests for the micro-op translation engine:
+// every instruction shape the lowering pass specializes (and several it
+// routes through the generic escape) is executed on both engines — the
+// uop engine with lazy flags, and the reference exec interpreter with
+// eager flags — from identical randomized register/flag/memory states,
+// and the full architectural outcome (registers, all five flags
+// materialized bit-for-bit, memory) must agree. The randomized operand
+// tables cover the AH/CH/DH/BH partial-register paths and the
+// carry-consuming ADC/SBB/INC/DEC cases explicitly.
+
+const (
+	diffCode = PageSize            // where the instruction under test is placed
+	diffData = PageSize + PageSize // scratch data page for memory operands
+)
+
+// diffVM builds a VM with a writable two-page region covering the code
+// and data areas used by the differential tests.
+func diffVM(t *testing.T) *VM {
+	t.Helper()
+	v, err := New(Config{MemSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MapSegment(PageSize, make([]byte, 2*PageSize), 2*PageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// seedState randomizes one architectural state and mirrors it onto both
+// VMs: registers, eager flags, and the data page.
+func seedState(t *testing.T, rng *rand.Rand, v1, v2 *VM) {
+	t.Helper()
+	for r := 0; r < 8; r++ {
+		val := rng.Uint32()
+		if x86.Reg(r) == x86.ESP {
+			val = v1.MemSize() - 16 // keep the stack usable
+		}
+		v1.regs[r] = val
+		v2.regs[r] = val
+	}
+	cf, zf, sf, of, pf := rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0
+	v1.cf, v1.zf, v1.sf, v1.of, v1.pf = cf, zf, sf, of, pf
+	v2.cf, v2.zf, v2.sf, v2.of, v2.pf = cf, zf, sf, of, pf
+	v1.fl.Op = 0 // FlagNone: the seeded bools are authoritative
+	v2.fl.Op = 0
+	data := make([]byte, 64)
+	rng.Read(data)
+	copy(v1.mem[diffData:], data)
+	copy(v2.mem[diffData:], data)
+}
+
+// diffRun executes inst on both engines: v1 through lowering and the uop
+// executor (followed by a UD2 so the block terminates), v2 on the
+// reference interpreter. It returns the non-UD2 error from each engine.
+func diffRun(t *testing.T, v1, v2 *VM, inst x86.Inst) (err1, err2 error) {
+	t.Helper()
+	enc, err := x86.Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %v: %v", inst, err)
+	}
+	code := append(append([]byte{}, enc...), 0x0F, 0x0B) // inst; ud2
+	copy(v1.mem[diffCode:], code)
+	copy(v2.mem[diffCode:], code)
+
+	// The uop engine: translate the tiny block fresh (the code bytes
+	// change between trials, so never reuse the cache) and run it.
+	v1.blocks = make(map[uint32]*bref)
+	v1.eip = diffCode
+	br, err := v1.lookupBlock(diffCode)
+	if err != nil {
+		t.Fatalf("lookupBlock %v: %v", inst, err)
+	}
+	err1 = v1.execUops(br)
+	if tr, ok := err1.(*Trap); ok && tr.Kind == TrapIllegal && tr.EIP == diffCode+uint32(len(enc)) {
+		err1 = nil // the terminating UD2, as planned
+	}
+	v1.materializeFlags()
+
+	// The reference engine.
+	decoded, err := x86.Decode(code)
+	if err != nil {
+		t.Fatalf("decode %v: %v", inst, err)
+	}
+	err2 = v2.exec(&decoded, diffCode)
+	return err1, err2
+}
+
+// diffCompare asserts both engines produced the same architectural state.
+func diffCompare(t *testing.T, v1, v2 *VM, inst x86.Inst, trial int) {
+	t.Helper()
+	for r := 0; r < 8; r++ {
+		if v1.regs[r] != v2.regs[r] {
+			t.Fatalf("trial %d %v: %s = %#x (uop) vs %#x (ref)",
+				trial, inst, x86.Reg(r), v1.regs[r], v2.regs[r])
+		}
+	}
+	if v1.cf != v2.cf || v1.zf != v2.zf || v1.sf != v2.sf || v1.of != v2.of || v1.pf != v2.pf {
+		t.Fatalf("trial %d %v: flags cf=%v zf=%v sf=%v of=%v pf=%v (uop) vs cf=%v zf=%v sf=%v of=%v pf=%v (ref)",
+			trial, inst, v1.cf, v1.zf, v1.sf, v1.of, v1.pf, v2.cf, v2.zf, v2.sf, v2.of, v2.pf)
+	}
+	if !bytes.Equal(v1.mem[diffData:diffData+64], v2.mem[diffData:diffData+64]) {
+		t.Fatalf("trial %d %v: data page diverged", trial, inst)
+	}
+}
+
+// diffTrials runs n randomized trials of the instructions gen produces.
+func diffTrials(t *testing.T, seed int64, n int, gen func(rng *rand.Rand) x86.Inst) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v1 := diffVM(t)
+	v2 := diffVM(t)
+	for trial := 0; trial < n; trial++ {
+		seedState(t, rng, v1, v2)
+		inst := gen(rng)
+		err1, err2 := diffRun(t, v1, v2, inst)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d %v: uop err=%v, ref err=%v", trial, inst, err1, err2)
+		}
+		diffCompare(t, v1, v2, inst, trial)
+	}
+}
+
+// memArg returns a memory operand of the given width inside the data
+// page, addressed through a register so the EA path is exercised.
+func memArg(rng *rand.Rand, v1, v2 *VM, size uint8) x86.Arg {
+	off := int32(rng.Intn(48))
+	v1.regs[x86.ESI] = diffData
+	v2.regs[x86.ESI] = diffData
+	return x86.MSIB(x86.ESI, x86.NoReg, 1, off, size)
+}
+
+var diffALUOps = []x86.Op{
+	x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.TEST,
+}
+
+func TestDiffALU32(t *testing.T) {
+	diffTrials(t, 1, 4000, func(rng *rand.Rand) x86.Inst {
+		op := diffALUOps[rng.Intn(len(diffALUOps))]
+		dst := x86.R(x86.Reg(rng.Intn(4))) // keep off ESP/ESI
+		switch rng.Intn(3) {
+		case 0:
+			return x86.Inst{Op: op, Dst: dst, Src: x86.R(x86.Reg(rng.Intn(4)))}
+		case 1:
+			return x86.Inst{Op: op, Dst: dst, Src: x86.I(int32(rng.Uint32()))}
+		default:
+			// Interesting boundary immediates.
+			picks := []int32{0, 1, -1, 0x7FFFFFFF, -0x80000000, 0x80}
+			return x86.Inst{Op: op, Dst: dst, Src: x86.I(picks[rng.Intn(len(picks))])}
+		}
+	})
+}
+
+// TestDiffALU8 covers the byte forms, including the AH/CH/DH/BH
+// partial-register slots on both operands.
+func TestDiffALU8(t *testing.T) {
+	diffTrials(t, 2, 4000, func(rng *rand.Rand) x86.Inst {
+		op := diffALUOps[rng.Intn(len(diffALUOps))]
+		dst := x86.R8(x86.Reg(rng.Intn(8))) // AL..BL and AH..BH
+		if rng.Intn(2) == 0 {
+			return x86.Inst{Op: op, Dst: dst, Src: x86.R8(x86.Reg(rng.Intn(8)))}
+		}
+		return x86.Inst{Op: op, Dst: dst, Src: x86.I8(int8(rng.Intn(256)))}
+	})
+}
+
+func TestDiffALUMem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v1 := diffVM(t)
+	v2 := diffVM(t)
+	for trial := 0; trial < 3000; trial++ {
+		seedState(t, rng, v1, v2)
+		op := diffALUOps[rng.Intn(len(diffALUOps))]
+		size := uint8(4)
+		if rng.Intn(2) == 0 {
+			size = 1
+		}
+		m := memArg(rng, v1, v2, size)
+		var inst x86.Inst
+		form := rng.Intn(3)
+		if op == x86.TEST && form == 0 {
+			form = 1 // TEST has no reg←mem encoding
+		}
+		switch form {
+		case 0: // reg op= mem
+			if size == 4 {
+				inst = x86.Inst{Op: op, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: m}
+			} else {
+				inst = x86.Inst{Op: op, Dst: x86.R8(x86.Reg(rng.Intn(8))), Src: m}
+			}
+		case 1: // mem op= reg
+			if size == 4 {
+				inst = x86.Inst{Op: op, Dst: m, Src: x86.R(x86.Reg(rng.Intn(4)))}
+			} else {
+				inst = x86.Inst{Op: op, Dst: m, Src: x86.R8(x86.Reg(rng.Intn(8)))}
+			}
+		default: // mem op= imm
+			if size == 4 {
+				inst = x86.Inst{Op: op, Dst: m, Src: x86.I(int32(rng.Uint32()))}
+			} else {
+				inst = x86.Inst{Op: op, Dst: m, Src: x86.Arg{Kind: x86.KindImm, Imm: int32(rng.Intn(256)), Size: 1}}
+			}
+		}
+		err1, err2 := diffRun(t, v1, v2, inst)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d %v: uop err=%v, ref err=%v", trial, inst, err1, err2)
+		}
+		diffCompare(t, v1, v2, inst, trial)
+	}
+}
+
+// TestDiffShifts covers SHL/SHR/SAR by immediate (including zero counts,
+// which must leave every flag untouched) and by CL, plus the rotates
+// that ride the generic escape.
+func TestDiffShifts(t *testing.T) {
+	ops := []x86.Op{x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR}
+	diffTrials(t, 4, 5000, func(rng *rand.Rand) x86.Inst {
+		op := ops[rng.Intn(len(ops))]
+		dst := x86.R(x86.Reg(rng.Intn(4)))
+		if rng.Intn(2) == 0 {
+			count := int32(rng.Intn(40)) & 31 // the decoder masks to 5 bits
+			return x86.Inst{Op: op, Dst: dst, Src: x86.Arg{Kind: x86.KindImm, Imm: count, Size: 1}}
+		}
+		// Shift by CL; ECX was randomized by seedState, so counts of 0,
+		// small, 31 and >=32 (mod behaviour) all occur.
+		return x86.Inst{Op: op, Dst: dst, Src: x86.R8(x86.ECX)}
+	})
+}
+
+// TestDiffUnary covers NEG/NOT/INC/DEC across register, byte-register
+// and memory destinations (the latter two take the generic escape).
+func TestDiffUnary(t *testing.T) {
+	ops := []x86.Op{x86.NEG, x86.NOT, x86.INC, x86.DEC}
+	rng := rand.New(rand.NewSource(5))
+	v1 := diffVM(t)
+	v2 := diffVM(t)
+	for trial := 0; trial < 3000; trial++ {
+		seedState(t, rng, v1, v2)
+		op := ops[rng.Intn(len(ops))]
+		var inst x86.Inst
+		switch rng.Intn(3) {
+		case 0:
+			inst = x86.Inst{Op: op, Dst: x86.R(x86.Reg(rng.Intn(4)))}
+		case 1:
+			inst = x86.Inst{Op: op, Dst: x86.R8(x86.Reg(rng.Intn(8)))}
+		default:
+			inst = x86.Inst{Op: op, Dst: memArg(rng, v1, v2, 4)}
+		}
+		err1, err2 := diffRun(t, v1, v2, inst)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d %v: uop err=%v, ref err=%v", trial, inst, err1, err2)
+		}
+		diffCompare(t, v1, v2, inst, trial)
+	}
+}
+
+// TestDiffMulWide covers the IMUL forms and the widening MUL/IMUL.
+func TestDiffMulWide(t *testing.T) {
+	diffTrials(t, 6, 3000, func(rng *rand.Rand) x86.Inst {
+		switch rng.Intn(4) {
+		case 0:
+			return x86.Inst{Op: x86.IMUL, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: x86.R(x86.Reg(rng.Intn(4)))}
+		case 1:
+			return x86.Inst{Op: x86.IMUL, Dst: x86.R(x86.Reg(rng.Intn(4))),
+				Src: x86.R(x86.Reg(rng.Intn(4))), Aux: x86.I(int32(rng.Uint32()))}
+		case 2:
+			return x86.Inst{Op: x86.MUL1, Dst: x86.R(x86.Reg(rng.Intn(4)))}
+		default:
+			return x86.Inst{Op: x86.IMUL1, Dst: x86.R(x86.Reg(rng.Intn(4)))}
+		}
+	})
+}
+
+// TestDiffMovExtSetcc covers the move/widening/setcc handlers, whose
+// results depend on the partial-register slots and lazily evaluated
+// conditions.
+func TestDiffMovExtSetcc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v1 := diffVM(t)
+	v2 := diffVM(t)
+	for trial := 0; trial < 4000; trial++ {
+		seedState(t, rng, v1, v2)
+		var inst x86.Inst
+		switch rng.Intn(8) {
+		case 0:
+			inst = x86.Inst{Op: x86.MOV, Dst: x86.R8(x86.Reg(rng.Intn(8))), Src: x86.R8(x86.Reg(rng.Intn(8)))}
+		case 1:
+			inst = x86.Inst{Op: x86.MOV, Dst: x86.R8(x86.Reg(rng.Intn(8))), Src: memArg(rng, v1, v2, 1)}
+		case 2:
+			inst = x86.Inst{Op: x86.MOV, Dst: memArg(rng, v1, v2, 1), Src: x86.R8(x86.Reg(rng.Intn(8)))}
+		case 3:
+			inst = x86.Inst{Op: x86.MOVZX, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: x86.R8(x86.Reg(rng.Intn(8)))}
+		case 4:
+			inst = x86.Inst{Op: x86.MOVSX, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: x86.R8(x86.Reg(rng.Intn(8)))}
+		case 5:
+			inst = x86.Inst{Op: x86.MOVZX, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: memArg(rng, v1, v2, 2)}
+		case 6:
+			inst = x86.Inst{Op: x86.MOVSX, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: memArg(rng, v1, v2, 2)}
+		default:
+			inst = x86.Inst{Op: x86.SETCC, CC: x86.CC(rng.Intn(16)), Dst: x86.R8(x86.Reg(rng.Intn(8)))}
+		}
+		err1, err2 := diffRun(t, v1, v2, inst)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d %v: uop err=%v, ref err=%v", trial, inst, err1, err2)
+		}
+		diffCompare(t, v1, v2, inst, trial)
+	}
+}
+
+// TestDiffCondAfterLazyOp pins the lazy condition evaluator: after a
+// random flag-writing instruction runs on the uop engine (leaving a lazy
+// record) and on the reference engine (eager flags), every one of the 16
+// condition codes must evaluate identically — without materializing the
+// record.
+func TestDiffCondAfterLazyOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v1 := diffVM(t)
+	v2 := diffVM(t)
+	flagOps := []x86.Op{x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.XOR,
+		x86.CMP, x86.TEST, x86.SHL, x86.SHR, x86.SAR, x86.INC, x86.DEC, x86.NEG}
+	for trial := 0; trial < 3000; trial++ {
+		seedState(t, rng, v1, v2)
+		op := flagOps[rng.Intn(len(flagOps))]
+		var inst x86.Inst
+		switch op {
+		case x86.INC, x86.DEC, x86.NEG:
+			inst = x86.Inst{Op: op, Dst: x86.R(x86.Reg(rng.Intn(4)))}
+		case x86.SHL, x86.SHR, x86.SAR:
+			inst = x86.Inst{Op: op, Dst: x86.R(x86.Reg(rng.Intn(4))),
+				Src: x86.Arg{Kind: x86.KindImm, Imm: int32(rng.Intn(32)), Size: 1}}
+		default:
+			if rng.Intn(2) == 0 {
+				inst = x86.Inst{Op: op, Dst: x86.R8(x86.Reg(rng.Intn(8))), Src: x86.R8(x86.Reg(rng.Intn(8)))}
+			} else {
+				inst = x86.Inst{Op: op, Dst: x86.R(x86.Reg(rng.Intn(4))), Src: x86.R(x86.Reg(rng.Intn(4)))}
+			}
+		}
+		enc, err := x86.Encode(inst)
+		if err != nil {
+			t.Fatalf("encode %v: %v", inst, err)
+		}
+		code := append(append([]byte{}, enc...), 0x0F, 0x0B)
+		copy(v1.mem[diffCode:], code)
+		copy(v2.mem[diffCode:], code)
+		v1.blocks = make(map[uint32]*bref)
+		br, err := v1.lookupBlock(diffCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v1.execUops(br) // ends at the ud2; the lazy record survives
+		decoded, err := x86.Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v2.exec(&decoded, diffCode); err != nil {
+			t.Fatal(err)
+		}
+		for cc := x86.CC(0); cc < 16; cc++ {
+			if got, want := v1.ucond(cc), v2.cond(cc); got != want {
+				t.Fatalf("trial %d %v: cond %v = %v (lazy) vs %v (eager)", trial, inst, cc, got, want)
+			}
+		}
+	}
+}

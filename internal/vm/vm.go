@@ -30,7 +30,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
+	"vxa/internal/vm/uop"
 	"vxa/internal/x86"
 )
 
@@ -144,20 +146,33 @@ type Config struct {
 
 // Stats are execution counters exposed for the evaluation harness.
 type Stats struct {
-	Steps        uint64 // guest instructions executed
-	BlockLookups uint64 // fragment-cache lookups (indirect control flow)
-	BlocksBuilt  uint64 // fragments decoded ("translated")
-	Syscalls     uint64
+	Steps             uint64 // guest instructions executed
+	BlockLookups      uint64 // fragment-cache map lookups (chain misses + indirect control flow)
+	BlocksBuilt       uint64 // fragments decoded and lowered ("translated")
+	BlocksChained     uint64 // direct-successor links installed between fragments
+	UopsExecuted      uint64 // micro-ops dispatched by the translation engine
+	FlagsMaterialized uint64 // individual EFLAGS bits computed from lazy records
+	TranslateNS       uint64 // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
+	Syscalls          uint64
 }
 
 // VM is one sandboxed guest. It is not safe for concurrent use.
 type VM struct {
-	mem  []byte
-	regs [8]uint32
+	mem []byte
+	// regs holds the eight architectural registers plus a ninth slot
+	// (uop.RegZero) that is always zero: lowered memory operands index it
+	// for absent base/index registers, making effective-address
+	// computation branchless. Nothing ever writes regs[8].
+	regs [9]uint32
 	eip  uint32
 
-	// EFLAGS subset (the arithmetic flags the subset can observe).
+	// EFLAGS subset (the arithmetic flags the subset can observe). The
+	// bools are the materialized ("eager") representation and are
+	// authoritative only while fl.Op == uop.FlagNone; otherwise fl holds
+	// the deferred inputs of the last flag-writing operation and bits are
+	// computed on demand (see uexec.go).
 	cf, zf, sf, of, pf bool
+	fl                 uop.Flags
 
 	// Sandbox bounds. The accessible regions are [PageSize, brk) for
 	// code/data/heap and [stackBase, memSize) for the stack; everything
@@ -169,7 +184,7 @@ type VM struct {
 
 	fuel    int64
 	noCache bool
-	blocks  map[uint32]*block
+	blocks  map[uint32]*bref
 
 	// Stdin is the encoded input stream (virtual fd 0).
 	Stdin io.Reader
@@ -184,9 +199,28 @@ type VM struct {
 	stats    Stats
 }
 
+// block is one translated fragment: the decoded instructions plus their
+// lowered micro-op form. Blocks are immutable after construction and may
+// be shared by many VMs through a Snapshot.
 type block struct {
 	insts []x86.Inst
-	addrs []uint32 // eip of each instruction
+	addrs []uint32  // eip of each instruction
+	uops  []uop.Uop // lowered form, 1:1 with insts
+	end   uint32    // address just past the last instruction
+}
+
+// bref is the per-VM view of a block: the shared immutable fragment plus
+// this VM's chain links to its direct successors and a monomorphic
+// inline cache for its indirect successor (the last RET / indirect
+// jump/call target seen). Keeping the links out of the shared block lets
+// VMs materialized from one snapshot chain independently (and
+// race-free); Reset swaps in fresh wrappers, which invalidates every
+// link at once.
+type bref struct {
+	b           *block
+	taken, fall *bref
+	ind         *bref
+	indAddr     uint32
 }
 
 // New creates a VM with an empty address space.
@@ -216,7 +250,7 @@ func New(cfg Config) (*VM, error) {
 		stackBase: cfg.MemSize - cfg.StackSize,
 		fuel:      cfg.Fuel,
 		noCache:   cfg.NoBlockCache,
-		blocks:    make(map[uint32]*block),
+		blocks:    make(map[uint32]*bref),
 	}
 	v.regs[x86.ESP] = cfg.MemSize - 16 // a little headroom at the very top
 	return v, nil
@@ -268,7 +302,10 @@ func (v *VM) Brk() uint32 { return v.brk }
 // FuelRemaining returns the remaining instruction budget.
 func (v *VM) FuelRemaining() int64 { return v.fuel }
 
-// AddFuel extends the instruction budget (e.g. between streams).
+// AddFuel extends the instruction budget by n.
+//
+// Deprecated: per-stream budgets are absolute. Use SetFuel (or RunStream,
+// which applies it) so leftover fuel never accumulates across streams.
 func (v *VM) AddFuel(n int64) { v.fuel += n }
 
 // MemSize returns the size of the guest address space.
@@ -317,49 +354,60 @@ var errDone = errors.New("vm: guest stream done")
 // Run executes the guest until it invokes exit or done, or faults.
 // After StatusDone the VM may be resumed by calling Run again, optionally
 // with new Stdin/Stdout, implementing the multi-stream decoder protocol.
+//
+// Execution is block-at-a-time over translated micro-op fragments:
+// direct control transfers follow per-VM chain links from fragment to
+// fragment, and only indirect branches (and chain misses) resolve
+// through the fragment-cache map.
 func (v *VM) Run() (Status, error) {
-	for {
-		blk, err := v.fetchBlock(v.eip)
-		if err != nil {
-			return StatusExit, err
-		}
-		if err := v.execBlock(blk); err != nil {
-			switch err {
-			case errExit:
-				return StatusExit, nil
-			case errDone:
-				return StatusDone, nil
-			}
-			return StatusExit, err
-		}
+	br, err := v.lookupBlock(v.eip)
+	if err != nil {
+		return StatusExit, err
+	}
+	switch err := v.execUops(br); err {
+	case errExit:
+		return StatusExit, nil
+	case errDone:
+		return StatusDone, nil
+	default:
+		return StatusExit, err
 	}
 }
 
 // maxBlockLen bounds fragment size, mirroring vx32's fragment granularity.
 const maxBlockLen = 64
 
-// fetchBlock returns the decoded fragment starting at addr, building and
-// caching it on a miss. With NoBlockCache set, every call re-decodes a
-// single instruction (the no-translation-cache ablation).
-func (v *VM) fetchBlock(addr uint32) (*block, error) {
+// lookupBlock returns the translated fragment starting at addr, building
+// and caching it on a miss. With NoBlockCache set, every call re-decodes
+// and re-lowers a single instruction (the translate-per-step ablation).
+func (v *VM) lookupBlock(addr uint32) (*bref, error) {
 	v.stats.BlockLookups++
 	if !v.noCache {
-		if b, ok := v.blocks[addr]; ok {
-			return b, nil
+		if br, ok := v.blocks[addr]; ok {
+			return br, nil
 		}
 	}
 	b, err := v.buildBlock(addr)
 	if err != nil {
 		return nil, err
 	}
+	br := &bref{b: b}
 	if !v.noCache {
-		v.blocks[addr] = b
+		v.blocks[addr] = br
 	}
-	return b, nil
+	return br, nil
 }
 
+// buildBlock decodes the fragment starting at addr and lowers it to
+// micro-ops. Translation time is accumulated in Stats.TranslateNS except
+// in the NoBlockCache ablation, where the per-step clock reads would
+// distort the very overhead the ablation measures.
 func (v *VM) buildBlock(addr uint32) (*block, error) {
 	v.stats.BlocksBuilt++
+	var t0 time.Time
+	if !v.noCache {
+		t0 = time.Now()
+	}
 	b := &block{}
 	limit := maxBlockLen
 	if v.noCache {
@@ -387,6 +435,11 @@ func (v *VM) buildBlock(addr uint32) (*block, error) {
 			break
 		}
 	}
+	b.end = cur
+	b.uops = uop.Lower(b.insts, b.addrs)
+	if !v.noCache {
+		v.stats.TranslateNS += uint64(time.Since(t0))
+	}
 	return b, nil
 }
 
@@ -401,6 +454,11 @@ func endsBlock(op x86.Op) bool {
 	return false
 }
 
+// execBlock runs a fragment on the reference (eager-flag, per-instruction
+// fuel) engine. It is the end-of-fuel slow path of execUops: walking the
+// final instructions one at a time preserves the exact trap EIP that
+// per-block fuel accounting gives up. Flags must be materialized before
+// entry.
 func (v *VM) execBlock(b *block) error {
 	for i := range b.insts {
 		if v.fuel <= 0 {

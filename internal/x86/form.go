@@ -1,0 +1,70 @@
+package x86
+
+// Form classifies the operand shape of an instruction: which of the
+// dst/src slots are present and whether each is a register, memory
+// reference or immediate. Translators (the VM's micro-op lowering pass)
+// switch on the form to pick an operand-specialized handler at translate
+// time instead of re-inspecting Arg kinds on every execution.
+type Form uint8
+
+// Operand forms. The two-letter names read dst-then-src: FormRM is
+// "register destination, memory source".
+const (
+	FormNone  Form = iota // no operands
+	FormR                 // single register operand
+	FormM                 // single memory operand
+	FormI                 // single immediate operand
+	FormRR                // reg, reg
+	FormRI                // reg, imm
+	FormRM                // reg, mem
+	FormMR                // mem, reg
+	FormMI                // mem, imm
+	FormOther             // anything else (three-operand, mem/mem, ...)
+)
+
+// Form returns the operand form of the instruction. Only the Dst/Src
+// slots participate; a three-operand IMUL reports the form of its first
+// two operands (its Aux immediate is inspected separately).
+func (i *Inst) Form() Form {
+	switch i.Dst.Kind {
+	case KindNone:
+		return FormNone
+	case KindReg:
+		switch i.Src.Kind {
+		case KindNone:
+			return FormR
+		case KindReg:
+			return FormRR
+		case KindImm:
+			return FormRI
+		case KindMem:
+			return FormRM
+		}
+	case KindMem:
+		switch i.Src.Kind {
+		case KindNone:
+			return FormM
+		case KindReg:
+			return FormMR
+		case KindImm:
+			return FormMI
+		}
+	case KindImm:
+		if i.Src.Kind == KindNone {
+			return FormI
+		}
+	}
+	return FormOther
+}
+
+// Reg8Slot resolves an 8-bit register operand to its 32-bit storage
+// register and the bit shift of the byte view: AL..BL live in bits 0-7 of
+// EAX..EBX, AH..BH in bits 8-15. Resolving the slot at translate time
+// lets byte handlers use one shift/mask instead of re-deriving the
+// partial-register mapping per step.
+func Reg8Slot(r Reg) (store Reg, shift uint8) {
+	if r < 4 {
+		return r, 0
+	}
+	return r - 4, 8
+}
