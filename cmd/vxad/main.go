@@ -1,0 +1,97 @@
+// Command vxad is the VXA archive-extraction daemon: it serves archive
+// listing, per-entry extraction, integrity verification and raw stream
+// decoding over HTTP and/or a unix socket, multiplexing every client
+// over a shared content-addressed decoder snapshot cache with admission
+// control. See the README's "The extraction service" section for the
+// API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vxa"
+	"vxa/internal/server"
+	"vxa/internal/vm"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:7788", "HTTP listen address (empty to disable)")
+	unixPath := flag.String("unix", "", "unix socket path to also listen on")
+	inflight := flag.Int("inflight", 0, "max concurrent decode streams (0 = all cores)")
+	queue := flag.Int("queue", 0, "max queued requests before shedding (0 = 4x inflight)")
+	queueTimeout := flag.Duration("queue-timeout", server.DefaultQueueTimeout, "max time a request may wait for a stream slot")
+	cacheBytes := flag.Int64("cache-bytes", 0, "decoder snapshot cache budget in bytes (0 = default 1 GiB)")
+	memSize := flag.Uint64("mem", 0, "guest address space per decoder VM in bytes (0 = default 64 MiB)")
+	maxFuel := flag.Int64("max-fuel", 0, "per-stream guest instruction ceiling (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 256 MiB)")
+	flag.Parse()
+	_ = vxa.Codecs() // register the built-in codec set for /v1/decode
+
+	if *httpAddr == "" && *unixPath == "" {
+		fatal(fmt.Errorf("nothing to listen on: set -http and/or -unix"))
+	}
+	if *memSize > vm.MaxMemSize {
+		fatal(fmt.Errorf("-mem %d exceeds the %d-byte (1 GiB) sandbox limit", *memSize, vm.MaxMemSize))
+	}
+
+	srv := server.New(server.Config{
+		MemSize:         uint32(*memSize),
+		MaxFuel:         *maxFuel,
+		CacheBytes:      *cacheBytes,
+		MaxInFlight:     *inflight,
+		MaxQueue:        *queue,
+		QueueTimeout:    *queueTimeout,
+		MaxRequestBytes: *maxBody,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	errc := make(chan error, 2)
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxad: listening on http://%s\n", ln.Addr())
+		go func() { errc <- hs.Serve(ln) }()
+	}
+	if *unixPath != "" {
+		// A stale socket from a previous run would refuse the bind.
+		os.Remove(*unixPath)
+		ln, err := net.Listen("unix", *unixPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxad: listening on unix:%s\n", *unixPath)
+		go func() { errc <- hs.Serve(ln) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "vxad: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxad:", err)
+	os.Exit(1)
+}

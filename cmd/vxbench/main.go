@@ -31,6 +31,7 @@ type report struct {
 	Fig7       []bench.Fig7Row     `json:"fig7,omitempty"`
 	Pool       []bench.PoolRow     `json:"pool,omitempty"`
 	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
+	Server     []bench.ServerRow   `json:"server,omitempty"`
 }
 
 func main() {
@@ -40,15 +41,17 @@ func main() {
 	ov := flag.Bool("overhead", false, "print decoder storage overhead (section 5.3)")
 	pl := flag.Bool("pool", false, "measure cold vs pooled per-stream decoder setup")
 	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
+	sv := flag.Bool("server", false, "measure vxad cold vs warm snapshot-cache request latency")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
 	streams := flag.Int("streams", 16, "streams per codec for -pool")
 	entries := flag.Int("entries", 16, "archive entries for -parallel")
+	warm := flag.Int("warm", 16, "warm requests per codec for -server")
 	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
 	baseline := flag.String("baseline", "", "compare -fig7 against a previous -json file; exit nonzero on >10% geomean regression")
 	flag.Parse()
 	_ = vxa.Codecs()
-	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv
 	if *baseline != "" {
 		*f7 = true // the compare mode needs a fresh Figure 7 run
 	}
@@ -115,6 +118,20 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("  %-8s %8d %14v %14v %8.1fx\n",
 				r.Codec, r.Streams, r.ColdPerStream.Round(10e3), r.PooledPerStream.Round(10e3), r.Speedup)
+		}
+		fmt.Println()
+	}
+	if *sv || all {
+		rows, err := bench.ServerBench(*warm)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Server = rows
+		fmt.Println("Server: vxad /v1/decode request latency, snapshot-cache miss vs hit")
+		fmt.Printf("  %-8s %8s %14s %14s %9s\n", "decoder", "input", "cold", "warm", "speedup")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %6.0fKB %14v %14v %8.1fx\n",
+				r.Codec, kb(r.InputBytes), r.ColdNS.Round(10e3), r.WarmNS.Round(10e3), r.Speedup)
 		}
 		fmt.Println()
 	}

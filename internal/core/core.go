@@ -232,9 +232,15 @@ type Reader struct {
 	entries []Entry
 
 	// VM reuse state (§2.4): a pool of decoder VMs keyed by
-	// (codec, security mode), created on first use.
-	mu   sync.Mutex
-	pool *vmpool.Pool
+	// (codec, security mode), created on first use. When snapCache is
+	// set it takes precedence: decoders are leased from the shared
+	// content-addressed snapshot cache instead, keyed by the SHA-256 of
+	// their ELF bytes (hashes memoized per decoder offset).
+	mu         sync.Mutex
+	pool       *vmpool.Pool
+	snapCache  *vmpool.SnapCache
+	cacheScope uint64 // this Reader's trust scope within the shared cache
+	decHashes  map[uint32][32]byte
 
 	// ReinitCount is a statistic: how many times a pristine decoder
 	// image was loaded (cold ELF run, snapshot build or snapshot reset).
@@ -424,6 +430,52 @@ func (r *Reader) vmPool(cfg vm.Config, parallel int) *vmpool.Pool {
 	return r.pool
 }
 
+// SetSnapCache routes every archived-decoder run through a shared
+// content-addressed snapshot cache: decoders are identified by the
+// SHA-256 of their ELF bytes, so Readers over different archives that
+// embed the same decoder share one pristine snapshot, one warm
+// translation cache and one VM pool. It takes precedence over the
+// Reader's private pool (and over ExtractOptions.ReuseVM). The cache's
+// VM configuration wins over ExtractOptions.VM for everything except
+// the per-stream fuel budget. Call it before the first extraction.
+//
+// The Reader takes its own trust scope within the cache: pristine
+// snapshots and translation caches are shared with every other Reader,
+// but a decoder VM parked with this Reader's stream residue is never
+// resumed verbatim for another Reader — it is rewound to the pristine
+// snapshot first.
+func (r *Reader) SetSnapCache(c *vmpool.SnapCache) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.snapCache = c
+	if r.cacheScope == 0 {
+		r.cacheScope = vmpool.NextScope()
+	}
+}
+
+// decoderHash returns the content address of the decoder pseudo-file at
+// the given archive offset, fetching and hashing it once per Reader.
+func (r *Reader) decoderHash(off uint32, elf func() ([]byte, error)) ([32]byte, error) {
+	r.mu.Lock()
+	h, ok := r.decHashes[off]
+	r.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	elfBytes, err := elf()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	h = vmpool.HashELF(elfBytes)
+	r.mu.Lock()
+	if r.decHashes == nil {
+		r.decHashes = make(map[uint32][32]byte)
+	}
+	r.decHashes[off] = h
+	r.mu.Unlock()
+	return h, nil
+}
+
 // DrainVMs drops the pool's idle decoder VMs, releasing their guest
 // memory, and reports how many were dropped. Decoder snapshots are
 // kept, so later extractions stay cheap. Useful on a long-lived Reader
@@ -466,26 +518,44 @@ func (r *Reader) runArchivedDecoder(e *Entry, payload []byte, opts ExtractOption
 	// per-stream cost is a snapshot lookup, not an ELF decompress+parse.
 	elf := func() ([]byte, error) { return r.zr.Decoder(e.hdr.VXA.DecoderOffset) }
 
-	if !opts.ReuseVM {
+	r.mu.Lock()
+	cache, scope := r.snapCache, r.cacheScope
+	r.mu.Unlock()
+
+	var lease *vmpool.Lease
+	switch {
+	case cache != nil:
+		// Content-addressed path: the decoder is identified by the
+		// SHA-256 of its ELF, so identical decoders share one cache
+		// line across every archive and Reader using this cache. The
+		// Reader's scope keeps parked-VM residue from crossing clients.
+		hash, err := r.decoderHash(e.hdr.VXA.DecoderOffset, elf)
+		if err != nil {
+			return err
+		}
+		if lease, err = cache.Get(hash, e.Mode, scope, elf); err != nil {
+			return err
+		}
+	case !opts.ReuseVM:
 		elfBytes, err := elf()
 		if err != nil {
 			return err
 		}
 		r.noteReinit()
 		return codec.RunDecoderELFTo(e.Codec, elfBytes, payload, out, opts.VM)
-	}
-
-	// Pooled path (§2.4): resume a parked VM for equal security
-	// attributes; an attribute change or a new worker re-initializes
-	// from the pristine snapshot, so a malicious decoder cannot leak
-	// data from a protected file into a public one. The pool key
-	// includes the decoder offset, not just the codec name: a foreign
-	// or merged archive may carry two different decoders under one
-	// name, and each must run in its own VM line.
-	poolKey := fmt.Sprintf("%s@%#x", e.Codec, e.hdr.VXA.DecoderOffset)
-	lease, err := r.vmPool(opts.VM, opts.Parallel).Get(poolKey, e.Mode, elf)
-	if err != nil {
-		return err
+	default:
+		// Pooled path (§2.4): resume a parked VM for equal security
+		// attributes; an attribute change or a new worker re-initializes
+		// from the pristine snapshot, so a malicious decoder cannot leak
+		// data from a protected file into a public one. The pool key
+		// includes the decoder offset, not just the codec name: a foreign
+		// or merged archive may carry two different decoders under one
+		// name, and each must run in its own VM line.
+		poolKey := fmt.Sprintf("%s@%#x", e.Codec, e.hdr.VXA.DecoderOffset)
+		var err error
+		if lease, err = r.vmPool(opts.VM, opts.Parallel).Get(poolKey, e.Mode, elf); err != nil {
+			return err
+		}
 	}
 	if lease.Pristine() {
 		r.noteReinit()

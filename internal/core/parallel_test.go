@@ -218,8 +218,8 @@ func TestStreamFuelAbsolute(t *testing.T) {
 	}
 	// Stream 1 may differ (lazy heap growth, cold caches); streams 2 and
 	// 3 are identical work from identical state, so with an absolute
-	// per-stream budget their remaining fuel matches exactly. With the
-	// old accumulating AddFuel, each stream would start ~2^30 richer.
+	// per-stream budget their remaining fuel matches exactly. With an
+	// accumulating budget, each stream would start ~2^30 richer.
 	if remaining[1] != remaining[2] {
 		t.Fatalf("fuel accumulates across streams: remaining = %v", remaining)
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vxa/internal/vm"
+	"vxa/internal/vmpool"
+
+	_ "vxa/internal/codec/deflate"
+)
+
+// TestReaderSharedSnapCache is the fleet-wide amortization property the
+// serving layer is built on: two Readers over two different archives
+// that embed byte-identical decoders share ONE content-addressed cache
+// line — one snapshot build, one translation, however many archives.
+func TestReaderSharedSnapCache(t *testing.T) {
+	build := func(name string, n int) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, WriterOptions{})
+		data := bytes.Repeat([]byte(fmt.Sprintf("archive %s stream ", name)), n)
+		if err := w.AddFile(name, data, 0644); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	arch1, arch2 := build("one.txt", 300), build("two.txt", 400)
+
+	cache := vmpool.NewSnapCache(vmpool.SnapCacheConfig{VM: vm.Config{MemSize: 16 << 20}})
+	opts := ExtractOptions{Mode: AlwaysVXA}
+	for i, arch := range [][]byte{arch1, arch2} {
+		r, err := NewReader(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetSnapCache(cache)
+		for _, res := range r.ExtractAll(opts) {
+			if res.Err != nil {
+				t.Fatalf("archive %d: %s: %v", i, res.Entry.Name, res.Err)
+			}
+		}
+		if errs := r.Verify(opts); len(errs) != 0 {
+			t.Fatalf("archive %d verify: %v", i, errs)
+		}
+	}
+
+	s := cache.Stats()
+	if s.Entries != 1 || s.Misses != 1 {
+		t.Fatalf("cache stats = %+v: want both archives' deflate decoders on one line (1 entry, 1 miss)", s)
+	}
+	if s.Hits < 3 {
+		t.Fatalf("hits = %d, want the 3 post-build streams served from the cache", s.Hits)
+	}
+	if s.VM.Steps == 0 {
+		t.Fatal("aggregated engine counters never accumulated")
+	}
+}
+
+// TestReaderSnapCacheIsolation: the §2.4 security-attribute isolation
+// survives the content-addressed rewrite — entries with different modes
+// never share a VM line even though they share a decoder snapshot line
+// per mode.
+func TestReaderSnapCacheIsolation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{})
+	secret := bytes.Repeat([]byte("secret data "), 200)
+	public := bytes.Repeat([]byte("public data "), 200)
+	if err := w.AddFile("secret.txt", secret, 0600); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddFile("public.txt", public, 0644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := vmpool.NewSnapCache(vmpool.SnapCacheConfig{VM: vm.Config{MemSize: 16 << 20}})
+	r.SetSnapCache(cache)
+	opts := ExtractOptions{Mode: AlwaysVXA}
+	for _, res := range r.ExtractAll(opts) {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Entry.Name, res.Err)
+		}
+	}
+	// One decoder content, two security modes: two cache lines.
+	if s := cache.Stats(); s.Entries != 2 || s.Misses != 2 {
+		t.Fatalf("cache stats = %+v, want one line per security mode", s)
+	}
+}

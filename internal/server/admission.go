@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission is the server's load shedder: it bounds how many decode
+// streams run concurrently (each stream pins a decoder VM and burns a
+// core) and how many may wait for a slot. Requests beyond the queue
+// bound are shed immediately; queued requests that outlive their
+// context deadline are shed without ever starting work — a late decode
+// is worthless, so the queue never does work the client gave up on.
+//
+// The zero value is not usable; use NewAdmission.
+type Admission struct {
+	slots chan struct{} // in-flight capacity; holding a token = running
+	queue chan struct{} // waiting capacity; holding a token = queued
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64 // rejected: queue full
+	expired  atomic.Uint64 // rejected: deadline passed while queued
+}
+
+// Admission outcomes.
+var (
+	// ErrOverloaded: the wait queue is full; shed immediately (HTTP 503).
+	ErrOverloaded = errors.New("server: overloaded, queue full")
+	// ErrExpired: the request deadline passed while queued (HTTP 504).
+	ErrExpired = errors.New("server: deadline expired while queued")
+)
+
+// NewAdmission creates a controller admitting at most inFlight
+// concurrent streams with at most queue waiters. Both are clamped to a
+// minimum of 1.
+func NewAdmission(inFlight, queue int) *Admission {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	return &Admission{
+		slots: make(chan struct{}, inFlight),
+		queue: make(chan struct{}, queue),
+	}
+}
+
+// Acquire admits the caller or sheds it. On success it returns a
+// release function the caller must invoke exactly once when the stream
+// is finished. On failure it returns ErrOverloaded (queue full) or
+// ErrExpired (ctx done while waiting).
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Join the queue, or shed: a full queue means the backlog already
+	// exceeds what we are willing to ever serve.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	// Wait for an in-flight slot until the deadline.
+	select {
+	case a.slots <- struct{}{}:
+		<-a.queue // leave the queue; we are running now
+		a.admitted.Add(1)
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		<-a.queue
+		a.expired.Add(1)
+		return nil, ErrExpired
+	}
+}
+
+// InFlight reports how many admitted streams are currently running.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// QueueDepth reports how many requests are waiting for a slot (admitted
+// requests transiently count while they hand their queue token back).
+func (a *Admission) QueueDepth() int { return len(a.queue) }
+
+// Capacity reports the in-flight bound.
+func (a *Admission) Capacity() int { return cap(a.slots) }
+
+// AdmissionStats is a point-in-time counter snapshot.
+type AdmissionStats struct {
+	InFlight   int    `json:"in_flight"`
+	Capacity   int    `json:"capacity"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Admitted   uint64 `json:"admitted"`
+	Shed       uint64 `json:"shed"`
+	Expired    uint64 `json:"expired"`
+}
+
+// Stats returns the counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:   a.InFlight(),
+		Capacity:   a.Capacity(),
+		QueueDepth: a.QueueDepth(),
+		QueueCap:   cap(a.queue),
+		Admitted:   a.admitted.Load(),
+		Shed:       a.shed.Load(),
+		Expired:    a.expired.Load(),
+	}
+}

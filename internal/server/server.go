@@ -1,0 +1,516 @@
+// Package server implements vxad, the VXA archive-extraction daemon: a
+// long-running service that multiplexes many clients over shared
+// decoder snapshots. Where the library's Reader amortizes decoder setup
+// within one archive, the server amortizes it across the whole fleet of
+// requests: every decoder is content-addressed (SHA-256 of its ELF), so
+// two clients extracting different archives that embed the same decoder
+// share one pristine snapshot, one warm micro-op translation cache and
+// one VM pool. An admission controller bounds concurrent decode streams
+// and sheds load when the backlog exceeds the queue, so the daemon
+// degrades by rejecting quickly instead of collapsing.
+//
+// Endpoints (see the README for the wire details):
+//
+//	GET  /healthz                  liveness
+//	GET  /metrics                  counters (JSON, snake_case)
+//	POST /v1/entries               archive -> entry listing (JSON)
+//	POST /v1/extract?entry=NAME    archive -> one entry's decoded bytes
+//	POST /v1/verify                archive -> per-entry verify results (JSON)
+//	POST /v1/decode?codec=NAME     raw stream -> decoded bytes (built-in codec)
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vxa/internal/codec"
+	"vxa/internal/core"
+	"vxa/internal/vm"
+	"vxa/internal/vmpool"
+	"vxa/internal/zipfile"
+)
+
+// Config configures a Server. The zero value selects the defaults.
+type Config struct {
+	// MemSize is the guest address space given to every decoder VM.
+	// Defaults to core.DefaultDecoderMemSize. Fixed for the server
+	// lifetime — a per-request memory ceiling, not a knob.
+	MemSize uint32
+	// MaxFuel caps the per-stream instruction budget. A request may ask
+	// for less (?fuel=N) but never more. Defaults to DefaultMaxFuel.
+	MaxFuel int64
+	// CacheBytes is the snapshot cache's resident byte budget.
+	// Defaults to vmpool.DefaultSnapCacheBytes.
+	CacheBytes int64
+	// MaxInFlight bounds concurrently running decode streams.
+	// Defaults to GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a stream slot; beyond it
+	// requests are shed with 503. Defaults to 4x MaxInFlight.
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait in the queue
+	// before being shed with 504. Defaults to DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// MaxRequestBytes caps the request body (the archive or stream).
+	// Defaults to DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
+
+// Server defaults.
+const (
+	DefaultMaxFuel         = int64(1) << 36
+	DefaultQueueTimeout    = 10 * time.Second
+	DefaultMaxRequestBytes = int64(256) << 20
+)
+
+// Server is the extraction daemon. Create with New; serve its Handler
+// on any net listener (TCP, unix socket, httptest).
+type Server struct {
+	cfg   Config
+	cache *vmpool.SnapCache
+	adm   *Admission
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	mu        sync.Mutex
+	codecHash map[string][32]byte // built-in codec name -> ELF content hash
+}
+
+// New creates a Server with its own snapshot cache and admission
+// controller.
+func New(cfg Config) *Server {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = core.DefaultDecoderMemSize
+	}
+	if cfg.MaxFuel <= 0 {
+		cfg.MaxFuel = DefaultMaxFuel
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	s := &Server{
+		cfg: cfg,
+		cache: vmpool.NewSnapCache(vmpool.SnapCacheConfig{
+			VM:       vm.Config{MemSize: cfg.MemSize},
+			MaxBytes: cfg.CacheBytes,
+		}),
+		adm:       NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		codecHash: make(map[string][32]byte),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/entries", s.handleEntries)
+	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the server's snapshot cache (for the bench harness and
+// tests).
+func (s *Server) Cache() *vmpool.SnapCache { return s.cache }
+
+// Admission exposes the server's admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ---------- metrics ----------
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Requests      uint64                `json:"requests"`
+	Errors        uint64                `json:"errors"`
+	BytesIn       uint64                `json:"bytes_in"`
+	BytesOut      uint64                `json:"bytes_out"`
+	Admission     AdmissionStats        `json:"admission"`
+	Cache         vmpool.SnapCacheStats `json:"cache"`
+}
+
+// MetricsSnapshot returns the current counters.
+func (s *Server) MetricsSnapshot() Metrics {
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		Admission:     s.adm.Stats(),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.MetricsSnapshot())
+}
+
+// ---------- request plumbing ----------
+
+// fail writes an error response with the status implied by err.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	status := http.StatusInternalServerError
+	var de *codec.DecodeError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrExpired):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, zipfile.ErrFormat), errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, errNotFound), errors.Is(err, core.ErrNoDecoder):
+		status = http.StatusNotFound
+	case errors.As(err, &de):
+		// The sandbox contained a buggy or hostile decoder; the request
+		// itself was well-formed.
+		status = http.StatusUnprocessableEntity
+	case errors.As(err, new(*http.MaxBytesError)):
+		status = http.StatusRequestEntityTooLarge
+	}
+	http.Error(w, err.Error(), status)
+}
+
+var (
+	errBadRequest = errors.New("server: bad request")
+	errNotFound   = errors.New("server: not found")
+)
+
+// readBody reads the full request body under the size cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		return nil, err
+	}
+	s.bytesIn.Add(uint64(len(body)))
+	return body, nil
+}
+
+// admit runs the admission controller for one decode stream. The wait
+// context is the request's own (a client disconnect counts as expiry)
+// bounded by the configured queue timeout.
+func (s *Server) admit(r *http.Request) (release func(), err error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	return s.adm.Acquire(ctx)
+}
+
+// fuel computes the per-stream budget: the standard payload-scaled
+// policy, capped by MaxFuel. An explicit ?fuel=N can only lower it —
+// letting a request raise its own CPU budget would turn a tiny body
+// into minutes of guest execution holding an admission slot.
+func (s *Server) fuel(r *http.Request, payloadLen int) (int64, error) {
+	f := vm.StreamFuel(payloadLen)
+	if f > s.cfg.MaxFuel {
+		f = s.cfg.MaxFuel
+	}
+	if q := r.URL.Query().Get("fuel"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("%w: bad fuel %q", errBadRequest, q)
+		}
+		if n < f {
+			f = n
+		}
+	}
+	return f, nil
+}
+
+// reader opens the archive in the request body, routed through the
+// shared snapshot cache.
+func (s *Server) reader(w http.ResponseWriter, r *http.Request) (*core.Reader, error) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := core.NewReader(body)
+	if err != nil {
+		return nil, err
+	}
+	cr.SetSnapCache(s.cache)
+	return cr, nil
+}
+
+// countWriter tracks decoded bytes streamed to the client.
+type countWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ---------- endpoints ----------
+
+// entryInfo is one row of the /v1/entries listing.
+type entryInfo struct {
+	Name          string `json:"name"`
+	Codec         string `json:"codec,omitempty"`
+	Method        uint16 `json:"method"`
+	PreCompressed bool   `json:"pre_compressed,omitempty"`
+	USize         uint32 `json:"usize"`
+	CSize         uint32 `json:"csize"`
+	Mode          uint32 `json:"mode"`
+}
+
+func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	cr, err := s.reader(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var out []entryInfo
+	for _, e := range cr.Entries() {
+		out = append(out, entryInfo{
+			Name: e.Name, Codec: e.Codec, Method: e.Method,
+			PreCompressed: e.PreCompressed, USize: e.USize, CSize: e.CSize,
+			Mode: e.Mode,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// extractOptions builds the decode options shared by extract and verify.
+func (s *Server) extractOptions(r *http.Request, fuel int64) core.ExtractOptions {
+	opts := core.ExtractOptions{
+		Mode: core.AlwaysVXA,
+		VM:   vm.Config{MemSize: s.cfg.MemSize, Fuel: fuel},
+	}
+	if r.URL.Query().Get("mode") == "native" {
+		opts.Mode = core.NativeFirst
+	}
+	if r.URL.Query().Get("decode_all") != "" {
+		opts.DecodeAll = true
+	}
+	return opts
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	name := r.URL.Query().Get("entry")
+	if name == "" {
+		s.fail(w, fmt.Errorf("%w: missing ?entry=", errBadRequest))
+		return
+	}
+	cr, err := s.reader(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var entry *core.Entry
+	for i, e := range cr.Entries() {
+		if e.Name == name {
+			entry = &cr.Entries()[i]
+			break
+		}
+	}
+	if entry == nil {
+		s.fail(w, fmt.Errorf("%w: entry %q", errNotFound, name))
+		return
+	}
+	fuel, err := s.fuel(r, int(entry.CSize))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	release, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cw := &countWriter{w: w}
+	_, err = cr.ExtractTo(entry, cw, s.extractOptions(r, fuel))
+	s.bytesOut.Add(uint64(cw.n))
+	if err != nil {
+		if cw.n == 0 {
+			s.fail(w, err)
+			return
+		}
+		// Decoded bytes already reached the client under a 200: all we
+		// can do is cut the stream short so the truncation is visible.
+		s.errors.Add(1)
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// verifyResult is one row of the /v1/verify report.
+type verifyResult struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	cr, err := s.reader(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	release, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	// One admission slot covers the whole archive, so verification runs
+	// serial: a verify request is one stream of work, however many
+	// entries it touches.
+	results := make([]verifyResult, 0, len(cr.Entries()))
+	failed := 0
+	for i := range cr.Entries() {
+		e := &cr.Entries()[i]
+		fuel, ferr := s.fuel(r, int(e.CSize))
+		if ferr != nil {
+			s.fail(w, ferr)
+			return
+		}
+		res := verifyResult{Name: e.Name, OK: true}
+		if _, err := cr.ExtractTo(e, io.Discard, s.extractOptions(r, fuel)); err != nil {
+			res.OK, res.Error = false, err.Error()
+			failed++
+		}
+		results = append(results, res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Entries int            `json:"entries"`
+		Failed  int            `json:"failed"`
+		Results []verifyResult `json:"results"`
+	}{len(results), failed, results})
+}
+
+// decodeMode is the security mode /v1/decode streams run under: the
+// endpoint serves public one-shot streams, so every request shares one
+// reuse class per codec.
+const decodeMode = 0644
+
+// builtinCodec resolves a registered codec and the content hash of its
+// decoder ELF (hashed once per server).
+func (s *Server) builtinCodec(name string) (*codec.Codec, [32]byte, error) {
+	c, ok := codec.ByName(name)
+	if !ok {
+		return nil, [32]byte{}, fmt.Errorf("%w: codec %q", errNotFound, name)
+	}
+	s.mu.Lock()
+	h, ok := s.codecHash[name]
+	s.mu.Unlock()
+	if ok {
+		return c, h, nil
+	}
+	elf, err := c.DecoderELF()
+	if err != nil {
+		return nil, [32]byte{}, err
+	}
+	h = vmpool.HashELF(elf)
+	s.mu.Lock()
+	s.codecHash[name] = h
+	s.mu.Unlock()
+	return c, h, nil
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	name := r.URL.Query().Get("codec")
+	if name == "" {
+		s.fail(w, fmt.Errorf("%w: missing ?codec=", errBadRequest))
+		return
+	}
+	c, hash, err := s.builtinCodec(name)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	payload, err := s.readBody(w, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	fuel, err := s.fuel(r, len(payload))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	release, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer release()
+
+	// Scope 0 (the single trusted tenant): /v1/decode runs only the
+	// registry's own compiled decoders, which carry no per-client
+	// secrets, so resume-in-place across requests is safe and keeps the
+	// endpoint at warm-cache latency.
+	lease, err := s.cache.Get(hash, decodeMode, 0, func() ([]byte, error) { return c.DecoderELF() })
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cw := &countWriter{w: w}
+	var diag bytes.Buffer
+	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), cw, &diag, fuel)
+	s.bytesOut.Add(uint64(cw.n))
+	if err != nil {
+		de := codec.ClassifyDecodeError(name, err, lease.VM().ExitCode(), diag.String())
+		lease.Release(false)
+		if cw.n == 0 {
+			s.fail(w, de)
+			return
+		}
+		s.errors.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	lease.Release(reusable)
+}

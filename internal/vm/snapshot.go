@@ -3,8 +3,10 @@ package vm
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"vxa/internal/vm/uop"
+	"vxa/internal/x86"
 )
 
 // Snapshot is a frozen copy of a VM's architectural state: the accessible
@@ -154,6 +156,72 @@ func (s *Snapshot) BlockCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.blocks)
+}
+
+// Footprint estimates the resident bytes a snapshot pins: the stored
+// memory image plus the translated block cache. It is the accounting
+// unit for content-addressed snapshot caches with a byte budget. Blocks
+// absorbed after the call are not re-counted; their total is bounded by
+// the decoder's read-only text, which the image term already dominates.
+func (s *Snapshot) Footprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := int64(len(s.low)) + int64(len(s.high))
+	for _, b := range s.blocks {
+		n += blockFootprint(b)
+	}
+	return n
+}
+
+// blockFootprint estimates one translated fragment's resident bytes.
+func blockFootprint(b *block) int64 {
+	return int64(len(b.insts))*int64(unsafe.Sizeof(x86.Inst{})) +
+		int64(len(b.uops))*int64(unsafe.Sizeof(uop.Uop{})) +
+		int64(len(b.addrs))*4 + 64
+}
+
+// BlockExport is a frozen view of a snapshot's translated block cache,
+// for sharing translation work between snapshots of the same decoder
+// image (e.g. the same content hash cached under two security modes).
+// The blocks are immutable and shared, never copied.
+type BlockExport struct {
+	blocks  map[uint32]*block
+	roLimit uint32
+}
+
+// ExportBlocks captures the snapshot's current block cache for import
+// into a sibling snapshot.
+func (s *Snapshot) ExportBlocks() BlockExport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[uint32]*block, len(s.blocks))
+	for addr, b := range s.blocks {
+		m[addr] = b
+	}
+	return BlockExport{blocks: m, roLimit: s.roLimit}
+}
+
+// ImportBlocks folds an exported block cache into the snapshot and
+// reports how many fragments were taken. Only fragments lying entirely
+// inside the read-only region of BOTH snapshots are imported: those
+// bytes are fixed by the decoder image, so a fragment translated for one
+// snapshot of the image is valid for every other. Callers are
+// responsible for only importing across snapshots of the same decoder
+// content (the cache keys imports by content hash).
+func (s *Snapshot) ImportBlocks(e BlockExport) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for addr, b := range e.blocks {
+		if _, ok := s.blocks[addr]; ok {
+			continue
+		}
+		if addr >= PageSize && b.end <= s.roLimit && b.end <= e.roLimit {
+			s.blocks[addr] = b
+			n++
+		}
+	}
+	return n
 }
 
 // SetFuel sets the remaining instruction budget to an absolute value —

@@ -153,11 +153,7 @@ func TestSetFuel(t *testing.T) {
 	if v.FuelRemaining() != 7 {
 		t.Fatalf("fuel = %d, want 7 (SetFuel must not accumulate)", v.FuelRemaining())
 	}
-	// The deprecated additive shim still works for legacy callers.
-	v.AddFuel(3)
-	if v.FuelRemaining() != 10 {
-		t.Fatalf("fuel = %d, want 10", v.FuelRemaining())
-	}
+	v.SetFuel(10)
 	v.SetFuel(7)
 	if v.FuelRemaining() != 7 {
 		t.Fatalf("fuel = %d, want 7 (SetFuel is absolute)", v.FuelRemaining())

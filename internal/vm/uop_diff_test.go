@@ -2,6 +2,7 @@ package vm
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -370,5 +371,333 @@ func TestDiffCondAfterLazyOp(t *testing.T) {
 				t.Fatalf("trial %d %v: cond %v = %v (lazy) vs %v (eager)", trial, inst, cc, got, want)
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Long-horizon differential soak: whole random programs, not single
+// instructions. Each program is a web of basic blocks — conditional
+// branches, direct jumps, table-driven indirect jumps, call/return pairs,
+// partial-register writes, memory traffic — that runs for >10k guest
+// instructions on both engines. Every block opens with a checkpoint
+// prologue that the *guest itself* executes: it stores the scratch
+// register file and the five SETcc-materialized arithmetic flags into a
+// trace region and advances the trace pointer. Comparing the two
+// engines' trace regions byte-for-byte therefore compares the full
+// observable state at every basic-block boundary, including the lazy
+// flag records the uop engine must materialize exactly where the eager
+// reference engine already has them.
+
+// Soak program geometry. Registers are role-split: EAX/ECX/EDX are
+// random scratch, EBX pins the jump table, ESI is terminator/memory
+// scratch, EDI walks the trace, EBP counts down to termination.
+const (
+	soakSlot      = 128                            // bytes reserved per block
+	soakBlocks    = 16                             // block count (power of two: indirect index mask)
+	soakFuncs     = 3                              // trailing blocks reachable only via CALL, ending in RET
+	soakCode      = PageSize                       // block i sits at soakCode + i*soakSlot
+	soakExit      = soakCode + soakBlocks*soakSlot // exit block: a single UD2
+	soakTable     = PageSize + 0x2000              // jump table: soakBlocks dwords
+	soakData      = soakTable + 0x100              // scratch page for memory operands
+	soakTrace     = PageSize + 0x3000              // checkpoint trace region
+	soakCkptBytes = 24                             // bytes one checkpoint writes
+	soakCountdown = 1200                           // block executions before the guest exits
+	soakSpan      = 0x10000                        // mapped guest region: code+table+data+trace
+)
+
+// soakEmit appends one encoded instruction at the current address.
+type soakEmit struct {
+	t   *testing.T
+	mem []byte // the whole program image, offset soakCode
+	cur uint32
+}
+
+func (e *soakEmit) emit(inst x86.Inst) {
+	enc, err := x86.Encode(inst)
+	if err != nil {
+		e.t.Fatalf("soak encode %v: %v", inst, err)
+	}
+	copy(e.mem[e.cur-soakCode:], enc)
+	e.cur += uint32(len(enc))
+}
+
+// branch emits a CALL/JMP/JCC with the rel32 displacement resolved
+// against the fixed instruction lengths (5, 5 and 6 bytes).
+func (e *soakEmit) branch(op x86.Op, cc x86.CC, target uint32) {
+	ilen := uint32(5)
+	if op == x86.JCC {
+		ilen = 6
+	}
+	e.emit(x86.Inst{Op: op, CC: cc, Rel: int32(target - (e.cur + ilen))})
+}
+
+// soakCheckpoint emits the block prologue: dump EAX/ECX/EDX/EBP and the
+// five flags (via SETcc, exercising the lazy materializer) to the trace
+// cursor, advance it, and count down toward the exit.
+func (e *soakEmit) soakCheckpoint() {
+	regs := []x86.Reg{x86.EAX, x86.ECX, x86.EDX, x86.EBP}
+	for i, r := range regs {
+		e.emit(x86.Inst{Op: x86.MOV, Dst: x86.MSIB(x86.EDI, x86.NoReg, 1, int32(4*i), 4), Src: x86.R(r)})
+	}
+	ccs := []x86.CC{x86.CCB, x86.CCE, x86.CCS, x86.CCO, x86.CCP}
+	for i, cc := range ccs {
+		e.emit(x86.Inst{Op: x86.SETCC, CC: cc, Dst: x86.MSIB(x86.EDI, x86.NoReg, 1, int32(16+i), 1)})
+	}
+	e.emit(x86.Inst{Op: x86.ADD, Dst: x86.R(x86.EDI), Src: x86.I(soakCkptBytes)})
+	e.emit(x86.Inst{Op: x86.DEC, Dst: x86.R(x86.EBP)})
+	e.branch(x86.JCC, x86.CCE, soakExit)
+}
+
+// soakScratch32 picks a scratch 32-bit register.
+func soakScratch32(rng *rand.Rand) x86.Arg {
+	return x86.R([]x86.Reg{x86.EAX, x86.ECX, x86.EDX}[rng.Intn(3)])
+}
+
+// soakScratch8 picks a scratch byte register, including the high slots.
+func soakScratch8(rng *rand.Rand) x86.Arg {
+	// AL, CL, DL, AH, CH, DH (EBX is pinned, so BL/BH are off limits).
+	return x86.R8([]x86.Reg{0, 1, 2, 4, 5, 6}[rng.Intn(6)])
+}
+
+// soakBody emits 2-6 random computation instructions. Memory operands
+// go through ESI, re-pointed at the scratch page first.
+func (e *soakEmit) soakBody(rng *rand.Rand) {
+	aluOps := []x86.Op{x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.TEST}
+	for n := 2 + rng.Intn(5); n > 0; n-- {
+		switch rng.Intn(10) {
+		case 0:
+			e.emit(x86.Inst{Op: aluOps[rng.Intn(len(aluOps))], Dst: soakScratch32(rng), Src: soakScratch32(rng)})
+		case 1:
+			e.emit(x86.Inst{Op: aluOps[rng.Intn(len(aluOps))], Dst: soakScratch32(rng), Src: x86.I(int32(rng.Uint32()))})
+		case 2: // partial-register traffic
+			if rng.Intn(2) == 0 {
+				e.emit(x86.Inst{Op: aluOps[rng.Intn(len(aluOps))], Dst: soakScratch8(rng), Src: soakScratch8(rng)})
+			} else {
+				e.emit(x86.Inst{Op: x86.MOV, Dst: soakScratch8(rng), Src: x86.I8(int8(rng.Intn(256)))})
+			}
+		case 3:
+			ops := []x86.Op{x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR}
+			if rng.Intn(2) == 0 {
+				e.emit(x86.Inst{Op: ops[rng.Intn(len(ops))], Dst: soakScratch32(rng),
+					Src: x86.Arg{Kind: x86.KindImm, Imm: int32(rng.Intn(32)), Size: 1}})
+			} else {
+				e.emit(x86.Inst{Op: ops[rng.Intn(len(ops))], Dst: soakScratch32(rng), Src: x86.R8(x86.ECX)})
+			}
+		case 4:
+			ops := []x86.Op{x86.INC, x86.DEC, x86.NEG, x86.NOT}
+			e.emit(x86.Inst{Op: ops[rng.Intn(len(ops))], Dst: soakScratch32(rng)})
+		case 5:
+			op := x86.MOVZX
+			if rng.Intn(2) == 0 {
+				op = x86.MOVSX
+			}
+			e.emit(x86.Inst{Op: op, Dst: soakScratch32(rng), Src: soakScratch8(rng)})
+		case 6:
+			e.emit(x86.Inst{Op: x86.IMUL, Dst: soakScratch32(rng), Src: soakScratch32(rng)})
+		case 7: // widening multiply / sign extend pair
+			if rng.Intn(2) == 0 {
+				e.emit(x86.Inst{Op: x86.MUL1, Dst: soakScratch32(rng)})
+			} else {
+				e.emit(x86.Inst{Op: x86.CDQ})
+			}
+		case 8: // memory round trip through the scratch page
+			off := int32(rng.Intn(32))
+			e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ESI), Src: x86.I(int32(soakData))})
+			if rng.Intn(2) == 0 {
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.MSIB(x86.ESI, x86.NoReg, 1, off, 4), Src: soakScratch32(rng)})
+			} else {
+				// TEST has no reg<-mem encoding; the others all do.
+				memOps := []x86.Op{x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR, x86.CMP}
+				e.emit(x86.Inst{Op: memOps[rng.Intn(len(memOps))], Dst: soakScratch32(rng),
+					Src: x86.MSIB(x86.ESI, x86.NoReg, 1, off, 4)})
+			}
+		default:
+			e.emit(x86.Inst{Op: x86.MOV, Dst: soakScratch32(rng), Src: x86.I(int32(rng.Uint32()))})
+		}
+	}
+}
+
+// soakBlockAddr returns block i's entry address.
+func soakBlockAddr(i int) uint32 { return soakCode + uint32(i)*soakSlot }
+
+// soakNormal picks a random non-func block (funcs are only entered via
+// CALL; jumping into one would RET through an unbalanced stack).
+func soakNormal(rng *rand.Rand) int { return rng.Intn(soakBlocks - soakFuncs) }
+
+// soakBuildProgram assembles one randomized program into mem (a slice
+// covering the guest image starting at soakCode) and returns it.
+func soakBuildProgram(t *testing.T, rng *rand.Rand, mem []byte) {
+	for i := 0; i < soakBlocks; i++ {
+		e := &soakEmit{t: t, mem: mem, cur: soakBlockAddr(i)}
+		e.soakCheckpoint()
+		e.soakBody(rng)
+		isFunc := i >= soakBlocks-soakFuncs
+		if isFunc {
+			e.emit(x86.Inst{Op: x86.RET})
+		} else {
+			switch rng.Intn(4) {
+			case 0: // direct jump
+				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
+			case 1: // conditional branch with a jump on the fall side
+				e.branch(x86.JCC, x86.CC(rng.Intn(16)), soakBlockAddr(soakNormal(rng)))
+				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
+			case 2: // table-driven indirect jump, index data-dependent
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ESI), Src: soakScratch32(rng)})
+				e.emit(x86.Inst{Op: x86.AND, Dst: x86.R(x86.ESI), Src: x86.I(soakBlocks - 1)})
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ESI), Src: x86.MSIB(x86.EBX, x86.ESI, 4, 0, 4)})
+				e.emit(x86.Inst{Op: x86.JMPM, Dst: x86.R(x86.ESI)})
+			default: // call a func block, then jump on
+				e.branch(x86.CALL, 0, soakBlockAddr(soakBlocks-soakFuncs+rng.Intn(soakFuncs)))
+				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
+			}
+		}
+		if e.cur > soakBlockAddr(i)+soakSlot {
+			t.Fatalf("soak block %d overflows its %d-byte slot (%d bytes)", i, soakSlot, e.cur-soakBlockAddr(i))
+		}
+	}
+	// The exit block: one UD2, trapping both engines at a known EIP.
+	e := &soakEmit{t: t, mem: mem, cur: soakExit}
+	e.emit(x86.Inst{Op: x86.UD2})
+
+	// The jump table: every index resolves to a normal block.
+	for i := 0; i < soakBlocks; i++ {
+		addr := soakBlockAddr(soakNormal(rng))
+		off := soakTable - soakCode + uint32(4*i)
+		mem[off] = byte(addr)
+		mem[off+1] = byte(addr >> 8)
+		mem[off+2] = byte(addr >> 16)
+		mem[off+3] = byte(addr >> 24)
+	}
+}
+
+// soakVM builds a VM with the program image mapped read-write.
+func soakVM(t *testing.T, image []byte) *VM {
+	t.Helper()
+	v, err := New(Config{MemSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MapSegment(soakCode, image, soakSpan, false); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// soakSeedRegs puts both VMs in the same randomized start state with
+// the role registers pinned.
+func soakSeedRegs(rng *rand.Rand, vms ...*VM) {
+	vals := [8]uint32{}
+	for r := range vals {
+		vals[r] = rng.Uint32()
+	}
+	vals[x86.EBX] = soakTable
+	vals[x86.EDI] = soakTrace
+	vals[x86.EBP] = soakCountdown
+	cf, zf, sf, of, pf := rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0
+	for _, v := range vms {
+		copy(v.regs[:8], vals[:])
+		v.regs[x86.ESP] = v.MemSize() - 16
+		v.cf, v.zf, v.sf, v.of, v.pf = cf, zf, sf, of, pf
+		v.fl.Op = 0
+	}
+}
+
+// refRun drives the reference interpreter instruction-by-instruction
+// until the program traps (the soak exit) or maxSteps elapse.
+func refRun(v *VM, maxSteps int) (int, error) {
+	for steps := 0; steps < maxSteps; steps++ {
+		cur := v.eip
+		if !v.readable(cur, 1) {
+			return steps, &Trap{Kind: TrapMemory, EIP: cur, Addr: cur, Msg: "instruction fetch"}
+		}
+		win := uint32(15)
+		for win > 1 && !v.readable(cur, win) {
+			win--
+		}
+		inst, err := x86.Decode(v.mem[cur : cur+win])
+		if err != nil {
+			return steps, &Trap{Kind: TrapIllegal, EIP: cur, Msg: err.Error()}
+		}
+		if err := v.exec(&inst, cur); err != nil {
+			return steps, err
+		}
+	}
+	return maxSteps, fmt.Errorf("no termination after %d steps", maxSteps)
+}
+
+// TestDiffSoakMultiBlock is the long-horizon differential soak. Each
+// seed builds a fresh random program and runs it to completion on the
+// uop engine (blocks, chaining, inline caches, lazy flags) and on the
+// reference interpreter (instruction at a time, eager flags). The trap
+// site, the final architectural state, the memory image — including
+// the per-block-boundary checkpoint trace — must agree exactly, over
+// 10k+ steps per seed.
+func TestDiffSoakMultiBlock(t *testing.T) {
+	seeds := []int64{101, 202, 303, 404, 505, 606}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			image := make([]byte, soakSpan)
+			soakBuildProgram(t, rng, image)
+			v1 := soakVM(t, image) // uop engine
+			v2 := soakVM(t, image) // reference engine
+			soakSeedRegs(rng, v1, v2)
+
+			v1.eip, v2.eip = soakBlockAddr(0), soakBlockAddr(0)
+			br, err := v1.lookupBlock(v1.eip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err1 := v1.execUops(br)
+			v1.materializeFlags()
+			refSteps, err2 := refRun(v2, 1<<20)
+
+			tr1, ok1 := err1.(*Trap)
+			tr2, ok2 := err2.(*Trap)
+			if !ok1 || !ok2 {
+				t.Fatalf("termination differs: uop err=%v, ref err=%v", err1, err2)
+			}
+			if tr1.Kind != tr2.Kind || tr1.EIP != tr2.EIP {
+				t.Fatalf("trap diverged: uop %v, ref %v", tr1, tr2)
+			}
+			if tr1.EIP != soakExit {
+				t.Fatalf("program trapped at %#x, not the exit block %#x: %v", tr1.EIP, soakExit, tr1)
+			}
+			if steps := v1.Stats().Steps; steps < 10000 {
+				t.Fatalf("soak too short: %d uop-engine steps (ref: %d), want >= 10000", steps, refSteps)
+			}
+
+			for r := 0; r < 8; r++ {
+				if v1.regs[r] != v2.regs[r] {
+					t.Errorf("%s = %#x (uop) vs %#x (ref)", x86.Reg(r), v1.regs[r], v2.regs[r])
+				}
+			}
+			if v1.cf != v2.cf || v1.zf != v2.zf || v1.sf != v2.sf || v1.of != v2.of || v1.pf != v2.pf {
+				t.Errorf("final flags diverged: cf=%v zf=%v sf=%v of=%v pf=%v (uop) vs cf=%v zf=%v sf=%v of=%v pf=%v (ref)",
+					v1.cf, v1.zf, v1.sf, v1.of, v1.pf, v2.cf, v2.zf, v2.sf, v2.of, v2.pf)
+			}
+			// The checkpoint trace is the per-block-boundary comparison:
+			// find the first diverging checkpoint for a usable failure.
+			traceEnd := v1.regs[x86.EDI]
+			if v2.regs[x86.EDI] == traceEnd {
+				for ck := uint32(soakTrace); ck < traceEnd; ck += soakCkptBytes {
+					if !bytes.Equal(v1.mem[ck:ck+soakCkptBytes], v2.mem[ck:ck+soakCkptBytes]) {
+						t.Errorf("checkpoint %d diverged: uop %x, ref %x",
+							(ck-soakTrace)/soakCkptBytes, v1.mem[ck:ck+soakCkptBytes], v2.mem[ck:ck+soakCkptBytes])
+						break
+					}
+				}
+			}
+			if !bytes.Equal(v1.mem[soakCode:soakCode+soakSpan], v2.mem[soakCode:soakCode+soakSpan]) {
+				t.Error("guest memory image diverged")
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		})
 	}
 }

@@ -144,16 +144,17 @@ type Config struct {
 	NoBlockCache bool
 }
 
-// Stats are execution counters exposed for the evaluation harness.
+// Stats are execution counters exposed for the evaluation harness and,
+// aggregated, on the vxad metrics endpoint (hence the JSON tags).
 type Stats struct {
-	Steps             uint64 // guest instructions executed
-	BlockLookups      uint64 // fragment-cache map lookups (chain misses + indirect control flow)
-	BlocksBuilt       uint64 // fragments decoded and lowered ("translated")
-	BlocksChained     uint64 // direct-successor links installed between fragments
-	UopsExecuted      uint64 // micro-ops dispatched by the translation engine
-	FlagsMaterialized uint64 // individual EFLAGS bits computed from lazy records
-	TranslateNS       uint64 // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
-	Syscalls          uint64
+	Steps             uint64 `json:"steps"`              // guest instructions executed
+	BlockLookups      uint64 `json:"block_lookups"`      // fragment-cache map lookups (chain misses + indirect control flow)
+	BlocksBuilt       uint64 `json:"blocks_built"`       // fragments decoded and lowered ("translated")
+	BlocksChained     uint64 `json:"blocks_chained"`     // direct-successor links installed between fragments
+	UopsExecuted      uint64 `json:"uops_executed"`      // micro-ops dispatched by the translation engine
+	FlagsMaterialized uint64 `json:"flags_materialized"` // individual EFLAGS bits computed from lazy records
+	TranslateNS       uint64 `json:"translate_ns"`       // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
+	Syscalls          uint64 `json:"syscalls"`
 }
 
 // VM is one sandboxed guest. It is not safe for concurrent use.
@@ -301,12 +302,6 @@ func (v *VM) Brk() uint32 { return v.brk }
 
 // FuelRemaining returns the remaining instruction budget.
 func (v *VM) FuelRemaining() int64 { return v.fuel }
-
-// AddFuel extends the instruction budget by n.
-//
-// Deprecated: per-stream budgets are absolute. Use SetFuel (or RunStream,
-// which applies it) so leftover fuel never accumulates across streams.
-func (v *VM) AddFuel(n int64) { v.fuel += n }
 
 // MemSize returns the size of the guest address space.
 func (v *VM) MemSize() uint32 { return uint32(len(v.mem)) }

@@ -26,10 +26,16 @@ import (
 )
 
 // Key identifies one reuse class: VMs are interchangeable only within
-// the same decoder and the same security attributes (§2.4).
+// the same decoder, the same security attributes (§2.4) and the same
+// trust scope. Scope partitions resume-in-place reuse between clients
+// sharing one pool (e.g. through a content-addressed snapshot cache): a
+// parked VM carries the residual memory of the streams it decoded, so
+// it may only be resumed verbatim by the same scope; any other scope
+// reaches it through the pristine-reset path.
 type Key struct {
 	Codec string
 	Mode  uint32 // Unix permission bits, the archive's security attributes
+	Scope uint64 // trust-scope token (0 = the pool owner's single scope)
 }
 
 // Options configure a Pool.
@@ -42,13 +48,14 @@ type Options struct {
 	MaxIdlePerKey int
 }
 
-// Stats are cumulative pool counters.
+// Stats are cumulative pool counters (JSON-tagged: they surface,
+// aggregated, on the vxad metrics endpoint).
 type Stats struct {
-	Snapshots int // decoder ELFs parsed into a pristine snapshot
-	Builds    int // VMs materialized fresh from a snapshot
-	Resets    int // idle VMs rewound to the pristine snapshot
-	Resumes   int // idle VMs resumed in place (same key, no reset)
-	Discards  int // VMs dropped (trapped, exited, or over the idle bound)
+	Snapshots int `json:"snapshots"` // decoder ELFs parsed into a pristine snapshot
+	Builds    int `json:"builds"`    // VMs materialized fresh from a snapshot
+	Resets    int `json:"resets"`    // idle VMs rewound to the pristine snapshot
+	Resumes   int `json:"resumes"`   // idle VMs resumed in place (same key, no reset)
+	Discards  int `json:"discards"`  // VMs dropped (trapped, exited, or over the idle bound)
 }
 
 // Pool is a concurrency-safe VM pool. The zero value is not usable; use
@@ -60,6 +67,7 @@ type Pool struct {
 	codec map[string]*codecState
 	idle  map[Key][]*vm.VM
 	stats Stats
+	vmAgg vm.Stats // engine counters accumulated from released leases
 }
 
 // codecState is the per-codec snapshot, built once under once. spare and
@@ -97,6 +105,7 @@ type Lease struct {
 	p        *Pool
 	v        *vm.VM
 	key      Key
+	stats0   vm.Stats // VM counters at checkout, for the release delta
 	pristine bool
 	done     bool
 }
@@ -109,20 +118,56 @@ func (l *Lease) VM() *vm.VM { return l.v }
 // the datum behind the reader's ReinitCount statistic.
 func (l *Lease) Pristine() bool { return l.pristine }
 
+// newLease wraps a checked-out VM, recording its engine counters so
+// Release can fold the stream's delta into the pool aggregate.
+func newLease(p *Pool, v *vm.VM, key Key, pristine bool) *Lease {
+	return &Lease{p: p, v: v, key: key, stats0: v.Stats(), pristine: pristine}
+}
+
+// Seed installs a prebuilt pristine snapshot for codec, as if the first
+// Get had parsed the decoder ELF, and reports whether it was installed
+// (false when the codec key already exists). spare, when non-nil, is the
+// VM the snapshot was captured from: byte-identical to the snapshot, it
+// is handed to the first lease instead of paying a fresh image
+// allocation. After a seed, Get for that codec may pass a nil elf
+// callback. This is the entry point for content-addressed caches that
+// build snapshots themselves (see SnapCache).
+func (p *Pool) Seed(codec string, snap *vm.Snapshot, spare *vm.VM) bool {
+	cs := &codecState{snap: snap, spare: spare}
+	cs.once.Do(func() {}) // mark built
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.codec[codec]; exists {
+		return false
+	}
+	p.codec[codec] = cs
+	p.stats.Snapshots++
+	return true
+}
+
 // Get returns a VM ready to decode one stream for (codec, mode). codec
 // is an opaque decoder identity key — callers embedding decoders from an
 // archive should include the decoder's storage offset in it, so two
 // decoders sharing a name never share a VM line. The elf callback
 // supplies the decoder executable; it is invoked only the first time a
 // codec key is seen, so callers can defer the (possibly expensive) fetch
-// from the archive.
+// from the archive. A codec installed with Seed never invokes it, so a
+// nil elf is valid there.
 //
 // Preference order: an idle VM for the same key resumed in place; the
 // pristine VM the snapshot was captured from; an idle VM from another
-// security mode, rewound to the pristine snapshot; a VM materialized
-// fresh from the snapshot.
+// security mode or scope, rewound to the pristine snapshot; a VM
+// materialized fresh from the snapshot.
 func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Lease, error) {
-	key := Key{Codec: codec, Mode: mode}
+	return p.GetScoped(codec, mode, 0, elf)
+}
+
+// GetScoped is Get with an explicit trust scope: VMs park and resume
+// per (codec, mode, scope), and a lease crossing scopes always starts
+// from the pristine snapshot, so one client's decoder residue can never
+// reach another client's stream. Single-tenant callers use Get.
+func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
+	key := Key{Codec: codec, Mode: mode, Scope: scope}
 
 	p.mu.Lock()
 	cs := p.codec[codec]
@@ -136,6 +181,10 @@ func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Leas
 	// ELF fetch + parse + image copy can be slow and must not serialize
 	// unrelated codecs.
 	cs.once.Do(func() {
+		if elf == nil {
+			cs.err = fmt.Errorf("no decoder source (nil elf callback on an unseeded codec)")
+			return
+		}
 		elfBytes, err := elf()
 		if err != nil {
 			cs.err = err
@@ -163,7 +212,7 @@ func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Leas
 		p.idle[key] = vs[:len(vs)-1]
 		p.stats.Resumes++
 		p.mu.Unlock()
-		return &Lease{p: p, v: v, key: key}, nil
+		return newLease(p, v, key, false), nil
 	}
 	// The snapshot's own source VM is still pristine: first lease takes
 	// it for free.
@@ -172,10 +221,12 @@ func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Leas
 		cs.spare = nil
 		p.stats.Builds++
 		p.mu.Unlock()
-		return &Lease{p: p, v: v, key: key, pristine: true}, nil
+		return newLease(p, v, key, true), nil
 	}
-	// Same codec, different mode: steal an idle VM and rewind it to the
-	// pristine image, the §2.4 attribute-change re-initialization.
+	// Same codec, different mode or scope: steal an idle VM and rewind
+	// it to the pristine image — the §2.4 attribute-change
+	// re-initialization, which also severs any residue across trust
+	// scopes.
 	for k, vs := range p.idle {
 		if k.Codec != codec || len(vs) == 0 {
 			continue
@@ -187,11 +238,11 @@ func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Leas
 		if err := v.Reset(cs.snap); err != nil {
 			return nil, err
 		}
-		return &Lease{p: p, v: v, key: key, pristine: true}, nil
+		return newLease(p, v, key, true), nil
 	}
 	p.stats.Builds++
 	p.mu.Unlock()
-	return &Lease{p: p, v: cs.snap.NewVM(), key: key, pristine: true}, nil
+	return newLease(p, cs.snap.NewVM(), key, true), nil
 }
 
 // Release returns the leased VM to the pool. reusable says the stream
@@ -212,6 +263,7 @@ func (l *Lease) Release(reusable bool) {
 	// per codec, outside the pool lock, and before the VM re-enters the
 	// idle list (no other goroutine can be running it here).
 	p.mu.Lock()
+	addVMStats(&p.vmAgg, v.Stats(), l.stats0)
 	cs := p.codec[l.key.Codec]
 	absorb := reusable && cs != nil && cs.snap != nil && !cs.warmed
 	if absorb {
@@ -236,6 +288,30 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// VMStats returns the engine counters (steps, uops, translation time,
+// syscalls, ...) accumulated across every lease released so far — the
+// fleet-wide view a serving layer surfaces on its metrics endpoint.
+// Streams still in flight are not included until their lease is
+// released.
+func (p *Pool) VMStats() vm.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vmAgg
+}
+
+// addVMStats folds the counter delta (after - before) of one released
+// stream into dst.
+func addVMStats(dst *vm.Stats, after, before vm.Stats) {
+	dst.Steps += after.Steps - before.Steps
+	dst.BlockLookups += after.BlockLookups - before.BlockLookups
+	dst.BlocksBuilt += after.BlocksBuilt - before.BlocksBuilt
+	dst.BlocksChained += after.BlocksChained - before.BlocksChained
+	dst.UopsExecuted += after.UopsExecuted - before.UopsExecuted
+	dst.FlagsMaterialized += after.FlagsMaterialized - before.FlagsMaterialized
+	dst.TranslateNS += after.TranslateNS - before.TranslateNS
+	dst.Syscalls += after.Syscalls - before.Syscalls
 }
 
 // Drain drops every idle VM, releasing their guest memory, and returns

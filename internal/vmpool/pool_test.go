@@ -268,3 +268,77 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("snapshots = %d after drain, want 1", p.Stats().Snapshots)
 	}
 }
+
+// TestDrainRaceStress races Drain against concurrent Get/Release across
+// two codecs and both security modes, with mode flips forcing the
+// reset path. Run under -race; the assertions are liveness plus final
+// pool coherence.
+func TestDrainRaceStress(t *testing.T) {
+	p := New(Options{VM: vm.Config{MemSize: 4 << 20}, MaxIdlePerKey: 2})
+	echo := compile(t, echoSrc)
+	leaky := compile(t, leakySrc)
+	elves := map[string]func() ([]byte, error){"echo": echo, "leaky": leaky}
+
+	const workers, iters = 6, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := "echo"
+				if (w+i)%3 == 0 {
+					name = "leaky"
+				}
+				mode := uint32(0600 + (w+i)%2*044)
+				l, err := p.Get(name, mode, elves[name])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v := l.VM()
+				var out bytes.Buffer
+				v.Stdin = bytes.NewReader([]byte("drain race"))
+				v.Stdout = &out
+				st, err := v.Run()
+				if err != nil || st != vm.StatusDone {
+					l.Release(false)
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+					}
+					continue
+				}
+				l.Release(true)
+				if i%5 == 0 {
+					p.Drain()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := p.IdleCount(); n > 0 {
+		p.Drain()
+	}
+	if n := p.IdleCount(); n != 0 {
+		t.Fatalf("IdleCount = %d after final Drain, want 0", n)
+	}
+	s := p.Stats()
+	if s.Snapshots != 2 {
+		t.Fatalf("snapshots = %d, want 2", s.Snapshots)
+	}
+	if s.Builds+s.Resets+s.Resumes != workers*iters {
+		t.Fatalf("builds %d + resets %d + resumes %d != %d leases",
+			s.Builds, s.Resets, s.Resumes, workers*iters)
+	}
+	// The pool must still serve after the storm.
+	l, err := p.Get("echo", 0644, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runStream(t, l, []byte("after"))
+	l.Release(true)
+	if string(out) != "after" {
+		t.Fatalf("post-storm stream echoed %q", out)
+	}
+}

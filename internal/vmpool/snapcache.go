@@ -1,0 +1,306 @@
+package vmpool
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vxa/internal/elf32"
+	"vxa/internal/vm"
+)
+
+// SnapCache is a content-addressed cache of pristine decoder snapshots:
+// entries are keyed by the SHA-256 of the decoder ELF plus the stream's
+// security mode, so every archive, Reader and worker that carries the
+// same decoder bytes shares one snapshot — and, through AbsorbBlocks,
+// one translated micro-op block cache. Translation cost is paid once per
+// decoder content fleet-wide, not once per archive.
+//
+// Each resident entry owns a VM pool (Pool) whose codec key is the
+// content hash, so leases inherit the full §2.4 reuse policy: parked
+// VMs resume in place, a mode change rewinds to the pristine snapshot.
+// Residency is bounded by a byte budget over the snapshots' Footprint;
+// least-recently-used entries are evicted, their idle VMs dropped.
+// Entries being rebuilt after an eviction re-import the block caches of
+// surviving siblings with the same content hash, so even an evicted
+// decoder's translation work outlives it.
+//
+// A SnapCache is safe for concurrent use.
+type SnapCache struct {
+	cfg SnapCacheConfig
+
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry
+	lru     *list.List // resident entries; front = most recently used
+	used    int64
+
+	hits, misses, evictions uint64
+	retired                 Stats    // pool counters of evicted entries
+	retiredVM               vm.Stats // engine counters of evicted entries
+}
+
+// SnapCacheConfig configures a SnapCache.
+type SnapCacheConfig struct {
+	// VM is the per-VM configuration every cached decoder runs under;
+	// the zero value selects vm defaults. Fixed for the cache lifetime:
+	// snapshots are only interchangeable within one configuration.
+	VM vm.Config
+	// MaxBytes is the resident-snapshot byte budget (memory image +
+	// translated blocks, per Snapshot.Footprint). The most recently used
+	// entry is always retained, even over budget. <= 0 selects
+	// DefaultSnapCacheBytes.
+	MaxBytes int64
+	// MaxIdlePerKey bounds idle VMs retained by each entry's pool;
+	// 0 selects GOMAXPROCS.
+	MaxIdlePerKey int
+}
+
+// DefaultSnapCacheBytes is the default resident-snapshot byte budget.
+const DefaultSnapCacheBytes = 1 << 30
+
+// CacheKey identifies one cached decoder line: the decoder executable
+// by content, plus the security attributes its VMs run under.
+type CacheKey struct {
+	Hash [32]byte // SHA-256 of the decoder ELF
+	Mode uint32   // Unix permission bits (§2.4 security attributes)
+}
+
+// HashELF returns the content address of a decoder executable.
+func HashELF(elf []byte) [32]byte { return sha256.Sum256(elf) }
+
+// cacheEntry is one decoder line. once guards the build; elem is nil
+// until the entry is resident (and again after eviction).
+type cacheEntry struct {
+	key  CacheKey
+	once sync.Once
+	err  error
+
+	snap  *vm.Snapshot
+	pool  *Pool
+	bytes int64
+	elem  *list.Element
+}
+
+// SnapCacheStats is a point-in-time view of the cache.
+type SnapCacheStats struct {
+	Hits      uint64 `json:"hits"` // includes waiters coalesced onto an in-flight build
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	// Pool and VM aggregate the per-entry pool and engine counters,
+	// including (approximately) those of evicted entries: counters from
+	// leases still in flight at eviction time are lost with the entry.
+	Pool Stats    `json:"pool"`
+	VM   vm.Stats `json:"vm"`
+}
+
+// NewSnapCache creates an empty cache.
+func NewSnapCache(cfg SnapCacheConfig) *SnapCache {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultSnapCacheBytes
+	}
+	if cfg.MaxIdlePerKey <= 0 {
+		cfg.MaxIdlePerKey = runtime.GOMAXPROCS(0)
+	}
+	return &SnapCache{
+		cfg:     cfg,
+		entries: make(map[CacheKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// poolKey is the content hash as the entry pool's codec identity.
+func poolKey(hash [32]byte) string { return hex.EncodeToString(hash[:]) }
+
+// Get leases a VM for the decoder with the given content hash under the
+// given security mode, building and caching the snapshot on a miss. The
+// elf callback supplies the decoder bytes; it is invoked only on a miss
+// (concurrent misses for one key coalesce onto a single build). The
+// caller must verify that hash is the SHA-256 of the bytes elf returns —
+// the cache trusts it, that's the point of content addressing.
+//
+// scope is the caller's trust-scope token (one per client/Reader; 0 for
+// a single trusted tenant). The snapshot and its warm translation cache
+// are shared across all scopes — they are pristine, immutable decoder
+// state — but a parked VM, which carries residual memory of the streams
+// it decoded, is resumed in place only within the scope that parked it.
+// Any other scope receives a VM rewound to the pristine snapshot, so a
+// malicious decoder embedded in two clients' archives cannot carry one
+// client's data into the other's output.
+func (c *SnapCache) Get(hash [32]byte, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
+	key := CacheKey{Hash: hash, Mode: mode}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{key: key}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { c.build(e, elf) })
+	if e.err != nil {
+		// Drop the failed entry so a later Get retries the build.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.pool.GetScoped(poolKey(hash), mode, scope, nil)
+}
+
+// NextScope returns a fresh trust-scope token for SnapCache.Get. Each
+// client-facing unit of work (a Reader, a session) takes one.
+func NextScope() uint64 { return scopeCounter.Add(1) }
+
+var scopeCounter atomic.Uint64
+
+// build constructs the entry's snapshot and pool, then makes it
+// resident, evicting over-budget entries. Runs outside the cache lock:
+// ELF fetch + parse + image copy must not serialize unrelated decoders.
+func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
+	if elf == nil {
+		e.err = fmt.Errorf("vmpool: snapcache miss for %s with no elf source", poolKey(e.key.Hash))
+		return
+	}
+	elfBytes, err := elf()
+	if err != nil {
+		e.err = err
+		return
+	}
+	v, err := elf32.NewVM(elfBytes, c.cfg.VM)
+	if err != nil {
+		e.err = err
+		return
+	}
+	snap := v.Snapshot()
+
+	// A resident sibling under another security mode already paid for
+	// translation: import its shared block cache. Safe because both
+	// entries address the same decoder bytes.
+	c.mu.Lock()
+	var sibling *cacheEntry
+	for k, se := range c.entries {
+		if k.Hash == e.key.Hash && k.Mode != e.key.Mode && se.elem != nil {
+			sibling = se
+			break
+		}
+	}
+	c.mu.Unlock()
+	if sibling != nil && snap.ImportBlocks(sibling.snap.ExportBlocks()) > 0 {
+		// The spare VM was captured before the import; rewind it so its
+		// private block map picks up the imported fragments too.
+		if err := v.Reset(snap); err != nil {
+			e.err = err
+			return
+		}
+	}
+
+	pool := New(Options{VM: c.cfg.VM, MaxIdlePerKey: c.cfg.MaxIdlePerKey})
+	pool.Seed(poolKey(e.key.Hash), snap, v)
+	e.snap, e.pool, e.bytes = snap, pool, snap.Footprint()
+
+	c.mu.Lock()
+	e.elem = c.lru.PushFront(e)
+	c.used += e.bytes
+	c.evictLocked(e)
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used entries until the budget holds,
+// never evicting keep (the entry just touched): one oversized decoder
+// must still be servable.
+func (c *SnapCache) evictLocked(keep *cacheEntry) {
+	for c.used > c.cfg.MaxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*cacheEntry)
+		if victim == keep {
+			return
+		}
+		c.lru.Remove(back)
+		victim.elem = nil
+		delete(c.entries, victim.key)
+		c.used -= victim.bytes
+		c.evictions++
+		// Retire the victim's counters, then free its idle VMs.
+		// In-flight leases keep the orphaned pool alive until released.
+		addPoolStats(&c.retired, victim.pool.Stats())
+		addVMStats(&c.retiredVM, victim.pool.VMStats(), vm.Stats{})
+		victim.pool.Drain()
+	}
+}
+
+// addPoolStats accumulates pool counters.
+func addPoolStats(dst *Stats, s Stats) {
+	dst.Snapshots += s.Snapshots
+	dst.Builds += s.Builds
+	dst.Resets += s.Resets
+	dst.Resumes += s.Resumes
+	dst.Discards += s.Discards
+}
+
+// Stats returns a point-in-time view of the cache counters.
+func (c *SnapCache) Stats() SnapCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := SnapCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.lru.Len(), Bytes: c.used, MaxBytes: c.cfg.MaxBytes,
+		Pool: c.retired, VM: c.retiredVM,
+	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		addPoolStats(&s.Pool, e.pool.Stats())
+		addVMStats(&s.VM, e.pool.VMStats(), vm.Stats{})
+	}
+	return s
+}
+
+// Len reports how many decoder lines are resident.
+func (c *SnapCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Contains reports whether the decoder line is resident (for tests and
+// monitoring; the answer may be stale by the time it returns).
+func (c *SnapCache) Contains(hash [32]byte, mode uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[CacheKey{Hash: hash, Mode: mode}]
+	return e != nil && e.elem != nil
+}
+
+// Drain drops every resident entry's idle VMs, keeping the snapshots
+// (and their warm block caches) resident, and reports how many VMs were
+// dropped. The between-bursts memory valve for a long-lived server.
+func (c *SnapCache) Drain() int {
+	c.mu.Lock()
+	pools := make([]*Pool, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		pools = append(pools, el.Value.(*cacheEntry).pool)
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, p := range pools {
+		n += p.Drain()
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package vmpool
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vxa/internal/vm"
+)
+
+// cacheStream drives one stream on a cache lease and returns the lease
+// to the pool. want, when non-nil, is the expected decoded output (only
+// the echo decoder reproduces its input; the leaky decoder emits its
+// previous stream's buffer).
+func cacheStream(t testing.TB, c *SnapCache, hash [32]byte, mode uint32, scope uint64, elf func() ([]byte, error), payload, want []byte) {
+	if t != nil {
+		t.Helper()
+	}
+	lease, err := c.Get(hash, mode, scope, elf)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	var out bytes.Buffer
+	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+	if err != nil {
+		lease.Release(false)
+		if t != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	lease.Release(reusable)
+	if t != nil && want != nil && !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("decoder returned %d bytes, want %d", out.Len(), len(want))
+	}
+}
+
+func mustELF(t *testing.T, elf func() ([]byte, error)) []byte {
+	t.Helper()
+	b, err := elf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapCacheHitMiss: the second request for the same content+mode is
+// a hit on the same snapshot line; different content is a different
+// line.
+func TestSnapCacheHitMiss(t *testing.T) {
+	echo := compile(t, echoSrc)
+	leaky := compile(t, leakySrc)
+	echoHash := HashELF(mustELF(t, echo))
+	leakyHash := HashELF(mustELF(t, leaky))
+	if echoHash == leakyHash {
+		t.Fatal("distinct decoders share a content hash")
+	}
+
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	payload := []byte("content addressed")
+	cacheStream(t, c, echoHash, 0644, 0, echo, payload, payload)
+	cacheStream(t, c, echoHash, 0644, 0, echo, payload, payload)
+	cacheStream(t, c, leakyHash, 0644, 0, leaky, payload, nil)
+
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 misses and 1 hit", s)
+	}
+	if s.Entries != 2 || s.Bytes <= 0 {
+		t.Fatalf("stats = %+v, want 2 resident entries with a nonzero footprint", s)
+	}
+	if s.VM.Steps == 0 || s.VM.Syscalls == 0 {
+		t.Fatalf("aggregated engine counters empty: %+v", s.VM)
+	}
+	if !c.Contains(echoHash, 0644) || c.Contains(echoHash, 0600) {
+		t.Fatal("Contains disagrees with the requests made")
+	}
+}
+
+// TestSnapCacheSiblingImport: a new security mode of an already-warm
+// decoder imports the sibling's translated blocks, so its first VM
+// translates nothing.
+func TestSnapCacheSiblingImport(t *testing.T) {
+	echo := compile(t, echoSrc)
+	hash := HashELF(mustELF(t, echo))
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	payload := bytes.Repeat([]byte("warm"), 64)
+
+	// Warm mode 0644: run + release absorbs the block cache into the
+	// snapshot.
+	cacheStream(t, c, hash, 0644, 0, echo, payload, payload)
+
+	// Mode 0600 is a distinct cache entry; its snapshot must arrive
+	// pre-translated via the sibling import.
+	lease, err := c.Get(hash, 0600, 0, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release(false)
+	if _, err := lease.VM().RunStream(bytes.NewReader(payload), io.Discard, nil, vm.StreamFuel(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if built := lease.VM().Stats().BlocksBuilt; built != 0 {
+		t.Fatalf("sibling-mode VM built %d blocks, want 0 (block import failed)", built)
+	}
+}
+
+// TestSnapCacheEviction: a byte budget sized for one entry evicts the
+// least-recently-used line, and a re-request rebuilds it (a new miss).
+func TestSnapCacheEviction(t *testing.T) {
+	echo := compile(t, echoSrc)
+	leaky := compile(t, leakySrc)
+	echoHash := HashELF(mustELF(t, echo))
+	leakyHash := HashELF(mustELF(t, leaky))
+
+	// Measure one entry's footprint, then budget for just under two.
+	probe := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	cacheStream(t, probe, echoHash, 0644, 0, echo, []byte("probe"), nil)
+	one := probe.Stats().Bytes
+
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}, MaxBytes: one + one/2})
+	cacheStream(t, c, echoHash, 0644, 0, echo, []byte("a"), []byte("a"))
+	cacheStream(t, c, leakyHash, 0644, 0, leaky, []byte("b"), nil)
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly one eviction leaving one resident entry", s)
+	}
+	if c.Contains(echoHash, 0644) || !c.Contains(leakyHash, 0644) {
+		t.Fatal("evicted the wrong entry: echo was least recently used")
+	}
+	if s.Bytes > c.cfg.MaxBytes {
+		t.Fatalf("resident bytes %d over budget %d", s.Bytes, c.cfg.MaxBytes)
+	}
+
+	// The evicted line rebuilds on demand.
+	cacheStream(t, c, echoHash, 0644, 0, echo, []byte("back"), []byte("back"))
+	if s := c.Stats(); s.Misses != 3 {
+		t.Fatalf("misses = %d after re-request of an evicted line, want 3", s.Misses)
+	}
+}
+
+// TestSnapCacheRaceStress hammers one cache from many goroutines with a
+// budget small enough to keep hit, miss, rebuild and evict all racing,
+// while Drain/Stats/Contains observers run. Run under -race; the
+// assertions are liveness plus counter coherence.
+func TestSnapCacheRaceStress(t *testing.T) {
+	echo := compile(t, echoSrc)
+	leaky := compile(t, leakySrc)
+	elves := []func() ([]byte, error){echo, leaky}
+	hashes := []([32]byte){HashELF(mustELF(t, echo)), HashELF(mustELF(t, leaky))}
+	modes := []uint32{0600, 0644}
+
+	// Budget for roughly one entry: every Get with the other decoder
+	// resident evicts, so the miss/evict/rebuild path stays hot.
+	probe := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	cacheStream(t, probe, hashes[0], 0644, 0, echo, []byte("probe"), nil)
+	one := probe.Stats().Bytes
+
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}, MaxBytes: one + one/2})
+	const workers, iters = 6, 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			payload := []byte("race stress payload")
+			for i := 0; i < iters; i++ {
+				k := rng.Intn(len(elves))
+				cacheStream(nil, c, hashes[k], modes[rng.Intn(len(modes))], uint64(rng.Intn(3)), elves[k], payload, nil)
+				switch rng.Intn(4) {
+				case 0:
+					c.Drain()
+				case 1:
+					_ = c.Stats()
+				case 2:
+					c.Contains(hashes[k], 0644)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*iters {
+		t.Fatalf("hits %d + misses %d != %d requests", s.Hits, s.Misses, workers*iters)
+	}
+	if s.Bytes < 0 || s.Entries > 4 {
+		t.Fatalf("incoherent final stats: %+v", s)
+	}
+	// The cache must still serve correctly after the storm.
+	cacheStream(t, c, hashes[0], 0644, 0, echo, []byte("after the storm"), []byte("after the storm"))
+}
+
+// TestSnapCacheScopeIsolation is the multi-tenant §2.4 extension: the
+// leaky decoder parks with client A's stream in its static buffer, and
+// client B — same decoder content, same security mode, different trust
+// scope — must receive a pristine VM, not A's residue. Scope A itself,
+// resuming in place, is allowed to (and does) see its own prior stream:
+// that is the intra-client reuse the paper describes.
+func TestSnapCacheScopeIsolation(t *testing.T) {
+	leaky := compile(t, leakySrc)
+	hash := HashELF(mustELF(t, leaky))
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	secret := bytes.Repeat([]byte("A-secret"), 8) // exactly the 64-byte buffer
+
+	run := func(scope uint64, payload []byte) []byte {
+		t.Helper()
+		lease, err := c.Get(hash, 0644, scope, leaky)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+		if err != nil {
+			lease.Release(false)
+			t.Fatal(err)
+		}
+		lease.Release(reusable)
+		return out.Bytes()
+	}
+
+	scopeA, scopeB := NextScope(), NextScope()
+	run(scopeA, secret) // A's secret now sits in the parked VM's buffer
+
+	// Same scope resumes in place: A sees its own previous stream.
+	if got := run(scopeA, []byte("A again")); !bytes.Equal(got, secret) {
+		t.Fatalf("scope A resume did not see its own residue (got %q)", got)
+	}
+	// Different scope must get a pristine image: all zeros, no secret.
+	if got := run(scopeB, []byte("B stream")); bytes.Contains(got, []byte("A-secret")) {
+		t.Fatalf("client B received client A's residue: %q", got)
+	} else if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatalf("scope B's VM was not pristine (got %x)", got)
+	}
+}

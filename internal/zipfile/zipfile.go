@@ -332,6 +332,12 @@ func (r *Reader) Payload(f *FileHeader) ([]byte, error) {
 	return p, err
 }
 
+// MaxDecoderSize caps a decoder pseudo-file's decompressed size. Real
+// VXA decoders are tens of kilobytes (Table 2); the cap stops a
+// malicious archive from using the decoder slot as a decompression
+// bomb before the sandbox is even involved.
+const MaxDecoderSize = 16 << 20
+
 // Decoder extracts and decompresses the decoder pseudo-file at the given
 // archive offset (decoders are always deflate-compressed, §3.2).
 func (r *Reader) Decoder(off uint32) ([]byte, error) {
@@ -341,6 +347,9 @@ func (r *Reader) Decoder(off uint32) ([]byte, error) {
 	}
 	if method != MethodDeflate {
 		return nil, fmt.Errorf("%w: decoder pseudo-file not deflated", ErrFormat)
+	}
+	if usize > MaxDecoderSize {
+		return nil, fmt.Errorf("%w: decoder pseudo-file claims %d bytes (cap %d)", ErrFormat, usize, MaxDecoderSize)
 	}
 	fr := flate.NewReader(bytes.NewReader(payload))
 	defer fr.Close()

@@ -66,6 +66,14 @@ type (
 	// PoolStats are the decoder VM pool's cumulative counters, from
 	// Reader.PoolStats.
 	PoolStats = vmpool.Stats
+	// SnapCache is a content-addressed decoder snapshot cache shared
+	// across Readers (and by the vxad daemon): decoders are keyed by
+	// the SHA-256 of their ELF bytes, so identical decoders embedded in
+	// different archives share one snapshot, one warm translation
+	// cache and one VM pool. Attach to a Reader with SetSnapCache.
+	SnapCache = vmpool.SnapCache
+	// SnapCacheConfig configures a SnapCache.
+	SnapCacheConfig = vmpool.SnapCacheConfig
 )
 
 // Extraction modes.
@@ -89,4 +97,10 @@ func OpenReader(data []byte) (*Reader, error) {
 // Codecs returns the registered codec set (Table 1 of the paper).
 func Codecs() []*codec.Codec {
 	return codec.All()
+}
+
+// NewSnapCache creates a content-addressed decoder snapshot cache to
+// share across Readers via Reader.SetSnapCache.
+func NewSnapCache(cfg SnapCacheConfig) *SnapCache {
+	return vmpool.NewSnapCache(cfg)
 }
