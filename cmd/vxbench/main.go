@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"vxa"
 	"vxa/internal/bench"
@@ -29,6 +30,7 @@ type report struct {
 	Table2     []bench.Table2Row   `json:"table2,omitempty"`
 	Overhead   []bench.OverheadRow `json:"overhead,omitempty"`
 	Fig7       []bench.Fig7Row     `json:"fig7,omitempty"`
+	Ablation   []bench.AblationRow `json:"ablation,omitempty"`
 	Pool       []bench.PoolRow     `json:"pool,omitempty"`
 	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
 	Server     []bench.ServerRow   `json:"server,omitempty"`
@@ -43,15 +45,43 @@ func main() {
 	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
 	sv := flag.Bool("server", false, "measure vxad cold vs warm snapshot-cache request latency")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
+	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks)")
 	streams := flag.Int("streams", 16, "streams per codec for -pool")
 	entries := flag.Int("entries", 16, "archive entries for -parallel")
 	warm := flag.Int("warm", 16, "warm requests per codec for -server")
 	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
 	baseline := flag.String("baseline", "", "compare -fig7 against a previous -json file; exit nonzero on >10% geomean regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	_ = vxa.Codecs()
-	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*ablateOpt
 	if *baseline != "" {
 		*f7 = true // the compare mode needs a fresh Figure 7 run
 	}
@@ -144,6 +174,23 @@ func main() {
 		fmt.Println("ExtractAll: serial vs parallel archived-decoder extraction")
 		fmt.Printf("  %d entries, %d workers: serial %v, parallel %v, %.1fx speedup (%d VM re-inits)\n\n",
 			row.Entries, row.Workers, row.Serial.Round(10e3), row.Parallel.Round(10e3), row.Speedup, row.Reinits)
+	}
+	if *ablateOpt {
+		rows, err := bench.Ablation()
+		if err != nil {
+			fatal(err)
+		}
+		rep.Ablation = rows
+		fmt.Println("Optimizer ablation: vx32 decode time with each pass disabled")
+		fmt.Printf("  %-8s %12s %12s %12s %12s %12s %9s %8s %5s\n",
+			"decoder", "full", "-elide", "-fuse", "-superblk", "none", "elided", "fused", "sb")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %12v %12v %12v %12v %12v %9d %8d %5d\n",
+				r.Codec, r.Full.Round(10e3), r.NoFlagElision.Round(10e3),
+				r.NoFusion.Round(10e3), r.NoSuperblocks.Round(10e3), r.NoOpt.Round(10e3),
+				r.FlagsElided, r.UopsFused, r.SuperblocksFormed)
+		}
+		fmt.Println()
 	}
 	if *f7 || all {
 		fmt.Println("Figure 7: Performance of Virtualized Decoders")

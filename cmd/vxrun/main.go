@@ -86,6 +86,9 @@ func main() {
 				"vxrun: engine: %d steps, %d uops, %d blocks built, %d chained, %d lookups, %d flag bits materialized, %d syscalls\n",
 				st.Steps, st.UopsExecuted, st.BlocksBuilt, st.BlocksChained,
 				st.BlockLookups, st.FlagsMaterialized, st.Syscalls)
+			fmt.Fprintf(os.Stderr,
+				"vxrun: optimizer: %d uops fused, %d flag records elided, %d superblocks formed\n",
+				st.UopsFused, st.FlagsElided, st.SuperblocksFormed)
 		}
 		return
 	}

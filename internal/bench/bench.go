@@ -153,6 +153,66 @@ func runVX(w Workload, cfg vm.Config) (stats vm.Stats, dur time.Duration, err er
 	return v.Stats(), dur, nil
 }
 
+// AblationRow is one codec's per-optimizer-pass ablation: decode time
+// with the full pipeline, with each pass individually disabled, and
+// with the whole optimizer off. Output correctness under every
+// configuration is pinned separately by the differential test wall
+// (TestOptAblation); this measures only the speed each pass buys.
+type AblationRow struct {
+	Codec             string        `json:"codec"`
+	Full              time.Duration `json:"full_ns"`
+	NoFlagElision     time.Duration `json:"no_flag_elision_ns"`
+	NoFusion          time.Duration `json:"no_fusion_ns"`
+	NoSuperblocks     time.Duration `json:"no_superblocks_ns"`
+	NoOpt             time.Duration `json:"no_opt_ns"`
+	FlagsElided       uint64        `json:"flags_elided"`       // full pipeline
+	UopsFused         uint64        `json:"uops_fused"`         // full pipeline
+	SuperblocksFormed uint64        `json:"superblocks_formed"` // full pipeline
+}
+
+// Ablation measures every codec under each optimizer-pass ablation.
+func Ablation() ([]AblationRow, error) {
+	ws, err := Workloads()
+	if err != nil {
+		return nil, err
+	}
+	configs := []vm.Config{
+		{},
+		{NoFlagElision: true},
+		{NoFusion: true},
+		{NoSuperblocks: true},
+		{NoFlagElision: true, NoFusion: true, NoSuperblocks: true},
+	}
+	var rows []AblationRow
+	for _, w := range ws {
+		row := AblationRow{Codec: w.Codec.Name}
+		for i, cfg := range configs {
+			cfg.MemSize = 64 << 20
+			stats, dur, err := runVX(w, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s ablation %d: %w", w.Codec.Name, i, err)
+			}
+			switch i {
+			case 0:
+				row.Full = dur
+				row.FlagsElided = stats.FlagsElided
+				row.UopsFused = stats.UopsFused
+				row.SuperblocksFormed = stats.SuperblocksFormed
+			case 1:
+				row.NoFlagElision = dur
+			case 2:
+				row.NoFusion = dur
+			case 3:
+				row.NoSuperblocks = dur
+			case 4:
+				row.NoOpt = dur
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // Regression is one codec's comparison against a baseline run.
 type Regression struct {
 	Codec    string        `json:"codec"`

@@ -239,6 +239,10 @@ func TestServerEndToEnd(t *testing.T) {
 	if m.Requests == 0 || m.Cache.Misses == 0 || m.Cache.VM.Steps == 0 {
 		t.Fatalf("metrics missing counters: %s", mbody)
 	}
+	// The optimizer counters ride the same aggregated engine stats.
+	if m.Cache.VM.UopsFused == 0 || m.Cache.VM.FlagsElided == 0 {
+		t.Fatalf("metrics missing optimizer counters: %s", mbody)
+	}
 }
 
 // TestServerAdmissionUnderBurst is the end-to-end half of the admission

@@ -36,6 +36,8 @@ type Snapshot struct {
 	brk, roLimit, stackBase uint32
 	fuel                    int64
 	noCache                 bool
+	noSB                    bool
+	optCfg                  uop.OptConfig
 
 	mu     sync.Mutex
 	blocks map[uint32]*block
@@ -59,6 +61,8 @@ func (v *VM) Snapshot() *Snapshot {
 		stackBase: v.stackBase,
 		fuel:      v.fuel,
 		noCache:   v.noCache,
+		noSB:      v.noSB,
+		optCfg:    v.optCfg,
 		blocks:    make(map[uint32]*block, len(v.blocks)),
 	}
 	for addr, br := range v.blocks {
@@ -123,6 +127,8 @@ func (s *Snapshot) restore(v *VM) {
 	v.stackBase = s.stackBase
 	v.fuel = s.fuel
 	v.noCache = s.noCache
+	v.noSB = s.noSB
+	v.optCfg = s.optCfg
 	v.blocks = s.blockMap()
 	v.exitCode = 0
 	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil

@@ -1,21 +1,29 @@
 package vm
 
 import (
+	"math/bits"
+
 	"vxa/internal/vm/uop"
 	"vxa/internal/x86"
 )
 
 // This file is the micro-op execution engine: the hot path that replaced
 // the per-instruction exec switch. Each cached fragment carries a dense
-// []uop.Uop lowered at translate time (operand forms resolved into
-// specialized kinds), so the inner loop is one jump-table dispatch per
-// guest instruction with no operand re-inspection. Arithmetic flags are
+// []uop.Uop lowered and optimized at translate time (operand forms
+// resolved into specialized kinds; adjacent instructions fused; dead
+// flag records elided — see uop/opt.go), so the inner loop is one
+// jump-table dispatch per micro-op, often covering several guest
+// instructions, with no operand re-inspection. Arithmetic flags are
 // lazy (see uop.Flags): ALU micro-ops record their inputs and result,
 // and individual EFLAGS bits are computed only when Jcc/SETcc/ADC/SBB or
-// a generic-fallback instruction consumes them. The old exec engine
-// (exec.go) remains as the semantic reference: rare instructions escape
-// to it via KindGeneric, and the end-of-fuel slow path re-walks a block
-// on it to preserve exact per-instruction trap EIPs.
+// a generic-fallback instruction consumes them — and the fused
+// compare/branch and compare/setcc forms evaluate their condition
+// straight from the operands, touching no flag state at all. Hot blocks
+// are re-translated into straight-line superblocks with guard exits
+// (superblock.go). The old exec engine (exec.go) remains as the
+// semantic reference: rare instructions escape to it via KindGeneric,
+// and the end-of-fuel slow path re-walks a block on it to preserve
+// exact per-instruction trap EIPs.
 
 // ---- lazy flag access --------------------------------------------------
 
@@ -144,20 +152,12 @@ func wrOK(addr, size, roLimit, brk, stackBase, memLen uint32) bool {
 		(addr >= stackBase && addr <= memLen-size)
 }
 
-// le32 and st32 are raw little-endian accesses; bounds must have been
-// checked by the caller.
-func le32(m []byte, addr uint32) uint32 {
-	mm := m[addr : addr+4]
-	return uint32(mm[0]) | uint32(mm[1])<<8 | uint32(mm[2])<<16 | uint32(mm[3])<<24
-}
-
-func st32(m []byte, addr, val uint32) {
-	mm := m[addr : addr+4]
-	mm[0] = byte(val)
-	mm[1] = byte(val >> 8)
-	mm[2] = byte(val >> 16)
-	mm[3] = byte(val >> 24)
-}
+// le32 and st32 (uexec_le.go / uexec_portable.go) are the raw
+// little-endian guest accesses; bounds must have been checked by the
+// caller. They must stay under the compiler's reduced inline budget:
+// the execUops dispatch loop is past the big-function threshold, where
+// only tiny callees are still inlined — a non-inlined guest load would
+// cost more than the load itself.
 
 // The u* accessors are the out-of-line load/store paths used by the
 // colder handlers; they report failure as a bool so no error value is
@@ -416,17 +416,177 @@ func (v *VM) upush32(val, eip uint32) error {
 	return nil
 }
 
+// ---- direct condition evaluation (fused compare forms) ------------------
+
+// condSub evaluates a condition against the flags a CMP (res = a - b)
+// would produce, straight from the operands: the fused compare/branch
+// and compare/setcc forms never touch the flag machinery on this path.
+func condSub(cc x86.CC, a, b uint32) bool {
+	switch cc {
+	case x86.CCO:
+		return (a^b)&(a^(a-b))&0x80000000 != 0
+	case x86.CCNO:
+		return (a^b)&(a^(a-b))&0x80000000 == 0
+	case x86.CCB:
+		return a < b
+	case x86.CCAE:
+		return a >= b
+	case x86.CCE:
+		return a == b
+	case x86.CCNE:
+		return a != b
+	case x86.CCBE:
+		return a <= b
+	case x86.CCA:
+		return a > b
+	case x86.CCS:
+		return int32(a-b) < 0
+	case x86.CCNS:
+		return int32(a-b) >= 0
+	case x86.CCP:
+		return bits.OnesCount8(uint8(a-b))%2 == 0
+	case x86.CCNP:
+		return bits.OnesCount8(uint8(a-b))%2 != 0
+	case x86.CCL:
+		return int32(a) < int32(b)
+	case x86.CCGE:
+		return int32(a) >= int32(b)
+	case x86.CCLE:
+		return int32(a) <= int32(b)
+	default: // CCG
+		return int32(a) > int32(b)
+	}
+}
+
+// condLogic evaluates a condition against the flags a TEST/logic op
+// would produce from its result (CF = OF = 0, ZF/SF/PF from res).
+func condLogic(cc x86.CC, res uint32) bool {
+	switch cc {
+	case x86.CCO, x86.CCB:
+		return false
+	case x86.CCNO, x86.CCAE:
+		return true
+	case x86.CCE, x86.CCBE: // ZF (CF is clear)
+		return res == 0
+	case x86.CCNE, x86.CCA:
+		return res != 0
+	case x86.CCS:
+		return int32(res) < 0
+	case x86.CCNS:
+		return int32(res) >= 0
+	case x86.CCP:
+		return bits.OnesCount8(uint8(res))%2 == 0
+	case x86.CCNP:
+		return bits.OnesCount8(uint8(res))%2 != 0
+	case x86.CCL: // SF != OF with OF clear
+		return int32(res) < 0
+	case x86.CCGE:
+		return int32(res) >= 0
+	case x86.CCLE:
+		return res == 0 || int32(res) < 0
+	default: // CCG
+		return res != 0 && int32(res) >= 0
+	}
+}
+
+// ualuQ is the quiet ALU used by the flag-suppressed fused load-op
+// form: same arithmetic as ualu, no flag record. Only the non-carry
+// ops are ever fused, so there is no carry-in to read.
+func (v *VM) ualuQ(op uop.AluOp, a, b uint32) (uint32, bool) {
+	switch op {
+	case uop.AluAdd:
+		return a + b, true
+	case uop.AluSub:
+		return a - b, true
+	case uop.AluAnd:
+		return a & b, true
+	case uop.AluOr:
+		return a | b, true
+	case uop.AluXor:
+		return a ^ b, true
+	default: // AluCmp, AluTest: flag-only, and the flags are dead
+		return 0, false
+	}
+}
+
 // ---- block execution ---------------------------------------------------
 
-// uopTrap accounts for an error raised at micro-op index i of an n-op
-// block whose fuel and counters were charged up front: the unexecuted
-// tail is refunded so accounting matches per-instruction semantics.
-func (v *VM) uopTrap(i, n int, err error) error {
-	unrun := uint64(n - i - 1)
-	v.fuel += int64(unrun)
-	v.stats.Steps -= unrun
-	v.stats.UopsExecuted -= unrun
+// uopTrap accounts for an error raised at micro-op index i of a block
+// whose fuel and counters were charged up front: the unexecuted tail —
+// in guest-instruction units, since fused micro-ops carry the cost of
+// several — is refunded so accounting matches per-instruction
+// semantics. A fusable trap site (the load of a fused load-op) is
+// always the fused op's first constituent instruction, so the op's own
+// cost beyond 1 is refunded too.
+func (v *VM) uopTrap(us []uop.Uop, i int, err error) error {
+	return v.uopTrapN(us, i, 1, err)
+}
+
+// uopTrapN is uopTrap for fused micro-ops whose trap site is not the
+// first constituent instruction: started is how many of the fused op's
+// guest instructions had begun when the fault hit (the faulting one
+// included), matching the reference engine's charge-before-execute
+// fuel discipline.
+func (v *VM) uopTrapN(us []uop.Uop, i, started int, err error) error {
+	unrun := int64(us[i].Cost) - int64(started)
+	for j := i + 1; j < len(us); j++ {
+		unrun += int64(us[j].Cost)
+	}
+	v.fuel += unrun
+	v.stats.Steps -= uint64(unrun)
+	v.stats.UopsExecuted -= uint64(len(us) - i - 1)
 	return err
+}
+
+// sbLeave accounts for leaving a superblock early at micro-op index i:
+// the unexecuted tail's fuel is refunded and the exit is profiled (a
+// superblock whose guards fire on most entries has a stale profile and
+// is torn down for re-formation).
+func (v *VM) sbLeave(br *bref, us []uop.Uop, i int) {
+	var tail int64
+	for j := i + 1; j < len(us); j++ {
+		tail += int64(us[j].Cost)
+	}
+	v.fuel += tail
+	v.stats.Steps -= uint64(tail)
+	v.stats.UopsExecuted -= uint64(len(us) - i - 1)
+
+	br.sbExits++
+	if o := br.owner; o != nil && br.sbExits > sbMinExits && br.sbExits*2 > br.sbEntries {
+		// The dominant path the profile promised is not dominant:
+		// detach the superblock and restart profiling from scratch
+		// (bounded by sbMaxReforms attempts per block).
+		o.sb = nil
+		o.sbTried = o.sbForms >= sbMaxReforms
+		o.heat, o.takenCnt, o.fallCnt = 0, 0, 0
+	}
+}
+
+// guardExit resolves a conditional guard's (static) exit edge through
+// the guard's own chain slot.
+func (v *VM) guardExit(br *bref, us []uop.Uop, i int, u *uop.Uop) (*bref, error) {
+	v.sbLeave(br, us, i)
+	if c := br.sbChains[u.Aux]; c != nil {
+		return c, nil
+	}
+	return v.chainTo(&br.sbChains[u.Aux], u.Target)
+}
+
+// retGuardExit resolves a return guard's (dynamic) exit edge through
+// the guard's monomorphic inline cache.
+func (v *VM) retGuardExit(br *bref, us []uop.Uop, i int, u *uop.Uop, target uint32) (*bref, error) {
+	v.sbLeave(br, us, i)
+	e := &br.sbInd[u.Aux]
+	if e.br != nil && e.addr == target {
+		return e.br, nil
+	}
+	nb, err := v.lookupBlock(target)
+	if err != nil || v.noCache {
+		return nb, err
+	}
+	e.br, e.addr = nb, target
+	v.stats.BlocksChained++
+	return nb, nil
 }
 
 // chainTo resolves the successor block at addr through the per-VM chain
@@ -488,10 +648,34 @@ func (v *VM) execUops(br *bref) error {
 
 blocks:
 	for {
+		// Superblock promotion and hot-path profiling. Once a block has
+		// run hot, its dominant path is re-translated into a
+		// straight-line superblock (superblock.go) hung off the base
+		// bref; entering it swaps br for the superblock's own bref, so
+		// every chain slot below stays per-fragment-view. Promotion is
+		// skipped when the remaining fuel cannot cover the superblock,
+		// keeping the end-of-budget slow path on base blocks (which
+		// carry the decoded instructions the reference walk needs).
+		if sb := br.sb; sb != nil {
+			if v.fuel >= sb.b.cost {
+				sb.sbEntries++
+				br = sb
+			}
+		} else if !br.sbTried && !v.noSB {
+			br.heat++
+			if br.heat >= sbHotThreshold {
+				v.formSuperblock(br)
+				if sb := br.sb; sb != nil && v.fuel >= sb.b.cost {
+					sb.sbEntries++
+					br = sb
+				}
+			}
+		}
+
 		b := br.b
 		us := b.uops
 		n := len(us)
-		if v.fuel < int64(n) {
+		if v.fuel < b.cost {
 			// End-of-budget: re-walk this block on the reference engine
 			// for an exact fuel-trap EIP. (The walk always traps before
 			// the block completes, but stay general.)
@@ -507,8 +691,8 @@ blocks:
 			brk = v.brk
 			continue
 		}
-		v.fuel -= int64(n)
-		v.stats.Steps += uint64(n)
+		v.fuel -= b.cost
+		v.stats.Steps += uint64(b.cost)
 		v.stats.UopsExecuted += uint64(n)
 
 		for i := range us {
@@ -528,37 +712,37 @@ blocks:
 			case uop.KindLoad:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				regs[u.Dst] = le32(mem, addr)
 			case uop.KindLoad8:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				v.wr8(u.Dst, u.Dsh, uint32(mem[addr]))
 			case uop.KindStore:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 4))
 				}
 				st32(mem, addr, regs[u.Src])
 			case uop.KindStore8:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 1))
 				}
 				mem[addr] = byte(v.rd8(u.Src, u.Ssh))
 			case uop.KindStoreI:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 4))
 				}
 				st32(mem, addr, u.Imm)
 			case uop.KindStoreI8:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 1))
 				}
 				mem[addr] = byte(u.Imm)
 			case uop.KindLea:
@@ -572,13 +756,13 @@ blocks:
 			case uop.KindMovzxRM8:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				regs[u.Dst] = uint32(mem[addr])
 			case uop.KindMovzxRM16:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 2, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				regs[u.Dst] = uint32(mem[addr]) | uint32(mem[addr+1])<<8
 			case uop.KindMovsxRR8:
@@ -588,13 +772,13 @@ blocks:
 			case uop.KindMovsxRM8:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				regs[u.Dst] = uint32(int32(int8(mem[addr])))
 			case uop.KindMovsxRM16:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 2, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				regs[u.Dst] = uint32(int32(int16(uint32(mem[addr]) | uint32(mem[addr+1])<<8)))
 
@@ -669,7 +853,7 @@ blocks:
 			case uop.KindAluRM:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu(uop.AluOp(u.Sub), regs[u.Dst], le32(mem, addr), 4); wb {
 					regs[u.Dst] = res
@@ -677,22 +861,22 @@ blocks:
 			case uop.KindAluMR:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu(uop.AluOp(u.Sub), le32(mem, addr), regs[u.Src], 4); wb {
 					if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
-						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+						return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 4))
 					}
 					st32(mem, addr, res)
 				}
 			case uop.KindAluMI:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu(uop.AluOp(u.Sub), le32(mem, addr), u.Imm, 4); wb {
 					if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
-						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+						return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 4))
 					}
 					st32(mem, addr, res)
 				}
@@ -707,7 +891,7 @@ blocks:
 			case uop.KindAlu8RM:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu8(uop.AluOp(u.Sub), v.rd8(u.Dst, u.Dsh), uint32(mem[addr])); wb {
 					v.wr8(u.Dst, u.Dsh, res)
@@ -715,22 +899,22 @@ blocks:
 			case uop.KindAlu8MR:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu8(uop.AluOp(u.Sub), uint32(mem[addr]), v.rd8(u.Src, u.Ssh)); wb {
 					if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
-						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+						return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 1))
 					}
 					mem[addr] = byte(res)
 				}
 			case uop.KindAlu8MI:
 				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
 				if !rdOK(addr, 1, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, addr))
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
 				}
 				if res, wb := v.ualu8(uop.AluOp(u.Sub), uint32(mem[addr]), u.Imm); wb {
 					if !wrOK(addr, 1, roLimit, brk, stackBase, memLen) {
-						return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+						return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 1))
 					}
 					mem[addr] = byte(res)
 				}
@@ -769,7 +953,7 @@ blocks:
 			case uop.KindImulRM:
 				bv, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				v.uimul(u.Dst, regs[u.Dst], bv)
 			case uop.KindImulRRI:
@@ -777,7 +961,7 @@ blocks:
 			case uop.KindImulRMI:
 				bv, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				v.uimul(u.Dst, u.Imm, bv)
 			case uop.KindMulR:
@@ -785,20 +969,20 @@ blocks:
 			case uop.KindMulM:
 				val, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				v.umul1(val, u.Sub != 0)
 			case uop.KindDivR:
 				if err := v.udiv(regs[u.Src], u.Sub != 0, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 			case uop.KindDivM:
 				val, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				if err := v.udiv(val, u.Sub != 0, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 			case uop.KindCdq:
 				regs[x86.EDX] = uint32(int32(regs[x86.EAX]) >> 31)
@@ -807,29 +991,29 @@ blocks:
 			case uop.KindPushR:
 				sp := regs[x86.ESP] - 4
 				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, sp, 4))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, sp, 4))
 				}
 				st32(mem, sp, regs[u.Src])
 				regs[x86.ESP] = sp
 			case uop.KindPushI:
 				sp := regs[x86.ESP] - 4
 				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, sp, 4))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, sp, 4))
 				}
 				st32(mem, sp, u.Imm)
 				regs[x86.ESP] = sp
 			case uop.KindPushM:
 				val, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				if err := v.upush32(val, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 			case uop.KindPopR:
 				sp := regs[x86.ESP]
 				if !rdOK(sp, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
 				}
 				regs[x86.ESP] = sp + 4
 				regs[u.Dst] = le32(mem, sp) // a popped ESP wins over the increment
@@ -837,12 +1021,12 @@ blocks:
 				sp := regs[x86.ESP]
 				val, ok := v.uload32(sp)
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
 				}
 				regs[x86.ESP] = sp + 4
 				addr := v.uea(u) // the store address sees the popped ESP
 				if !v.ustore32(addr, val) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 4))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 4))
 				}
 
 			// --- setcc ---
@@ -859,8 +1043,328 @@ blocks:
 				}
 				addr := v.uea(u)
 				if !v.ustore8(addr, val) {
-					return v.uopTrap(i, n, v.storeTrap(u.EIP, addr, 1))
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, addr, 1))
 				}
+
+			// --- flag-suppressed ALU forms (dead-flag elimination) ---
+			case uop.KindAddRRNF:
+				regs[u.Dst] += regs[u.Src]
+			case uop.KindAddRINF:
+				regs[u.Dst] += u.Imm
+			case uop.KindSubRRNF:
+				regs[u.Dst] -= regs[u.Src]
+			case uop.KindSubRINF:
+				regs[u.Dst] -= u.Imm
+			case uop.KindAndRRNF:
+				regs[u.Dst] &= regs[u.Src]
+			case uop.KindAndRINF:
+				regs[u.Dst] &= u.Imm
+			case uop.KindOrRRNF:
+				regs[u.Dst] |= regs[u.Src]
+			case uop.KindOrRINF:
+				regs[u.Dst] |= u.Imm
+			case uop.KindXorRRNF:
+				regs[u.Dst] ^= regs[u.Src]
+			case uop.KindXorRINF:
+				regs[u.Dst] ^= u.Imm
+			case uop.KindIncRNF:
+				regs[u.Dst]++
+			case uop.KindDecRNF:
+				regs[u.Dst]--
+			case uop.KindShiftRINF:
+				switch uop.ShOp(u.Sub) {
+				case uop.ShShl:
+					regs[u.Dst] <<= u.Imm
+				case uop.ShShr:
+					regs[u.Dst] >>= u.Imm
+				default: // ShSar
+					regs[u.Dst] = uint32(int32(regs[u.Dst]) >> u.Imm)
+				}
+			case uop.KindShiftRCLNF:
+				if c := regs[x86.ECX] & 31; c != 0 {
+					switch uop.ShOp(u.Sub) {
+					case uop.ShShl:
+						regs[u.Dst] <<= c
+					case uop.ShShr:
+						regs[u.Dst] >>= c
+					default: // ShSar
+						regs[u.Dst] = uint32(int32(regs[u.Dst]) >> c)
+					}
+				}
+
+			// --- fused compare/setcc and boolean materialization ---
+			case uop.KindCmpSetccRR, uop.KindCmpSetccRI:
+				a, bb := regs[u.Src], u.Imm
+				if u.Kind == uop.KindCmpSetccRR {
+					bb = regs[u.Aux]
+				}
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+				var val uint32
+				if condSub(x86.CC(u.Sub), a, bb) {
+					val = 1
+				}
+				v.wr8(u.Dst, u.Dsh, val)
+			case uop.KindTestSetccRR, uop.KindTestSetccRI:
+				res := regs[u.Src] & u.Imm
+				if u.Kind == uop.KindTestSetccRR {
+					res = regs[u.Src] & regs[u.Aux]
+				}
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+				var val uint32
+				if condLogic(x86.CC(u.Sub), res) {
+					val = 1
+				}
+				v.wr8(u.Dst, u.Dsh, val)
+			case uop.KindCmpBoolRR, uop.KindCmpBoolRI:
+				a, bb := regs[u.Src], u.Imm
+				if u.Kind == uop.KindCmpBoolRR {
+					bb = regs[u.Aux]
+				}
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+				var val uint32
+				if condSub(x86.CC(u.Sub), a, bb) {
+					val = 1
+				}
+				regs[u.Dst] = val
+			case uop.KindTestBoolRR, uop.KindTestBoolRI:
+				res := regs[u.Src] & u.Imm
+				if u.Kind == uop.KindTestBoolRR {
+					res = regs[u.Src] & regs[u.Aux]
+				}
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+				var val uint32
+				if condLogic(x86.CC(u.Sub), res) {
+					val = 1
+				}
+				regs[u.Dst] = val
+			case uop.KindCmpBoolRRNF, uop.KindCmpBoolRINF:
+				a, bb := regs[u.Src], u.Imm
+				if u.Kind == uop.KindCmpBoolRRNF {
+					bb = regs[u.Aux]
+				}
+				var val uint32
+				if condSub(x86.CC(u.Sub), a, bb) {
+					val = 1
+				}
+				regs[u.Dst] = val
+			case uop.KindTestBoolRRNF, uop.KindTestBoolRINF:
+				res := regs[u.Src] & u.Imm
+				if u.Kind == uop.KindTestBoolRRNF {
+					res = regs[u.Src] & regs[u.Aux]
+				}
+				var val uint32
+				if condLogic(x86.CC(u.Sub), res) {
+					val = 1
+				}
+				regs[u.Dst] = val
+
+			// --- fused load-op ---
+			case uop.KindLoadAluRR:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
+				}
+				regs[u.Aux] = le32(mem, addr)
+				if res, wb := v.ualu(uop.AluOp(u.Sub), regs[u.Dst], regs[u.Src], 4); wb {
+					regs[u.Dst] = res
+				}
+			case uop.KindLoadAluRRNF:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
+				}
+				regs[u.Aux] = le32(mem, addr)
+				if res, wb := v.ualuQ(uop.AluOp(u.Sub), regs[u.Dst], regs[u.Src]); wb {
+					regs[u.Dst] = res
+				}
+
+			// --- data-movement pair fusions ---
+			case uop.KindMovPop:
+				regs[u.Aux] = regs[u.Src]
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, memTrap(u.Imm, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				regs[u.Dst] = le32(mem, sp)
+			case uop.KindMovPopAluRR, uop.KindMovPopAluRRNF:
+				regs[u.Aux] = regs[u.Src]
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, memTrap(u.Imm, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				a, bb := le32(mem, sp), regs[u.Aux]
+				var res uint32
+				switch uop.AluOp(u.Sub) {
+				case uop.AluAdd:
+					res = a + bb
+					if u.Kind == uop.KindMovPopAluRR {
+						v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagAdd, a, bb, res
+					}
+				case uop.AluSub:
+					res = a - bb
+					if u.Kind == uop.KindMovPopAluRR {
+						v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, res
+					}
+				case uop.AluAnd:
+					res = a & bb
+					if u.Kind == uop.KindMovPopAluRR {
+						v.fl.Op, v.fl.Res = uop.FlagLogic, res
+					}
+				case uop.AluOr:
+					res = a | bb
+					if u.Kind == uop.KindMovPopAluRR {
+						v.fl.Op, v.fl.Res = uop.FlagLogic, res
+					}
+				default: // AluXor
+					res = a ^ bb
+					if u.Kind == uop.KindMovPopAluRR {
+						v.fl.Op, v.fl.Res = uop.FlagLogic, res
+					}
+				}
+				regs[u.Dst] = res
+			case uop.KindPushLoad:
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, memTrap(u.Imm, addr))
+				}
+				regs[u.Dst] = le32(mem, addr)
+			case uop.KindLoadPush:
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, addr))
+				}
+				regs[u.Aux] = le32(mem, addr)
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, v.storeTrap(u.Imm, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+			case uop.KindPushMovI:
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+				regs[u.Dst] = u.Imm
+			case uop.KindMovIPush:
+				regs[u.Dst] = u.Imm
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, v.storeTrap(u.Disp, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+			case uop.KindMovIMov:
+				regs[u.Dst] = u.Imm
+				regs[u.Aux] = regs[u.Src]
+			case uop.KindMovLoad:
+				regs[u.Aux] = regs[u.Src]
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !rdOK(addr, 4, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, memTrap(u.Imm, addr))
+				}
+				regs[u.Dst] = le32(mem, addr)
+			case uop.KindPopStore:
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				regs[u.Dst] = le32(mem, sp) // a popped ESP wins over the increment
+				addr := u.Disp + regs[u.Base] + regs[u.Idx]*uint32(u.Scale)
+				if !wrOK(addr, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, v.storeTrap(u.Imm, addr, 4))
+				}
+				st32(mem, addr, regs[u.Src])
+
+			// --- superblock guard exits ---
+			case uop.KindGuard:
+				if !v.ucond(x86.CC(u.Sub)) {
+					break // stay on the trace
+				}
+				v.eip = u.Target
+				nb, err := v.guardExit(br, us, i, u)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindGuardCmpRR, uop.KindGuardCmpRI:
+				a, bb := regs[u.Dst], u.Imm
+				if u.Kind == uop.KindGuardCmpRR {
+					bb = regs[u.Src]
+				}
+				// The compare executes on both paths: record its flags.
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+				if !condSub(x86.CC(u.Sub), a, bb) {
+					break
+				}
+				v.eip = u.Target
+				nb, err := v.guardExit(br, us, i, u)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindGuardTestRR, uop.KindGuardTestRI:
+				res := regs[u.Dst] & u.Imm
+				if u.Kind == uop.KindGuardTestRR {
+					res = regs[u.Dst] & regs[u.Src]
+				}
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+				if !condLogic(x86.CC(u.Sub), res) {
+					break
+				}
+				v.eip = u.Target
+				nb, err := v.guardExit(br, us, i, u)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindGuardCmpRRNF, uop.KindGuardCmpRINF:
+				a, bb := regs[u.Dst], u.Imm
+				if u.Kind == uop.KindGuardCmpRRNF {
+					bb = regs[u.Src]
+				}
+				if !condSub(x86.CC(u.Sub), a, bb) {
+					break // flags provably dead on the trace
+				}
+				// Exiting: the compare's flags become the visible state.
+				v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+				v.eip = u.Target
+				nb, err := v.guardExit(br, us, i, u)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindGuardTestRRNF, uop.KindGuardTestRINF:
+				res := regs[u.Dst] & u.Imm
+				if u.Kind == uop.KindGuardTestRRNF {
+					res = regs[u.Dst] & regs[u.Src]
+				}
+				if !condLogic(x86.CC(u.Sub), res) {
+					break
+				}
+				v.fl.Op, v.fl.Res = uop.FlagLogic, res
+				v.eip = u.Target
+				nb, err := v.guardExit(br, us, i, u)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
 
 			// --- control transfers (always the last micro-op) ---
 			case uop.KindJmp:
@@ -877,6 +1381,7 @@ blocks:
 				continue blocks
 			case uop.KindJcc:
 				if v.ucond(x86.CC(u.Sub)) {
+					br.takenCnt++
 					v.eip = u.Target
 					if c := br.taken; c != nil {
 						br = c
@@ -889,6 +1394,56 @@ blocks:
 					br = nb
 					continue blocks
 				}
+				br.fallCnt++
+				v.eip = u.Next
+				if c := br.fall; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.fall, u.Next)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindCmpJccRR, uop.KindCmpJccRI,
+				uop.KindTestJccRR, uop.KindTestJccRI:
+				// Fused compare/branch: the condition is evaluated
+				// directly from the compare operands (no flag
+				// materialization); the compare's record is still
+				// written for whatever the successor block may read.
+				var take bool
+				switch u.Kind {
+				case uop.KindCmpJccRR, uop.KindCmpJccRI:
+					a, bb := regs[u.Dst], u.Imm
+					if u.Kind == uop.KindCmpJccRR {
+						bb = regs[u.Src]
+					}
+					v.fl.Op, v.fl.A, v.fl.B, v.fl.Res = uop.FlagSub, a, bb, a-bb
+					take = condSub(x86.CC(u.Sub), a, bb)
+				default:
+					res := regs[u.Dst] & u.Imm
+					if u.Kind == uop.KindTestJccRR {
+						res = regs[u.Dst] & regs[u.Src]
+					}
+					v.fl.Op, v.fl.Res = uop.FlagLogic, res
+					take = condLogic(x86.CC(u.Sub), res)
+				}
+				if take {
+					br.takenCnt++
+					v.eip = u.Target
+					if c := br.taken; c != nil {
+						br = c
+						continue blocks
+					}
+					nb, err := v.chainTo(&br.taken, u.Target)
+					if err != nil {
+						return err
+					}
+					br = nb
+					continue blocks
+				}
+				br.fallCnt++
 				v.eip = u.Next
 				if c := br.fall; c != nil {
 					br = c
@@ -902,7 +1457,7 @@ blocks:
 				continue blocks
 			case uop.KindCall:
 				if err := v.upush32(u.Next, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 				v.eip = u.Target
 				if c := br.taken; c != nil {
@@ -918,7 +1473,7 @@ blocks:
 			case uop.KindCallR:
 				target := regs[u.Src]
 				if err := v.upush32(u.Next, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 				v.eip = target
 				nb, err := v.indirect(br, target)
@@ -930,10 +1485,10 @@ blocks:
 			case uop.KindCallM:
 				target, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				if err := v.upush32(u.Next, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 				v.eip = target
 				nb, err := v.indirect(br, target)
@@ -945,7 +1500,7 @@ blocks:
 			case uop.KindRet:
 				sp := regs[x86.ESP]
 				if !rdOK(sp, 4, brk, stackBase, memLen) {
-					return v.uopTrap(i, n, memTrap(u.EIP, sp))
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
 				}
 				target := le32(mem, sp)
 				regs[x86.ESP] = sp + 4 + u.Imm
@@ -955,6 +1510,71 @@ blocks:
 					continue blocks
 				}
 				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindPushCall:
+				sp := regs[x86.ESP] - 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, v.storeTrap(u.EIP, sp, 4))
+				}
+				st32(mem, sp, regs[u.Src])
+				regs[x86.ESP] = sp
+				sp -= 4
+				if !wrOK(sp, 4, roLimit, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, v.storeTrap(u.Imm, sp, 4))
+				}
+				st32(mem, sp, u.Next)
+				regs[x86.ESP] = sp
+				v.eip = u.Target
+				if c := br.taken; c != nil {
+					br = c
+					continue blocks
+				}
+				nb, err := v.chainTo(&br.taken, u.Target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindPopRet:
+				// Fusion guarantees Dst != ESP, so the RET pops sp+4.
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
+				}
+				regs[x86.ESP] = sp + 4
+				regs[u.Dst] = le32(mem, sp)
+				if !rdOK(sp+4, 4, brk, stackBase, memLen) {
+					return v.uopTrapN(us, i, 2, memTrap(u.Disp, sp+4))
+				}
+				target := le32(mem, sp+4)
+				regs[x86.ESP] = sp + 8 + u.Imm
+				v.eip = target
+				if c := br.ind; c != nil && br.indAddr == target {
+					br = c
+					continue blocks
+				}
+				nb, err := v.indirect(br, target)
+				if err != nil {
+					return err
+				}
+				br = nb
+				continue blocks
+			case uop.KindRetGuard:
+				sp := regs[x86.ESP]
+				if !rdOK(sp, 4, brk, stackBase, memLen) {
+					return v.uopTrap(us, i, memTrap(u.EIP, sp))
+				}
+				target := le32(mem, sp)
+				regs[x86.ESP] = sp + 4 + u.Imm
+				if target == u.Target {
+					break // the inlined return: stay on the trace
+				}
+				v.eip = target
+				nb, err := v.retGuardExit(br, us, i, u, target)
 				if err != nil {
 					return err
 				}
@@ -972,7 +1592,7 @@ blocks:
 			case uop.KindJmpM:
 				target, ok := v.uload32(v.uea(u))
 				if !ok {
-					return v.uopTrap(i, n, memTrap(u.EIP, v.uea(u)))
+					return v.uopTrap(us, i, memTrap(u.EIP, v.uea(u)))
 				}
 				v.eip = target
 				nb, err := v.indirect(br, target)
@@ -984,11 +1604,11 @@ blocks:
 			case uop.KindInt:
 				v.eip = u.Next // the guest resumes after the gate
 				if u.Imm != 0x80 {
-					return v.uopTrap(i, n, &Trap{Kind: TrapSyscall, EIP: u.EIP,
+					return v.uopTrap(us, i, &Trap{Kind: TrapSyscall, EIP: u.EIP,
 						Msg: "interrupt vector not the VXA syscall gate"})
 				}
 				if err := v.syscall(); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 				brk = v.brk // setperm may have grown the heap
 				if c := br.taken; c != nil {
@@ -1002,20 +1622,20 @@ blocks:
 				br = nb
 				continue blocks
 			case uop.KindHlt:
-				return v.uopTrap(i, n, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "privileged instruction"})
+				return v.uopTrap(us, i, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "privileged instruction"})
 			case uop.KindUd2:
-				return v.uopTrap(i, n, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "ud2"})
+				return v.uopTrap(us, i, &Trap{Kind: TrapIllegal, EIP: u.EIP, Msg: "ud2"})
 
 			// --- escapes to the reference engine ---
 			case uop.KindString:
 				v.eip = u.EIP // string traps report the op itself
 				if err := v.stringOp(u.Inst); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 			default: // KindGeneric
 				v.materializeFlags()
 				if err := v.exec(u.Inst, u.EIP); err != nil {
-					return v.uopTrap(i, n, err)
+					return v.uopTrap(us, i, err)
 				}
 			}
 		}

@@ -1,0 +1,25 @@
+//go:build amd64 || 386 || arm64 || ppc64le || wasm
+
+package vm
+
+import "unsafe"
+
+// Little-endian hosts with architecturally guaranteed unaligned access
+// (the set Go's own runtime treats as unaligned-safe) read and write
+// guest words directly: one machine load/store instead of four byte
+// accesses. Guest addresses are arbitrary, so platforms where an
+// unaligned word access rotates (old 32-bit arm) or traps to a kernel
+// fixup (mips) must take the portable byte path instead. The leading
+// index expression keeps Go-level memory safety (it panics unless
+// [addr, addr+4) is in bounds) and is the only check the compiler
+// emits; callers have already done the sandbox check.
+
+func le32(m []byte, addr uint32) uint32 {
+	_ = m[addr+3]
+	return *(*uint32)(unsafe.Pointer(&m[addr]))
+}
+
+func st32(m []byte, addr, val uint32) {
+	_ = m[addr+3]
+	*(*uint32)(unsafe.Pointer(&m[addr])) = val
+}

@@ -30,7 +30,9 @@ var aluRIKinds = [9]Kind{
 // must be the block's own backing slice: generic escapes keep pointers
 // into it, so it must stay immutable for the lifetime of the result.
 // addrs[i] is the guest address of insts[i]. Lowering is 1:1 — uop i is
-// instruction i — which the VM's fuel accounting relies on.
+// instruction i, each with Cost 1. Only the optimizer's fusion pass
+// (opt.go) breaks the 1:1 shape, and it preserves the total Cost, which
+// is what the VM's fuel accounting charges.
 func Lower(insts []x86.Inst, addrs []uint32) []Uop {
 	out := make([]Uop, len(insts))
 	for i := range insts {
@@ -68,6 +70,7 @@ func (u *Uop) setSrc8(r x86.Reg) {
 func lowerInst(u *Uop, inst *x86.Inst, addr uint32) {
 	u.EIP = addr
 	u.Next = addr + uint32(inst.Len)
+	u.Cost = 1 // lowering is 1:1; only the optimizer's fusion changes this
 	form := inst.Form()
 
 	// generic routes the instruction to the reference interpreter.
@@ -246,7 +249,7 @@ func lowerInst(u *Uop, inst *x86.Inst, addr uint32) {
 			count := uint32(inst.Src.Imm) & 31
 			if count == 0 {
 				// A zero shift changes neither the value nor any flags.
-				*u = Uop{Kind: KindNop, EIP: u.EIP, Next: u.Next}
+				*u = Uop{Kind: KindNop, EIP: u.EIP, Next: u.Next, Cost: 1}
 				break
 			}
 			u.Kind, u.Imm = KindShiftRI, count

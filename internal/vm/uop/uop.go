@@ -126,6 +126,114 @@ const (
 	KindSetccR8 // Dst.byte[Dsh] ← Sub(cc) ? 1 : 0
 	KindSetccM8
 
+	// Flag-suppressed ("NF") forms, produced by the optimizer's
+	// dead-flag elimination pass: identical to their base kind except
+	// that no lazy flag record is written (and for Inc/Dec, the
+	// preserved CF is not read). Only emitted where liveness proved no
+	// later consumer can observe the flags; see opt.go.
+	KindAddRRNF
+	KindAddRINF
+	KindSubRRNF
+	KindSubRINF
+	KindAndRRNF
+	KindAndRINF
+	KindOrRRNF
+	KindOrRINF
+	KindXorRRNF
+	KindXorRINF
+	KindIncRNF
+	KindDecRNF
+	KindShiftRINF
+	KindShiftRCLNF
+
+	// Fused forms, produced by the optimizer's peephole pass. Each
+	// represents Cost consecutive guest instructions; EIP is the first
+	// instruction's address, Next the address after the last.
+	//
+	// The compare/branch and compare/setcc fusions evaluate the
+	// condition directly from the compare operands — no lazy-flag
+	// materialization at all — and still record the compare's flag
+	// state for later consumers (unless liveness elides it; see the
+	// NF variants and guards).
+
+	// cmp a,b ; jcc — block terminator. Dst=a, Src/Imm=b, Sub=cc.
+	KindCmpJccRR
+	KindCmpJccRI
+	// test a,b ; jcc.
+	KindTestJccRR
+	KindTestJccRI
+
+	// cmp a,b ; setcc dst8. Src=a, Aux/Imm=b, Dst.byte[Dsh]=bool,
+	// Sub=cc.
+	KindCmpSetccRR
+	KindCmpSetccRI
+	KindTestSetccRR
+	KindTestSetccRI
+
+	// cmp a,b ; setcc dst8 ; movzx dst32,dst8 — the full boolean
+	// materialization idiom. Src=a, Aux/Imm=b, Dst ← bool32, Sub=cc.
+	KindCmpBoolRR
+	KindCmpBoolRI
+	KindTestBoolRR
+	KindTestBoolRI
+	KindCmpBoolRRNF // flag-record-suppressed variants
+	KindCmpBoolRINF
+	KindTestBoolRRNF
+	KindTestBoolRINF
+
+	// mov Aux, mem32[ea] ; alu Dst, Src — fused load-op. Sub=AluOp;
+	// one of Dst/Src equals Aux (the loaded register).
+	KindLoadAluRR
+	KindLoadAluRRNF
+
+	// Data-movement pair fusions. The VXA compiler's stack-machine
+	// codegen makes push/pop/mov shuffles the bulk of the dynamic
+	// micro-op stream (a binary operation is push lhs ... mov ecx,eax;
+	// pop eax; op), so collapsing the stereotyped adjacent pairs halves
+	// their dispatch count. Where the second constituent instruction
+	// can trap, its EIP rides in an otherwise-unused field, noted per
+	// kind; the executor reports faults with started=2 accounting.
+	KindMovPop      // Aux ← Src ; Dst ← pop          (pop EIP in Imm)
+	KindMovPopAluRR // Aux ← Src ; Dst ← pop ; Dst ← Dst Sub Aux (pop EIP in Imm)
+	KindMovPopAluRRNF
+	KindPushLoad // push Src ; Dst ← mem32[ea]        (load EIP in Imm)
+	KindLoadPush // Aux ← mem32[ea] ; push Src        (push EIP in Imm)
+	KindPushMovI // push Src ; Dst ← Imm
+	KindMovIPush // Dst ← Imm ; push Src              (push EIP in Disp)
+	KindMovIMov  // Dst ← Imm ; Aux ← Src
+	KindMovLoad  // Aux ← Src ; Dst ← mem32[ea]       (load EIP in Imm)
+	KindPopStore // Dst ← pop ; mem32[ea] ← Src       (store EIP in Imm)
+	KindPopRet   // Dst ← pop ; eip ← pop ; esp += Imm (ret EIP in Disp); terminator
+	KindPushCall // push Src ; push Next ; eip ← Target (call EIP in Imm); terminator
+
+	// Guarded return, only inside superblocks: the trace inlined a
+	// call, so the matching RET is expected to pop Target (the inlined
+	// return address) and fall through; any other popped value exits
+	// the superblock through the guard's indirect inline cache (Aux).
+	// esp += 4 + Imm as for KindRet.
+	KindRetGuard
+
+	// Superblock guard exits (only ever inside a superblock; see
+	// vm/superblock.go). A guard evaluates its condition and either
+	// falls through to the next micro-op (the profiled hot path) or
+	// leaves the superblock to Target. Aux indexes the superblock's
+	// per-guard chain slot.
+	KindGuard // Sub=cc evaluated from the current (possibly lazy) flags
+	// Fused compare guards: condition from operands (Dst=a, Src/Imm=b).
+	// The base forms record the compare's flag state on both paths —
+	// architecturally the compare executes whether or not the branch
+	// leaves the trace. The NF forms record it only on the exit path:
+	// liveness substitutes them when the straight-line continuation
+	// provably clobbers the flags before reading them.
+	KindGuardCmpRR
+	KindGuardCmpRI
+	KindGuardTestRR
+	KindGuardTestRI
+	KindGuardCmpRRNF
+	KindGuardCmpRINF
+	KindGuardTestRRNF
+	KindGuardTestRINF
+
 	// Control transfers; always the last micro-op of a block.
 	KindJmp   // eip ← Target (chainable)
 	KindJcc   // Sub = cc; eip ← Target or Next (both chainable)
@@ -186,12 +294,14 @@ type Uop struct {
 	Base  uint8
 	Idx   uint8
 	Scale uint8
+	Aux   uint8 // fused-form extra register / guard chain-slot index
+	Cost  uint8 // guest instructions this micro-op represents (fuel units)
 
 	Imm    uint32 // immediate / RET stack adjustment
 	Disp   uint32 // effective-address displacement
 	EIP    uint32 // address of the source instruction (trap reporting)
 	Next   uint32 // address of the following instruction
-	Target uint32 // absolute branch target for Jmp/Jcc/Call
+	Target uint32 // absolute branch target for Jmp/Jcc/Call and guards
 
 	Inst *x86.Inst // KindString / KindGeneric escape payload
 }

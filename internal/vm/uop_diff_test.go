@@ -374,6 +374,116 @@ func TestDiffCondAfterLazyOp(t *testing.T) {
 	}
 }
 
+// TestDiffFusedPairTraps pins the trap behavior of the fused data-
+// movement pairs: when the second constituent instruction faults, the
+// first must be architecturally committed, the trap must report the
+// second instruction's EIP, and the fuel charge must match the
+// reference engine's charge-before-execute discipline exactly.
+func TestDiffFusedPairTraps(t *testing.T) {
+	const fuel = 100
+	type pairCase struct {
+		name  string
+		insts []x86.Inst
+		setup func(v *VM)
+	}
+	badStack := func(v *VM) { v.regs[x86.ESP] = 0x10 } // below the first page
+	cases := []pairCase{
+		{"push-load", []x86.Inst{
+			{Op: x86.PUSH, Dst: x86.R(x86.EAX)},
+			{Op: x86.MOV, Dst: x86.R(x86.EDX), Src: x86.MSIB(x86.ECX, x86.NoReg, 1, 0, 4)},
+		}, func(v *VM) { v.regs[x86.ECX] = 0x10 }},
+		{"mov-load", []x86.Inst{
+			{Op: x86.MOV, Dst: x86.R(x86.EBX), Src: x86.R(x86.EAX)},
+			{Op: x86.MOV, Dst: x86.R(x86.EDX), Src: x86.MSIB(x86.ECX, x86.NoReg, 1, 0, 4)},
+		}, func(v *VM) { v.regs[x86.ECX] = 0x10 }},
+		{"load-push", []x86.Inst{
+			{Op: x86.MOV, Dst: x86.R(x86.EDX), Src: x86.MSIB(x86.ESI, x86.NoReg, 1, 0, 4)},
+			{Op: x86.PUSH, Dst: x86.R(x86.EDX)},
+		}, badStack},
+		{"mov-pop", []x86.Inst{
+			{Op: x86.MOV, Dst: x86.R(x86.ECX), Src: x86.R(x86.EAX)},
+			{Op: x86.POP, Dst: x86.R(x86.EDX)},
+		}, badStack},
+		{"mov-pop-alu", []x86.Inst{
+			{Op: x86.MOV, Dst: x86.R(x86.ECX), Src: x86.R(x86.EAX)},
+			{Op: x86.POP, Dst: x86.R(x86.EAX)},
+			{Op: x86.ADD, Dst: x86.R(x86.EAX), Src: x86.R(x86.ECX)},
+		}, badStack},
+		{"pop-store", []x86.Inst{
+			{Op: x86.POP, Dst: x86.R(x86.EDX)},
+			{Op: x86.MOV, Dst: x86.MSIB(x86.ECX, x86.NoReg, 1, 0, 4), Src: x86.R(x86.EAX)},
+		}, func(v *VM) { v.regs[x86.ECX] = 0x10 }},
+		{"movi-push", []x86.Inst{
+			{Op: x86.MOV, Dst: x86.R(x86.EAX), Src: x86.I(42)},
+			{Op: x86.PUSH, Dst: x86.R(x86.EBX)},
+		}, badStack},
+		{"pop-ret", []x86.Inst{
+			{Op: x86.POP, Dst: x86.R(x86.EDX)},
+			{Op: x86.RET},
+		}, func(v *VM) { v.regs[x86.ESP] = v.MemSize() - 4 }}, // pop ok, ret beyond the top
+		{"push-call", []x86.Inst{
+			{Op: x86.PUSH, Dst: x86.R(x86.EAX)},
+			{Op: x86.CALL, Rel: 16},
+		}, func(v *VM) { v.regs[x86.ESP] = v.stackBase + 4 }}, // arg push ok, return push in the guard gap
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v1 := diffVM(t)
+			v2 := diffVM(t)
+			seedState(t, rng, v1, v2)
+			v1.regs[x86.ESI], v2.regs[x86.ESI] = diffData, diffData
+			tc.setup(v1)
+			tc.setup(v2)
+			v1.fuel, v2.fuel = fuel, fuel
+
+			var code []byte
+			for _, inst := range tc.insts {
+				enc, err := x86.Encode(inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				code = append(code, enc...)
+			}
+			code = append(code, 0x0F, 0x0B) // ud2
+			copy(v1.mem[diffCode:], code)
+			copy(v2.mem[diffCode:], code)
+
+			v1.blocks = make(map[uint32]*bref)
+			v1.eip = diffCode
+			br, err := v1.lookupBlock(diffCode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err1 := v1.execUops(br)
+			v1.materializeFlags()
+
+			v2.eip = diffCode
+			refSteps, err2 := refRun(v2, 100)
+
+			tr1, ok1 := err1.(*Trap)
+			tr2, ok2 := err2.(*Trap)
+			if !ok1 || !ok2 {
+				t.Fatalf("no trap: uop %v, ref %v", err1, err2)
+			}
+			if tr1.Kind != tr2.Kind || tr1.EIP != tr2.EIP || tr1.Addr != tr2.Addr {
+				t.Fatalf("trap diverged: uop %v, ref %v", tr1, tr2)
+			}
+			for r := 0; r < 8; r++ {
+				if v1.regs[r] != v2.regs[r] {
+					t.Fatalf("%s = %#x (uop) vs %#x (ref)", x86.Reg(r), v1.regs[r], v2.regs[r])
+				}
+			}
+			// Reference discipline: every started instruction (the
+			// faulting one included) costs one fuel.
+			if want := int64(fuel - refSteps - 1); v1.fuel != want {
+				t.Fatalf("fuel = %d, want %d (ref started %d+1 instructions)", v1.fuel, want, refSteps)
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Long-horizon differential soak: whole random programs, not single
 // instructions. Each program is a web of basic blocks — conditional
@@ -392,7 +502,7 @@ func TestDiffCondAfterLazyOp(t *testing.T) {
 // random scratch, EBX pins the jump table, ESI is terminator/memory
 // scratch, EDI walks the trace, EBP counts down to termination.
 const (
-	soakSlot      = 128                            // bytes reserved per block
+	soakSlot      = 192                            // bytes reserved per block
 	soakBlocks    = 16                             // block count (power of two: indirect index mask)
 	soakFuncs     = 3                              // trailing blocks reachable only via CALL, ending in RET
 	soakCode      = PageSize                       // block i sits at soakCode + i*soakSlot
@@ -464,7 +574,7 @@ func soakScratch8(rng *rand.Rand) x86.Arg {
 func (e *soakEmit) soakBody(rng *rand.Rand) {
 	aluOps := []x86.Op{x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR, x86.CMP, x86.TEST}
 	for n := 2 + rng.Intn(5); n > 0; n-- {
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0:
 			e.emit(x86.Inst{Op: aluOps[rng.Intn(len(aluOps))], Dst: soakScratch32(rng), Src: soakScratch32(rng)})
 		case 1:
@@ -511,6 +621,48 @@ func (e *soakEmit) soakBody(rng *rand.Rand) {
 				e.emit(x86.Inst{Op: memOps[rng.Intn(len(memOps))], Dst: soakScratch32(rng),
 					Src: x86.MSIB(x86.ESI, x86.NoReg, 1, off, 4)})
 			}
+		case 9: // balanced stack round trip: the movement-pair fusions
+			// (push/load, mov-imm/push, mov;pop and the mov;pop;op
+			// binary-operation tail — exactly the compiler's idiom).
+			e.emit(x86.Inst{Op: x86.PUSH, Dst: soakScratch32(rng)})
+			switch rng.Intn(5) {
+			case 0: // mov ; pop ; op — the MovPopAlu shape
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ECX), Src: soakScratch32(rng)})
+				e.emit(x86.Inst{Op: x86.POP, Dst: x86.R(x86.EAX)})
+				ops := []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR}
+				e.emit(x86.Inst{Op: ops[rng.Intn(len(ops))], Dst: x86.R(x86.EAX), Src: x86.R(x86.ECX)})
+			case 4: // register-aliased tail: mov rB,rA ; pop rB ; op rB,rB —
+				// the pop overwrites the moved value, so any fusion that
+				// forwards the pre-pop register here miscomputes
+				r := soakScratch32(rng)
+				e.emit(x86.Inst{Op: x86.MOV, Dst: r, Src: soakScratch32(rng)})
+				e.emit(x86.Inst{Op: x86.POP, Dst: r})
+				ops := []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR}
+				e.emit(x86.Inst{Op: ops[rng.Intn(len(ops))], Dst: r, Src: r})
+			case 1: // push ; mov imm ; pop
+				e.emit(x86.Inst{Op: x86.MOV, Dst: soakScratch32(rng), Src: x86.I(int32(rng.Uint32()))})
+				e.emit(x86.Inst{Op: x86.POP, Dst: soakScratch32(rng)})
+			case 2: // push ; load ; pop ; store
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ESI), Src: x86.I(int32(soakData))})
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.EDX), Src: x86.MSIB(x86.ESI, x86.NoReg, 1, int32(rng.Intn(32)), 4)})
+				e.emit(x86.Inst{Op: x86.POP, Dst: x86.R(x86.EAX)})
+				e.emit(x86.Inst{Op: x86.MOV, Dst: x86.MSIB(x86.ESI, x86.NoReg, 1, int32(rng.Intn(32)), 4), Src: soakScratch32(rng)})
+			default: // plain push ; pop pair
+				e.emit(x86.Inst{Op: x86.POP, Dst: soakScratch32(rng)})
+			}
+		case 10: // load ; push (the LoadPush shape)
+			e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.ESI), Src: x86.I(int32(soakData))})
+			e.emit(x86.Inst{Op: x86.MOV, Dst: x86.R(x86.EAX), Src: x86.MSIB(x86.ESI, x86.NoReg, 1, int32(rng.Intn(32)), 4)})
+			e.emit(x86.Inst{Op: x86.PUSH, Dst: x86.R(x86.EAX)})
+			e.emit(x86.Inst{Op: x86.POP, Dst: soakScratch32(rng)})
+		case 11: // cmp/test ; setcc ; movzx — the boolean idiom
+			if rng.Intn(2) == 0 {
+				e.emit(x86.Inst{Op: x86.CMP, Dst: x86.R(x86.EAX), Src: x86.R(x86.ECX)})
+			} else {
+				e.emit(x86.Inst{Op: x86.TEST, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+			}
+			e.emit(x86.Inst{Op: x86.SETCC, CC: x86.CC(rng.Intn(16)), Dst: x86.R8(x86.EAX)})
+			e.emit(x86.Inst{Op: x86.MOVZX, Dst: x86.R(x86.EAX), Src: x86.R8(x86.EAX)})
 		default:
 			e.emit(x86.Inst{Op: x86.MOV, Dst: soakScratch32(rng), Src: x86.I(int32(rng.Uint32()))})
 		}
@@ -535,10 +687,19 @@ func soakBuildProgram(t *testing.T, rng *rand.Rand, mem []byte) {
 		if isFunc {
 			e.emit(x86.Inst{Op: x86.RET})
 		} else {
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0: // direct jump
 				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
 			case 1: // conditional branch with a jump on the fall side
+				e.branch(x86.JCC, x86.CC(rng.Intn(16)), soakBlockAddr(soakNormal(rng)))
+				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
+			case 4: // compare/branch chain: the cmp+jcc fusion and, once
+				// hot, the superblock's fused compare guards
+				if rng.Intn(2) == 0 {
+					e.emit(x86.Inst{Op: x86.CMP, Dst: soakScratch32(rng), Src: soakScratch32(rng)})
+				} else {
+					e.emit(x86.Inst{Op: x86.TEST, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+				}
 				e.branch(x86.JCC, x86.CC(rng.Intn(16)), soakBlockAddr(soakNormal(rng)))
 				e.branch(x86.JMP, 0, soakBlockAddr(soakNormal(rng)))
 			case 2: // table-driven indirect jump, index data-dependent
@@ -625,6 +786,146 @@ func refRun(v *VM, maxSteps int) (int, error) {
 	return maxSteps, fmt.Errorf("no termination after %d steps", maxSteps)
 }
 
+// soakRunUop builds a soak VM for image with cfg, runs it from block 0
+// to the exit trap, and returns the VM and its trap.
+func soakRunUop(t *testing.T, image []byte, cfg Config, seed func(*VM)) (*VM, *Trap) {
+	t.Helper()
+	v, err := New(Config{
+		MemSize: 4 << 20, Fuel: cfg.Fuel,
+		NoBlockCache: cfg.NoBlockCache, NoFlagElision: cfg.NoFlagElision,
+		NoFusion: cfg.NoFusion, NoSuperblocks: cfg.NoSuperblocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MapSegment(soakCode, image, soakSpan, false); err != nil {
+		t.Fatal(err)
+	}
+	seed(v)
+	v.eip = soakBlockAddr(0)
+	br, err := v.lookupBlock(v.eip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err1 := v.execUops(br)
+	v.materializeFlags()
+	tr, ok := err1.(*Trap)
+	if !ok {
+		t.Fatalf("soak run did not trap: %v", err1)
+	}
+	return v, tr
+}
+
+// TestOptAblation runs identical soak programs under every optimizer
+// configuration — full pipeline, each pass disabled, everything
+// disabled — and requires the complete architectural outcome (trap
+// site, registers, flags, the whole guest image including the per-
+// block checkpoint trace) to be identical. The optimizer may only buy
+// speed, never observable behavior. A second round repeats the
+// comparison under a tight fuel budget, pinning the fuel-trap EIP and
+// accounting through fused micro-ops and superblock promotion.
+func TestOptAblation(t *testing.T) {
+	configs := []Config{
+		{},
+		{NoFlagElision: true},
+		{NoFusion: true},
+		{NoSuperblocks: true},
+		{NoFlagElision: true, NoFusion: true, NoSuperblocks: true},
+	}
+	for _, seed := range []int64{11, 22} {
+		rng := rand.New(rand.NewSource(seed))
+		image := make([]byte, soakSpan)
+		soakBuildProgram(t, rng, image)
+		var regSeed [8]uint32
+		for r := range regSeed {
+			regSeed[r] = rng.Uint32()
+		}
+		seedVM := func(v *VM) {
+			copy(v.regs[:8], regSeed[:])
+			v.regs[x86.EBX] = soakTable
+			v.regs[x86.EDI] = soakTrace
+			v.regs[x86.EBP] = soakCountdown
+			v.regs[x86.ESP] = v.MemSize() - 16
+			v.fl.Op = 0
+		}
+
+		for _, fuel := range []int64{0 /* unlimited */, 20011} {
+			base, baseTrap := soakRunUop(t, image, Config{Fuel: fuel}, seedVM)
+			for ci := 1; ci < len(configs); ci++ {
+				cfg := configs[ci]
+				cfg.Fuel = fuel
+				v, tr := soakRunUop(t, image, cfg, seedVM)
+				if tr.Kind != baseTrap.Kind || tr.EIP != baseTrap.EIP {
+					t.Fatalf("seed %d fuel %d config %d: trap %v, want %v", seed, fuel, ci, tr, baseTrap)
+				}
+				for r := 0; r < 8; r++ {
+					if v.regs[r] != base.regs[r] {
+						t.Fatalf("seed %d fuel %d config %d: %s = %#x, want %#x",
+							seed, fuel, ci, x86.Reg(r), v.regs[r], base.regs[r])
+					}
+				}
+				if v.cf != base.cf || v.zf != base.zf || v.sf != base.sf || v.of != base.of || v.pf != base.pf {
+					t.Fatalf("seed %d fuel %d config %d: flags diverged", seed, fuel, ci)
+				}
+				if !bytes.Equal(v.mem[soakCode:soakCode+soakSpan], base.mem[soakCode:soakCode+soakSpan]) {
+					t.Fatalf("seed %d fuel %d config %d: guest image diverged", seed, fuel, ci)
+				}
+				if v.Stats().Steps != base.Stats().Steps {
+					t.Fatalf("seed %d fuel %d config %d: steps %d, want %d",
+						seed, fuel, ci, v.Stats().Steps, base.Stats().Steps)
+				}
+			}
+		}
+	}
+}
+
+// TestSuperblockSnapshotReset pins the superblock/snapshot interplay:
+// superblocks are per-VM profile state, so a Reset must drop them (the
+// bref wrappers are replaced) while the shared base-block cache
+// survives — and the rewound VM must re-profile, re-form and produce
+// the identical outcome.
+func TestSuperblockSnapshotReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	image := make([]byte, soakSpan)
+	soakBuildProgram(t, rng, image)
+	v := soakVM(t, image)
+	snap := v.Snapshot() // pristine, pre-run
+
+	soakSeedRegs(rand.New(rand.NewSource(34)), v)
+	v.eip = soakBlockAddr(0)
+	br, err := v.lookupBlock(v.eip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.execUops(br)
+	formed := v.Stats().SuperblocksFormed
+	if formed == 0 {
+		t.Fatal("soak run formed no superblocks; the hot threshold is not being reached")
+	}
+	trace1 := append([]byte(nil), v.mem[soakTrace:soakTrace+soakCountdown*soakCkptBytes]...)
+
+	// Reset rewinds to the pristine image and drops every bref — and
+	// with them the formed superblocks. The re-run must re-form them
+	// (stats accumulate across resets) and reproduce the trace exactly.
+	if err := v.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	soakSeedRegs(rand.New(rand.NewSource(34)), v)
+	v.eip = soakBlockAddr(0)
+	br, err = v.lookupBlock(v.eip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.execUops(br)
+	if again := v.Stats().SuperblocksFormed; again <= formed {
+		t.Fatalf("no superblocks re-formed after Reset: %d then %d", formed, again)
+	}
+	trace2 := v.mem[soakTrace : soakTrace+soakCountdown*soakCkptBytes]
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("checkpoint trace diverged across Reset")
+	}
+}
+
 // TestDiffSoakMultiBlock is the long-horizon differential soak. Each
 // seed builds a fresh random program and runs it to completion on the
 // uop engine (blocks, chaining, inline caches, lazy flags) and on the
@@ -669,6 +970,14 @@ func TestDiffSoakMultiBlock(t *testing.T) {
 			}
 			if steps := v1.Stats().Steps; steps < 10000 {
 				t.Fatalf("soak too short: %d uop-engine steps (ref: %d), want >= 10000", steps, refSteps)
+			}
+			// Fuel/steps accounting must stay exact through fusion (one
+			// micro-op charging several instructions), superblock guard
+			// exits (tail refunds) and trap refunds. The uop engine
+			// charges the trapping UD2 itself; refRun's count excludes
+			// it, hence the +1.
+			if steps := v1.Stats().Steps; steps != uint64(refSteps)+1 {
+				t.Errorf("steps accounting diverged: %d (uop) vs %d+1 (ref)", steps, refSteps)
 			}
 
 			for r := 0; r < 8; r++ {

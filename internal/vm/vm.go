@@ -141,7 +141,19 @@ type Config struct {
 	Fuel int64
 	// NoBlockCache disables the basic-block fragment cache, forcing the VM
 	// to re-decode every instruction (the §4.2 translation-cache ablation).
+	// It also disables the translation-time optimizer: single-instruction
+	// fragments have nothing to fuse or analyze.
 	NoBlockCache bool
+
+	// NoFlagElision disables the optimizer's dead-flag elimination pass
+	// (per-pass ablation; see uop.Optimize).
+	NoFlagElision bool
+	// NoFusion disables the optimizer's compare/branch, compare/setcc
+	// and load-op fusion pass (per-pass ablation).
+	NoFusion bool
+	// NoSuperblocks disables hot-path superblock formation (per-pass
+	// ablation; see superblock.go).
+	NoSuperblocks bool
 }
 
 // Stats are execution counters exposed for the evaluation harness and,
@@ -153,6 +165,9 @@ type Stats struct {
 	BlocksChained     uint64 `json:"blocks_chained"`     // direct-successor links installed between fragments
 	UopsExecuted      uint64 `json:"uops_executed"`      // micro-ops dispatched by the translation engine
 	FlagsMaterialized uint64 `json:"flags_materialized"` // individual EFLAGS bits computed from lazy records
+	FlagsElided       uint64 `json:"flags_elided"`       // lazy-flag records removed at translate time (dead-flag pass)
+	UopsFused         uint64 `json:"uops_fused"`         // fused micro-ops created at translate time (each replaces 2-3)
+	SuperblocksFormed uint64 `json:"superblocks_formed"` // hot-path superblocks assembled from edge profiles
 	TranslateNS       uint64 `json:"translate_ns"`       // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
 	Syscalls          uint64 `json:"syscalls"`
 }
@@ -185,6 +200,8 @@ type VM struct {
 
 	fuel    int64
 	noCache bool
+	noSB    bool
+	optCfg  uop.OptConfig
 	blocks  map[uint32]*bref
 
 	// Stdin is the encoded input stream (virtual fd 0).
@@ -201,13 +218,16 @@ type VM struct {
 }
 
 // block is one translated fragment: the decoded instructions plus their
-// lowered micro-op form. Blocks are immutable after construction and may
-// be shared by many VMs through a Snapshot.
+// lowered, optimized micro-op form. Blocks are immutable after
+// construction and may be shared by many VMs through a Snapshot.
+// Superblocks (superblock.go) reuse the same type with insts/addrs nil:
+// they are per-VM and never enter the snapshot-shared cache.
 type block struct {
 	insts []x86.Inst
 	addrs []uint32  // eip of each instruction
-	uops  []uop.Uop // lowered form, 1:1 with insts
+	uops  []uop.Uop // lowered form; fusion may make this shorter than insts
 	end   uint32    // address just past the last instruction
+	cost  int64     // guest instructions per straight-line execution (fuel units)
 }
 
 // bref is the per-VM view of a block: the shared immutable fragment plus
@@ -216,12 +236,37 @@ type block struct {
 // jump/call target seen). Keeping the links out of the shared block lets
 // VMs materialized from one snapshot chain independently (and
 // race-free); Reset swaps in fresh wrappers, which invalidates every
-// link at once.
+// link at once — including any profile-formed superblocks.
 type bref struct {
 	b           *block
 	taken, fall *bref
 	ind         *bref
 	indAddr     uint32
+
+	// Hot-path profile and superblock state (per-VM, dropped with the
+	// bref on Reset). On a base bref, heat counts block entries and
+	// takenCnt/fallCnt profile the terminating Jcc's edges until a
+	// superblock is installed in sb. A superblock's own bref (owner !=
+	// nil) carries the per-guard exit chain slots in sbChains and the
+	// entry/exit profile that drives invalidation.
+	sb        *bref
+	owner     *bref
+	sbChains  []*bref
+	sbInd     []sbIndEntry
+	heat      uint32
+	takenCnt  uint32
+	fallCnt   uint32
+	sbEntries uint64
+	sbExits   uint64
+	sbForms   uint8
+	sbTried   bool
+}
+
+// sbIndEntry is one return guard's monomorphic inline cache: the last
+// off-trace return target it resolved.
+type sbIndEntry struct {
+	br   *bref
+	addr uint32
 }
 
 // New creates a VM with an empty address space.
@@ -251,6 +296,8 @@ func New(cfg Config) (*VM, error) {
 		stackBase: cfg.MemSize - cfg.StackSize,
 		fuel:      cfg.Fuel,
 		noCache:   cfg.NoBlockCache,
+		noSB:      cfg.NoSuperblocks,
+		optCfg:    uop.OptConfig{NoFuse: cfg.NoFusion, NoFlagElide: cfg.NoFlagElision},
 		blocks:    make(map[uint32]*bref),
 	}
 	v.regs[x86.ESP] = cfg.MemSize - 16 // a little headroom at the very top
@@ -432,7 +479,15 @@ func (v *VM) buildBlock(addr uint32) (*block, error) {
 	}
 	b.end = cur
 	b.uops = uop.Lower(b.insts, b.addrs)
+	b.cost = int64(len(b.insts))
 	if !v.noCache {
+		// The optimizer runs only on cached fragments: the translate-
+		// per-step ablation measures raw translation overhead, and a
+		// one-instruction fragment has nothing to fuse or analyze.
+		var ost uop.OptStats
+		b.uops, ost = uop.Optimize(b.uops, v.optCfg)
+		v.stats.UopsFused += ost.UopsFused
+		v.stats.FlagsElided += ost.FlagsElided
 		v.stats.TranslateNS += uint64(time.Since(t0))
 	}
 	return b, nil

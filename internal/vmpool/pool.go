@@ -63,11 +63,12 @@ type Stats struct {
 type Pool struct {
 	opts Options
 
-	mu    sync.Mutex
-	codec map[string]*codecState
-	idle  map[Key][]*vm.VM
-	stats Stats
-	vmAgg vm.Stats // engine counters accumulated from released leases
+	mu          sync.Mutex
+	codec       map[string]*codecState
+	idle        map[Key][]*vm.VM
+	stats       Stats
+	vmAgg       vm.Stats // engine counters accumulated from released leases
+	outstanding int      // leases checked out and not yet released
 }
 
 // codecState is the per-codec snapshot, built once under once. spare and
@@ -211,6 +212,7 @@ func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]
 		v := vs[len(vs)-1]
 		p.idle[key] = vs[:len(vs)-1]
 		p.stats.Resumes++
+		p.outstanding++
 		p.mu.Unlock()
 		return newLease(p, v, key, false), nil
 	}
@@ -220,6 +222,7 @@ func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]
 		v := cs.spare
 		cs.spare = nil
 		p.stats.Builds++
+		p.outstanding++
 		p.mu.Unlock()
 		return newLease(p, v, key, true), nil
 	}
@@ -234,13 +237,18 @@ func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]
 		v := vs[len(vs)-1]
 		p.idle[k] = vs[:len(vs)-1]
 		p.stats.Resets++
+		p.outstanding++
 		p.mu.Unlock()
 		if err := v.Reset(cs.snap); err != nil {
+			p.mu.Lock()
+			p.outstanding--
+			p.mu.Unlock()
 			return nil, err
 		}
 		return newLease(p, v, key, true), nil
 	}
 	p.stats.Builds++
+	p.outstanding++
 	p.mu.Unlock()
 	return newLease(p, cs.snap.NewVM(), key, true), nil
 }
@@ -264,6 +272,7 @@ func (l *Lease) Release(reusable bool) {
 	// idle list (no other goroutine can be running it here).
 	p.mu.Lock()
 	addVMStats(&p.vmAgg, v.Stats(), l.stats0)
+	p.outstanding--
 	cs := p.codec[l.key.Codec]
 	absorb := reusable && cs != nil && cs.snap != nil && !cs.warmed
 	if absorb {
@@ -290,6 +299,16 @@ func (p *Pool) Stats() Stats {
 	return p.stats
 }
 
+// Outstanding reports how many leases are checked out and not yet
+// released. A caller that has orphaned a pool (e.g. a snapshot cache
+// evicting its entry) can retire the pool's counters for good once
+// this reaches zero — only then are all lease deltas folded in.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding
+}
+
 // VMStats returns the engine counters (steps, uops, translation time,
 // syscalls, ...) accumulated across every lease released so far — the
 // fleet-wide view a serving layer surfaces on its metrics endpoint.
@@ -310,6 +329,9 @@ func addVMStats(dst *vm.Stats, after, before vm.Stats) {
 	dst.BlocksChained += after.BlocksChained - before.BlocksChained
 	dst.UopsExecuted += after.UopsExecuted - before.UopsExecuted
 	dst.FlagsMaterialized += after.FlagsMaterialized - before.FlagsMaterialized
+	dst.FlagsElided += after.FlagsElided - before.FlagsElided
+	dst.UopsFused += after.UopsFused - before.UopsFused
+	dst.SuperblocksFormed += after.SuperblocksFormed - before.SuperblocksFormed
 	dst.TranslateNS += after.TranslateNS - before.TranslateNS
 	dst.Syscalls += after.Syscalls - before.Syscalls
 }

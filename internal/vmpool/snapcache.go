@@ -39,8 +39,9 @@ type SnapCache struct {
 	used    int64
 
 	hits, misses, evictions uint64
-	retired                 Stats    // pool counters of evicted entries
-	retiredVM               vm.Stats // engine counters of evicted entries
+	retired                 Stats    // pool counters of fully drained evicted entries
+	retiredVM               vm.Stats // engine counters of fully drained evicted entries
+	orphans                 []*Pool  // evicted pools with leases still in flight
 }
 
 // SnapCacheConfig configures a SnapCache.
@@ -94,8 +95,10 @@ type SnapCacheStats struct {
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
 	// Pool and VM aggregate the per-entry pool and engine counters,
-	// including (approximately) those of evicted entries: counters from
-	// leases still in flight at eviction time are lost with the entry.
+	// including those of evicted entries. An evicted entry's pool is
+	// retired only after its last in-flight lease is released (orphan
+	// pools are aggregated live until then), so a released stream's
+	// counters survive eviction and rebuild of its line.
 	Pool Stats    `json:"pool"`
 	VM   vm.Stats `json:"vm"`
 }
@@ -238,12 +241,38 @@ func (c *SnapCache) evictLocked(keep *cacheEntry) {
 		delete(c.entries, victim.key)
 		c.used -= victim.bytes
 		c.evictions++
-		// Retire the victim's counters, then free its idle VMs.
-		// In-flight leases keep the orphaned pool alive until released.
-		addPoolStats(&c.retired, victim.pool.Stats())
-		addVMStats(&c.retiredVM, victim.pool.VMStats(), vm.Stats{})
+		// Free the victim's idle VMs, then retire its counters — but
+		// only once no lease is in flight: leases fold their deltas
+		// into the pool at release, and retiring early would lose them
+		// (a rebuild of the same line would then appear to reset the
+		// fleet counters). A pool with outstanding leases is parked on
+		// the orphan list, which compactOrphansLocked drains here and
+		// in Stats(), so an orphaned pool (and the snapshot it pins)
+		// never outlives its last lease by more than one eviction or
+		// metrics scrape.
 		victim.pool.Drain()
+		c.orphans = append(c.orphans, victim.pool)
+		c.compactOrphansLocked()
 	}
+}
+
+// compactOrphansLocked folds every fully drained orphan pool into the
+// retired totals and drops it, releasing the snapshot it pinned.
+// Caller holds c.mu.
+func (c *SnapCache) compactOrphansLocked() {
+	keep := c.orphans[:0]
+	for _, p := range c.orphans {
+		if p.Outstanding() == 0 {
+			addPoolStats(&c.retired, p.Stats())
+			addVMStats(&c.retiredVM, p.VMStats(), vm.Stats{})
+			continue
+		}
+		keep = append(keep, p)
+	}
+	for i := len(keep); i < len(c.orphans); i++ {
+		c.orphans[i] = nil
+	}
+	c.orphans = keep
 }
 
 // addPoolStats accumulates pool counters.
@@ -255,14 +284,22 @@ func addPoolStats(dst *Stats, s Stats) {
 	dst.Discards += s.Discards
 }
 
-// Stats returns a point-in-time view of the cache counters.
+// Stats returns a point-in-time view of the cache counters. Evicted
+// pools whose last lease has been released are compacted into the
+// retired totals; the rest are aggregated live, so no released
+// stream's counters are ever lost to an eviction or rebuild.
 func (c *SnapCache) Stats() SnapCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.compactOrphansLocked()
 	s := SnapCacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Entries: c.lru.Len(), Bytes: c.used, MaxBytes: c.cfg.MaxBytes,
 		Pool: c.retired, VM: c.retiredVM,
+	}
+	for _, p := range c.orphans {
+		addPoolStats(&s.Pool, p.Stats())
+		addVMStats(&s.VM, p.VMStats(), vm.Stats{})
 	}
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)

@@ -239,3 +239,57 @@ func TestSnapCacheScopeIsolation(t *testing.T) {
 		t.Fatalf("scope B's VM was not pristine (got %x)", got)
 	}
 }
+
+// TestSnapCacheEvictionKeepsInFlightCounters pins the metrics fix for
+// evicted lines with leases still in flight: a stream released AFTER
+// its pool's cache entry was evicted (and the line later rebuilt) must
+// still appear in the aggregated engine counters. Before orphan-pool
+// tracking, eviction snapshotted the pool's counters immediately, so
+// in-flight lease deltas vanished and a rebuild looked like a counter
+// reset.
+func TestSnapCacheEvictionKeepsInFlightCounters(t *testing.T) {
+	echo := compile(t, echoSrc)
+	leaky := compile(t, leakySrc)
+	echoHash := HashELF(mustELF(t, echo))
+	leakyHash := HashELF(mustELF(t, leaky))
+
+	// A 1-byte budget keeps only the most recently used line resident.
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}, MaxBytes: 1})
+
+	// Check out a lease on the echo line and hold it across the
+	// eviction caused by building the leaky line.
+	lease, err := c.Get(echoHash, 0644, 0, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("counted even after eviction")
+	cacheStream(t, c, leakyHash, 0644, 0, leaky, payload, nil)
+	if c.Contains(echoHash, 0644) {
+		t.Fatal("echo line still resident; eviction did not happen")
+	}
+	preRelease := c.Stats().VM.Steps
+
+	// Run the stream on the orphaned pool's lease and release it.
+	var out bytes.Buffer
+	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease.Release(reusable)
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatalf("echo decoded %d bytes, want %d", out.Len(), len(payload))
+	}
+
+	// Rebuild the echo line (a fresh pool) and check nothing was lost.
+	cacheStream(t, c, echoHash, 0644, 0, echo, payload, payload)
+	s := c.Stats()
+	if s.VM.Steps <= preRelease {
+		t.Fatalf("in-flight lease's steps lost at eviction: %d -> %d", preRelease, s.VM.Steps)
+	}
+	if s.VM.UopsFused == 0 || s.VM.SuperblocksFormed == 0 {
+		t.Fatalf("optimizer counters missing from aggregated stats: %+v", s.VM)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("expected at least one eviction: %+v", s)
+	}
+}
