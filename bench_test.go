@@ -8,6 +8,7 @@ package vxa
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -235,7 +236,7 @@ func smallDeflateStream(b *testing.B) (*codec.Codec, []byte, []byte) {
 
 func runBenchStream(b *testing.B, v *vm.VM, encoded []byte) (reusable bool) {
 	b.Helper()
-	reusable, err := v.RunStream(bytes.NewReader(encoded), io.Discard, nil, vm.StreamFuel(len(encoded)))
+	reusable, err := v.RunStream(context.Background(), bytes.NewReader(encoded), io.Discard, nil, vm.StreamFuel(len(encoded)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func BenchmarkStreamPooledVM(b *testing.B) {
 	elfFn := func() ([]byte, error) { return elf, nil }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lease, err := pool.Get(c.Name, 0644, elfFn)
+		lease, err := pool.Get(context.Background(), c.Name, 0644, elfFn)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func BenchmarkStreamPooledVMReset(b *testing.B) {
 	elfFn := func() ([]byte, error) { return elf, nil }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lease, err := pool.Get(c.Name, uint32(0600+i%2), elfFn)
+		lease, err := pool.Get(context.Background(), c.Name, uint32(0600+i%2), elfFn)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -319,7 +320,7 @@ func benchExtractAll(b *testing.B, parallel int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, res := range r.ExtractAll(ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: parallel}) {
+		for _, res := range r.ExtractAll(context.Background(), WithMode(AlwaysVXA), WithReuseVM(true), WithParallel(parallel)) {
 			if res.Err != nil {
 				b.Fatalf("%s: %v", res.Entry.Name, res.Err)
 			}

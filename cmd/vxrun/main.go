@@ -6,23 +6,32 @@
 // With input files named on the command line, vxrun decodes each file to
 // <file>.out instead, fanning the streams out over -p worker goroutines
 // that draw decoder VMs from a shared snapshot/reset pool — the CLI face
-// of the parallel extraction engine.
+// of the parallel extraction engine. SIGINT/SIGTERM cancel in-flight
+// decodes cooperatively.
 //
 // Usage:
 //
 //	vxrun -codec zlib < file.z > file
 //	vxrun decoder.elf < stream > out
 //	vxrun -codec zlib -p 4 a.z b.z c.z d.z    (writes a.z.out, ...)
+//
+// Exit codes distinguish failure causes (see -h): 0 success, 1 I/O or
+// internal error, 2 usage, 4 unknown codec, 5 decoder trap, 6 fuel
+// exhausted, 8 canceled.
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
+	"syscall"
 
 	"vxa"
 	"vxa/internal/codec"
@@ -30,13 +39,64 @@ import (
 	"vxa/internal/vmpool"
 )
 
+// Exit codes, aligned with vxunzip's so scripts can share the mapping.
+const (
+	exitOK       = 0
+	exitIO       = 1
+	exitUsage    = 2
+	exitNoCodec  = 4
+	exitTrap     = 5
+	exitFuel     = 6
+	exitCanceled = 8
+)
+
+// exitCode maps a decode failure to its exit code by trap kind.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case vm.IsCanceled(err), errors.Is(err, context.Canceled):
+		return exitCanceled
+	}
+	var trap *vm.Trap
+	if errors.As(err, &trap) {
+		if trap.Kind == vm.TrapFuel {
+			return exitFuel
+		}
+		return exitTrap
+	}
+	if de := (*codec.DecodeError)(nil); errors.As(err, &de) {
+		return exitTrap
+	}
+	return exitIO
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vxrun (-codec name | decoder.elf) [-p N] [input...]")
+	fmt.Fprintln(os.Stderr, "\nflags:")
+	flag.PrintDefaults()
+	fmt.Fprintln(os.Stderr, `
+exit codes:
+  0  success
+  1  I/O or internal error
+  2  usage error
+  4  unknown codec name
+  5  decoder trapped or exited nonzero in the sandbox
+  6  decoder exceeded its instruction budget
+  8  canceled (SIGINT/SIGTERM)`)
+}
+
 func main() {
 	codecName := flag.String("codec", "", "run the named codec's VXA decoder")
 	mem := flag.Int("mem", 64, "guest memory in MiB")
 	verbose := flag.Bool("v", false, "show decoder diagnostics")
 	parallel := flag.Int("p", 0, "decode workers for file inputs (0 = all cores)")
+	flag.Usage = usage
 	flag.Parse()
 	_ = vxa.Codecs() // link the codec registry
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	name := *codecName
 	args := flag.Args()
@@ -45,7 +105,8 @@ func main() {
 	case name != "":
 		c, ok := codec.ByName(name)
 		if !ok {
-			fatal(fmt.Errorf("unknown codec %q (have %v)", name, codec.Names()))
+			fmt.Fprintf(os.Stderr, "vxrun: unknown codec %q (have %v)\n", name, codec.Names())
+			os.Exit(exitNoCodec)
 		}
 		var err error
 		elf, err = c.DecoderELF()
@@ -61,8 +122,8 @@ func main() {
 		name = args[0]
 		args = args[1:]
 	default:
-		fmt.Fprintln(os.Stderr, "usage: vxrun (-codec name | decoder.elf) [-p N] [input...]")
-		os.Exit(2)
+		usage()
+		os.Exit(exitUsage)
 	}
 	cfg := vm.Config{MemSize: uint32(*mem) << 20}
 
@@ -73,7 +134,7 @@ func main() {
 			fatal(err)
 		}
 		var out bytes.Buffer
-		st, err := codec.RunDecoderELFToStats(name, elf, input, &out, cfg)
+		st, err := codec.RunDecoderELFToStats(ctx, name, elf, bytes.NewReader(input), int64(len(input)), &out, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,16 +164,21 @@ func main() {
 	}
 	pool := vmpool.New(vmpool.Options{VM: cfg, MaxIdlePerKey: workers})
 	jobs := make(chan string)
-	failed := make(chan struct{}, len(args))
+	var mu sync.Mutex
+	worst := exitOK
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for path := range jobs {
-				if err := decodeFile(pool, name, elf, path, *verbose); err != nil {
+				if err := decodeFile(ctx, pool, name, elf, path, *verbose); err != nil {
 					fmt.Fprintf(os.Stderr, "vxrun: %s: %v\n", path, err)
-					failed <- struct{}{}
+					mu.Lock()
+					if c := exitCode(err); c > worst {
+						worst = c
+					}
+					mu.Unlock()
 				}
 			}
 		}()
@@ -127,15 +193,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vxrun: %d files, %d workers; pool: %d snapshot, %d built, %d resumed\n",
 			len(args), workers, st.Snapshots, st.Builds, st.Resumes)
 	}
-	if len(failed) > 0 {
-		os.Exit(1)
+	if worst != exitOK {
+		os.Exit(worst)
 	}
 }
 
 // decodeFile runs one input file through a leased decoder VM, streaming
 // the decoded output to <path>.out; a failed decode removes the partial
 // file.
-func decodeFile(pool *vmpool.Pool, name string, elf []byte, path string, verbose bool) error {
+func decodeFile(ctx context.Context, pool *vmpool.Pool, name string, elf []byte, path string, verbose bool) error {
 	input, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -150,14 +216,18 @@ func decodeFile(pool *vmpool.Pool, name string, elf []byte, path string, verbose
 	if verbose {
 		stderr = os.Stderr
 	}
-	lease, err := pool.Get(name, 0, func() ([]byte, error) { return elf, nil })
+	lease, err := pool.Get(ctx, name, 0, func() ([]byte, error) { return elf, nil })
 	if err != nil {
 		f.Close()
 		os.Remove(dst)
 		return err
 	}
-	reusable, err := lease.VM().RunStream(bytes.NewReader(input), out, stderr, vm.StreamFuel(len(input)))
-	lease.Release(err == nil && reusable)
+	reusable, err := lease.VM().RunStream(ctx, bytes.NewReader(input), out, stderr, vm.StreamFuel(len(input)))
+	if vm.IsCanceled(err) {
+		lease.ReleaseReset()
+	} else {
+		lease.Release(err == nil && reusable)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -195,5 +265,5 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vxrun:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

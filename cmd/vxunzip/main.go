@@ -10,20 +10,95 @@
 //
 // Extraction and verification decode entries through a parallel worker
 // pipeline over pooled decoder VMs; -p bounds the worker count (0 means
-// one worker per core, 1 forces the serial path).
+// one worker per core, 1 forces the serial path). Interrupting the
+// process (SIGINT/SIGTERM) cancels in-flight decodes cooperatively.
+//
+// Exit codes distinguish failure causes (see -h): 0 success, 1 I/O or
+// internal error, 2 usage, 3 bad archive, 4 no usable decoder, 5
+// decoder trap, 6 fuel exhausted, 7 output limit, 8 canceled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 
 	"vxa"
 )
+
+// Exit codes, one per error kind, so scripts can branch on the cause.
+const (
+	exitOK         = 0
+	exitIO         = 1
+	exitUsage      = 2
+	exitBadArchive = 3
+	exitNoDecoder  = 4
+	exitTrap       = 5
+	exitFuel       = 6
+	exitLimit      = 7
+	exitCanceled   = 8
+)
+
+// exitCode maps a typed extraction error to its exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, vxa.ErrBadArchive):
+		return exitBadArchive
+	case errors.Is(err, vxa.ErrUnknownCodec):
+		return exitNoDecoder
+	case errors.Is(err, vxa.ErrFuelExhausted):
+		return exitFuel
+	case errors.Is(err, vxa.ErrOutputLimit):
+		return exitLimit
+	case errors.Is(err, vxa.ErrDecoderTrap):
+		return exitTrap
+	case errors.Is(err, vxa.ErrCanceled), errors.Is(err, context.Canceled):
+		return exitCanceled
+	}
+	return exitIO
+}
+
+// worstExit keeps the most severe (highest) exit code seen.
+type worstExit struct {
+	mu   sync.Mutex
+	code int
+}
+
+func (w *worstExit) note(err error) {
+	c := exitCode(err)
+	w.mu.Lock()
+	if c > w.code {
+		w.code = c
+	}
+	w.mu.Unlock()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vxunzip [-l|-t] [-vxa] [-all] [-v] [-p N] [-d dir] archive.zip")
+	fmt.Fprintln(os.Stderr, "\nflags:")
+	flag.PrintDefaults()
+	fmt.Fprintln(os.Stderr, `
+exit codes:
+  0  success
+  1  I/O or internal error
+  2  usage error
+  3  bad archive (malformed container or failed integrity check)
+  4  no usable decoder for an entry
+  5  archived decoder trapped or exited nonzero in the sandbox
+  6  decoder exceeded its instruction budget
+  7  decoded output exceeded -limit
+  8  canceled (SIGINT/SIGTERM)`)
+}
 
 func main() {
 	list := flag.Bool("l", false, "list the archive")
@@ -33,26 +108,38 @@ func main() {
 	verbose := flag.Bool("v", false, "show decoder stderr diagnostics")
 	dir := flag.String("d", ".", "output directory")
 	parallel := flag.Int("p", 0, "extraction/verify workers (0 = all cores, 1 = serial)")
+	limit := flag.Int64("limit", 0, "per-entry decoded output cap in bytes (0 = unlimited)")
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vxunzip [-l|-t] [-vxa] [-all] [-v] [-p N] [-d dir] archive.zip")
-		os.Exit(2)
-	}
-	data, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	r, err := vxa.OpenReader(data)
-	if err != nil {
-		fatal(err)
+		usage()
+		os.Exit(exitUsage)
 	}
 
-	opts := vxa.ExtractOptions{Mode: vxa.NativeFirst, DecodeAll: *decodeAll, ReuseVM: true, Parallel: *parallel}
+	// SIGINT/SIGTERM cancel in-flight decodes cooperatively: pooled VMs
+	// stop at their next block boundary and are returned before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r, err := vxa.OpenFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+
+	mode := vxa.NativeFirst
 	if *forceVXA {
-		opts.Mode = vxa.AlwaysVXA
+		mode = vxa.AlwaysVXA
+	}
+	opts := []vxa.Option{
+		vxa.WithMode(mode),
+		vxa.WithDecodeAll(*decodeAll),
+		vxa.WithReuseVM(true),
+		vxa.WithParallel(*parallel),
+		vxa.WithLimit(*limit),
 	}
 	if *verbose {
-		opts.Verbose = os.Stderr
+		opts = append(opts, vxa.WithVerbose(os.Stderr))
 	}
 
 	switch {
@@ -70,15 +157,17 @@ func main() {
 			fmt.Printf("%-30s %10d %10d  %-8s %04o%s\n", e.Name, e.USize, e.CSize, codec, e.Mode, kind)
 		}
 	case *test:
-		errs := r.Verify(opts)
+		errs := r.Verify(ctx, opts...)
 		if len(errs) == 0 {
 			fmt.Printf("OK: all %d entries decode correctly under the VXA decoders\n", len(r.Entries()))
 			return
 		}
+		var worst worstExit
 		for _, err := range errs {
 			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			worst.note(err)
 		}
-		os.Exit(1)
+		os.Exit(worst.code)
 	default:
 		// Decode entries across a bounded worker pool, each streamed
 		// straight to its destination file — peak memory stays one
@@ -109,7 +198,7 @@ func main() {
 			}
 		}
 		jobs := make(chan int)
-		errc := make(chan error, len(entries))
+		var worst worstExit
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -117,8 +206,9 @@ func main() {
 				defer wg.Done()
 				for i := range jobs {
 					e := &entries[i]
-					if err := extractEntry(r, e, *dir, opts); err != nil {
-						errc <- fmt.Errorf("%s: %w", e.Name, err)
+					if err := extractEntry(ctx, r, e, *dir, opts); err != nil {
+						fmt.Fprintf(os.Stderr, "vxunzip: %s: %v\n", e.Name, err)
+						worst.note(err)
 					}
 				}
 			}()
@@ -128,14 +218,8 @@ func main() {
 		}
 		close(jobs)
 		wg.Wait()
-		close(errc)
-		failed := false
-		for err := range errc {
-			fmt.Fprintln(os.Stderr, "vxunzip:", err)
-			failed = true
-		}
-		if failed {
-			os.Exit(1)
+		if worst.code != exitOK {
+			os.Exit(worst.code)
 		}
 	}
 }
@@ -144,7 +228,7 @@ func main() {
 // file; a failed extraction removes the partial file. Entry names are
 // untrusted: anything absolute or escaping the output directory
 // (zip-slip) is rejected.
-func extractEntry(r *vxa.Reader, e *vxa.Entry, dir string, opts vxa.ExtractOptions) error {
+func extractEntry(ctx context.Context, r *vxa.Reader, e *vxa.Entry, dir string, opts []vxa.Option) error {
 	rel := filepath.FromSlash(e.Name)
 	if !filepath.IsLocal(rel) {
 		return fmt.Errorf("unsafe entry path %q", e.Name)
@@ -157,7 +241,7 @@ func extractEntry(r *vxa.Reader, e *vxa.Entry, dir string, opts vxa.ExtractOptio
 	if err != nil {
 		return err
 	}
-	n, err := r.ExtractTo(e, f, opts)
+	n, err := r.ExtractTo(ctx, e, f, opts...)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -171,5 +255,5 @@ func extractEntry(r *vxa.Reader, e *vxa.Entry, dir string, opts vxa.ExtractOptio
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vxunzip:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -130,13 +131,14 @@ func main() {
 
 	// Extract through the ARCHIVED decoder (the embedded ELF), proving
 	// the archive is self-contained even for a codec nobody else has.
-	out, err := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+	ctx := context.Background()
+	out, err := r.ExtractBytes(ctx, &e, vxa.WithMode(vxa.AlwaysVXA))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("archived decoder reproduced the input exactly: %v\n", bytes.Equal(out, input))
 
-	if errs := r.Verify(vxa.ExtractOptions{}); len(errs) == 0 {
+	if errs := r.Verify(ctx); len(errs) == 0 {
 		fmt.Println("integrity check with the plug-in's embedded decoder: OK")
 	}
 }

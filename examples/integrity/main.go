@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	var buf bytes.Buffer
 	w := vxa.NewWriter(&buf, vxa.WriterOptions{})
 	if err := w.AddFile("report.txt", corpus.Text(40000, 21), 0644); err != nil {
@@ -35,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if errs := r.Verify(vxa.ExtractOptions{}); len(errs) != 0 {
+	if errs := r.Verify(ctx); len(errs) != 0 {
 		log.Fatal(errs[0])
 	}
 	fmt.Println("verify (archived decoders only): OK")
@@ -47,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	errs := r2.Verify(vxa.ExtractOptions{})
+	errs := r2.Verify(ctx)
 	fmt.Printf("verify after 1-bit corruption: %d entr(ies) reported bad\n", len(errs))
 	for _, e := range errs {
 		fmt.Println("  detected:", e)
@@ -60,7 +62,7 @@ func main() {
 	// one VM per decoder except across security-attribute changes (§2.4).
 	for i := range r.Entries() {
 		e := &r.Entries()[i]
-		out, err := r.Extract(e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA, ReuseVM: true})
+		out, err := r.ExtractBytes(ctx, e, vxa.WithMode(vxa.AlwaysVXA), vxa.WithReuseVM(true))
 		if err != nil {
 			log.Fatal(err)
 		}

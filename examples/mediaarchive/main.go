@@ -8,6 +8,7 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -67,7 +68,7 @@ func main() {
 		if e.Name != "photos/sunset.bmp" || e.Codec == "deflate" {
 			continue
 		}
-		payload, err := r.ExtractDecodedForm(e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+		payload, err := r.ExtractDecodedForm(context.Background(), e, vxa.WithMode(vxa.AlwaysVXA))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,11 +1,14 @@
 // Quickstart: create a VXA archive in memory, list it, extract a file
-// through the fast native path and again through the archived decoder
-// running in the sandboxed VM, then run the integrity check.
+// through the fast native path, stream it through the archived decoder
+// running in the sandboxed VM, then run the integrity check — the v2
+// context-first API end to end.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"strings"
 
@@ -13,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	document := strings.Repeat(
 		"VXA archives carry their own decoders, so the data outlives the codec. ", 300)
 
@@ -28,22 +32,31 @@ func main() {
 	fmt.Printf("archive: %d bytes for %d bytes of input (%d embedded decoder)\n",
 		buf.Len(), len(document), w.DecoderCount())
 
-	// 2. Read it back.
+	// 2. Read it back. (vxa.OpenFile streams archives from disk without
+	// loading them; OpenReader wraps bytes already in memory.)
 	r, err := vxa.OpenReader(buf.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer r.Close()
 	for _, e := range r.Entries() {
 		fmt.Printf("  %-24s %6d -> %6d bytes, codec %s\n", e.Name, e.USize, e.CSize, e.Codec)
 	}
 
-	// 3. Extract: native fast path, then the archived VXA decoder.
-	e := r.Entries()[0]
-	native, err := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.NativeFirst})
+	// 3. Extract: the native fast path buffered, then the archived VXA
+	// decoder as a stream — decoded bytes are pulled incrementally from
+	// the sandboxed VM, so output never has to be resident.
+	e := &r.Entries()[0]
+	native, err := r.ExtractBytes(ctx, e, vxa.WithMode(vxa.NativeFirst))
 	if err != nil {
 		log.Fatal(err)
 	}
-	virtualized, err := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+	stream, err := r.Extract(ctx, e, vxa.WithMode(vxa.AlwaysVXA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	virtualized, err := io.ReadAll(stream)
+	stream.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +64,7 @@ func main() {
 		bytes.Equal(native, virtualized) && string(native) == document)
 
 	// 4. Integrity check — always uses the archived decoders (§2.3).
-	if errs := r.Verify(vxa.ExtractOptions{}); len(errs) == 0 {
+	if errs := r.Verify(ctx); len(errs) == 0 {
 		fmt.Println("integrity check: OK")
 	} else {
 		log.Fatal(errs[0])

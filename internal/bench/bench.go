@@ -6,6 +6,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -441,7 +442,7 @@ func PoolBench(streams int) ([]PoolRow, error) {
 			return nil, err
 		}
 		runStream := func(v *vm.VM) (bool, error) {
-			reusable, err := v.RunStream(bytes.NewReader(w.Encoded), io.Discard, nil, vm.StreamFuel(len(w.Encoded)))
+			reusable, err := v.RunStream(context.Background(), bytes.NewReader(w.Encoded), io.Discard, nil, vm.StreamFuel(len(w.Encoded)))
 			if err != nil {
 				return false, fmt.Errorf("%s: %w", w.Codec.Name, err)
 			}
@@ -464,7 +465,7 @@ func PoolBench(streams int) ([]PoolRow, error) {
 		elfFn := func() ([]byte, error) { return elf, nil }
 		start = time.Now()
 		for i := 0; i < streams; i++ {
-			lease, err := pool.Get(w.Codec.Name, uint32(0600+i%2), elfFn)
+			lease, err := pool.Get(context.Background(), w.Codec.Name, uint32(0600+i%2), elfFn)
 			if err != nil {
 				return nil, err
 			}
@@ -671,9 +672,9 @@ func ParallelExtract(entries, workers int) (ParallelRow, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		opts := core.ExtractOptions{Mode: core.AlwaysVXA, ReuseVM: true, Parallel: parallel}
 		start := time.Now()
-		for _, res := range r.ExtractAll(opts) {
+		for _, res := range r.ExtractAll(context.Background(),
+			core.WithMode(core.AlwaysVXA), core.WithReuseVM(true), core.WithParallel(parallel)) {
 			if res.Err != nil {
 				return 0, 0, fmt.Errorf("%s: %w", res.Entry.Name, res.Err)
 			}

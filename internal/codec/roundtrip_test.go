@@ -2,6 +2,7 @@ package codec_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -93,11 +94,11 @@ func TestRoundTripGolden(t *testing.T) {
 			}
 			cfg := vm.Config{MemSize: 64 << 20}
 			var out1, out2 bytes.Buffer
-			stats1, err := codec.RunDecoderELFToStats(c.Name, elf, enc.Bytes(), &out1, cfg)
+			stats1, err := codec.RunDecoderELFToStats(context.Background(), c.Name, elf, bytes.NewReader(enc.Bytes()), int64(enc.Len()), &out1, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
-			stats2, err := codec.RunDecoderELFToStats(c.Name, elf, enc.Bytes(), &out2, cfg)
+			stats2, err := codec.RunDecoderELFToStats(context.Background(), c.Name, elf, bytes.NewReader(enc.Bytes()), int64(enc.Len()), &out2, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

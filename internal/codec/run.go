@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,11 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("vxa decoder %s: exit status %d (stderr: %s)", e.Codec, e.Code, e.Stderr)
 }
 
+// Unwrap exposes the sandbox trap (when the decoder faulted) so callers
+// can match the trap kind with errors.As — e.g. distinguishing a fuel
+// exhaustion from a memory fault.
+func (e *DecodeError) Unwrap() error { return e.Trap }
+
 // RunVXA decodes one input stream with the codec's compiled VXA decoder
 // in a fresh virtual machine and returns the decoded output. A zero
 // Config selects the VM defaults.
@@ -42,37 +48,42 @@ func (c *Codec) RunVXA(input []byte, cfg vm.Config) ([]byte, error) {
 // from an archive rather than built locally) over one input stream.
 func RunDecoderELF(name string, elfBytes, input []byte, cfg vm.Config) ([]byte, error) {
 	var out bytes.Buffer
-	if err := RunDecoderELFTo(name, elfBytes, input, &out, cfg); err != nil {
+	if err := RunDecoderELFTo(context.Background(), name, elfBytes, bytes.NewReader(input), int64(len(input)), &out, cfg); err != nil {
 		return nil, err
 	}
 	return out.Bytes(), nil
 }
 
-// RunDecoderELFTo is RunDecoderELF streaming the decoded output to w
-// instead of buffering it. On a decode error, partial output may already
-// have been written. The stream runs under the standard absolute
-// per-stream fuel budget (vm.StreamFuel) unless cfg.Fuel overrides it,
-// so a looping decoder is cut off on the cold path exactly as on the
-// pooled one.
-func RunDecoderELFTo(name string, elfBytes, input []byte, w io.Writer, cfg vm.Config) error {
-	_, err := RunDecoderELFToStats(name, elfBytes, input, w, cfg)
+// RunDecoderELFTo is RunDecoderELF streaming both sides: the encoded
+// input is read from r (payloadLen sizes the fuel budget) and the
+// decoded output streams to w, so neither form needs to be resident. On
+// a decode error, partial output may already have been written. The
+// stream runs under the standard absolute per-stream fuel budget
+// (vm.StreamFuel) unless cfg.Fuel overrides it, so a looping decoder is
+// cut off on the cold path exactly as on the pooled one. ctx cancels
+// the run cooperatively (the guest stops at the next block boundary).
+func RunDecoderELFTo(ctx context.Context, name string, elfBytes []byte, r io.Reader, payloadLen int64, w io.Writer, cfg vm.Config) error {
+	_, err := RunDecoderELFToStats(ctx, name, elfBytes, r, payloadLen, w, cfg)
 	return err
 }
 
 // RunDecoderELFToStats is RunDecoderELFTo surfacing the VM's execution
 // statistics after the run (valid even when the decode failed), for
 // callers like vxrun -v that report on the translation engine.
-func RunDecoderELFToStats(name string, elfBytes, input []byte, w io.Writer, cfg vm.Config) (vm.Stats, error) {
+func RunDecoderELFToStats(ctx context.Context, name string, elfBytes []byte, r io.Reader, payloadLen int64, w io.Writer, cfg vm.Config) (vm.Stats, error) {
 	v, err := elf32.NewVM(elfBytes, cfg)
 	if err != nil {
 		return vm.Stats{}, err
 	}
 	fuel := cfg.Fuel
 	if fuel == 0 {
-		fuel = vm.StreamFuel(len(input))
+		fuel = vm.StreamFuel(int(payloadLen))
 	}
 	var diag bytes.Buffer
-	if _, err := v.RunStream(bytes.NewReader(input), w, &diag, fuel); err != nil {
+	if _, err := v.RunStream(ctx, r, w, &diag, fuel); err != nil {
+		if ce := (*vm.CanceledError)(nil); errors.As(err, &ce) {
+			return v.Stats(), err
+		}
 		return v.Stats(), ClassifyDecodeError(name, err, v.ExitCode(), diag.String())
 	}
 	return v.Stats(), nil

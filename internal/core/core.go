@@ -19,10 +19,11 @@ package core
 
 import (
 	"bytes"
-	"errors"
+	"context"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 
@@ -184,7 +185,9 @@ const (
 	AlwaysVXA
 )
 
-// ExtractOptions configure extraction.
+// ExtractOptions is the assembled form of the functional options every
+// extraction method accepts. Callers normally never build one directly;
+// they pass WithMode/WithFuel/... values instead.
 type ExtractOptions struct {
 	Mode ExtractMode
 	// DecodeAll forces decoding of pre-compressed files to their
@@ -211,9 +214,64 @@ type ExtractOptions struct {
 	// to: 0 selects GOMAXPROCS, 1 forces serial operation. Single-entry
 	// calls (Extract, ExtractTo) are unaffected.
 	Parallel int
+	// Limit caps the decoded output size in bytes; crossing it aborts
+	// the decode with ErrOutputLimit. 0 means unlimited. The guard
+	// against decompression bombs when serving untrusted archives.
+	Limit int64
 }
 
-// Entry is one archived file as seen by the reader.
+// Option configures one extraction call.
+type Option func(*ExtractOptions)
+
+// WithMode selects the decode path: NativeFirst (default) or AlwaysVXA.
+func WithMode(m ExtractMode) Option { return func(o *ExtractOptions) { o.Mode = m } }
+
+// WithFuel sets the absolute per-stream guest instruction budget,
+// overriding the payload-scaled default. Exceeding it surfaces as
+// ErrFuelExhausted.
+func WithFuel(n int64) Option { return func(o *ExtractOptions) { o.VM.Fuel = n } }
+
+// WithParallel bounds the worker count ExtractAll and Verify fan out
+// to: 0 (default) selects GOMAXPROCS, 1 forces serial operation.
+func WithParallel(n int) Option { return func(o *ExtractOptions) { o.Parallel = n } }
+
+// WithLimit caps the decoded output size in bytes; crossing it aborts
+// the decode with ErrOutputLimit. 0 (default) means unlimited.
+func WithLimit(n int64) Option { return func(o *ExtractOptions) { o.Limit = n } }
+
+// WithDecodeAll forces pre-compressed entries to decode to their raw
+// form instead of extracting still-compressed.
+func WithDecodeAll(on bool) Option { return func(o *ExtractOptions) { o.DecodeAll = on } }
+
+// WithReuseVM routes archived decoders through the Reader's VM pool
+// (§2.4 reuse policy) instead of a fresh VM per stream.
+func WithReuseVM(on bool) Option { return func(o *ExtractOptions) { o.ReuseVM = on } }
+
+// WithVerbose streams decoder stderr diagnostics to w.
+func WithVerbose(w io.Writer) Option { return func(o *ExtractOptions) { o.Verbose = w } }
+
+// WithVM sets the decoder VM configuration (memory size, cache policy,
+// ablation knobs). WithFuel after WithVM still overrides the budget.
+func WithVM(cfg vm.Config) Option { return func(o *ExtractOptions) { o.VM = cfg } }
+
+// WithMemSize sets the guest address space given to each decoder VM in
+// bytes (default DefaultDecoderMemSize, capped at the 1 GiB sandbox
+// limit) — the public-surface knob for memory-hungry decoders that does
+// not require naming the internal vm.Config.
+func WithMemSize(n uint32) Option { return func(o *ExtractOptions) { o.VM.MemSize = n } }
+
+// buildOpts assembles an option list into the struct form.
+func buildOpts(opts []Option) ExtractOptions {
+	var o ExtractOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Entry is one archived file as seen by the reader. All fields needed
+// by extraction tooling are exported or have accessors; nothing in the
+// streaming path requires reaching into Reader internals.
 type Entry struct {
 	Name          string
 	Method        uint16
@@ -224,12 +282,23 @@ type Entry struct {
 	hdr           *zipfile.FileHeader
 }
 
+// Size returns the entry's original (decoded) size in bytes.
+func (e *Entry) Size() int64 { return int64(e.USize) }
+
+// CompressedSize returns the entry's stored (compressed) size in bytes.
+func (e *Entry) CompressedSize() int64 { return int64(e.CSize) }
+
+// CodecName returns the archived decoder's codec tag, or "" for plain
+// stored entries that need no decoder.
+func (e *Entry) CodecName() string { return e.Codec }
+
 // Reader extracts VXA archives. It is safe for concurrent use: any
 // number of goroutines may call Extract/ExtractTo/ExtractAll/Verify on
 // one Reader, sharing its decoder VM pool.
 type Reader struct {
 	zr      *zipfile.Reader
 	entries []Entry
+	closer  io.Closer // set by OpenFile; closed by Close
 
 	// VM reuse state (§2.4): a pool of decoder VMs keyed by
 	// (codec, security mode), created on first use. When snapCache is
@@ -241,6 +310,7 @@ type Reader struct {
 	snapCache  *vmpool.SnapCache
 	cacheScope uint64 // this Reader's trust scope within the shared cache
 	decHashes  map[uint32][32]byte
+	inFlight   int // decoder-VM leases this Reader holds (private pool or shared cache)
 
 	// ReinitCount is a statistic: how many times a pristine decoder
 	// image was loaded (cold ELF run, snapshot build or snapshot reset).
@@ -249,11 +319,14 @@ type Reader struct {
 	ReinitCount int
 }
 
-// NewReader opens an archive held in memory.
-func NewReader(data []byte) (*Reader, error) {
-	zr, err := zipfile.NewReader(data)
+// Open opens an archive from any random-access source. Parsing is lazy
+// and section-at-a-time (end record, central directory, then per-access
+// local headers and payloads), so archives far larger than memory open
+// cheaply and only the entries actually extracted are ever read.
+func Open(ra io.ReaderAt, size int64) (*Reader, error) {
+	zr, err := zipfile.NewReaderAt(ra, size)
 	if err != nil {
-		return nil, err
+		return nil, badArchive("", err)
 	}
 	r := &Reader{zr: zr}
 	for i := range zr.Files {
@@ -271,68 +344,238 @@ func NewReader(data []byte) (*Reader, error) {
 	return r, nil
 }
 
+// OpenFile opens an archive on disk. Close releases the file.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens an archive held in memory — a thin adapter over Open
+// for callers that already have the whole container as bytes.
+func NewReader(data []byte) (*Reader, error) {
+	return Open(bytes.NewReader(data), int64(len(data)))
+}
+
+// Close drops the Reader's idle decoder VMs and releases the underlying
+// file when the Reader came from OpenFile. The Reader must not be used
+// after Close; streams returned by Extract must be closed first.
+func (r *Reader) Close() error {
+	r.DrainVMs()
+	r.mu.Lock()
+	c := r.closer
+	r.closer = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
 // Entries lists the archive contents (central directory order; decoder
-// pseudo-files are invisible, as in the paper).
+// pseudo-files are invisible, as in the paper). The returned slice is
+// stable: every call returns the same backing array with no per-call
+// copying, so iterating Entries() in a loop costs nothing. Callers must
+// treat it as read-only and may keep *Entry pointers into it for the
+// Reader's lifetime.
 func (r *Reader) Entries() []Entry { return r.entries }
 
-// ErrNoDecoder reports an entry that cannot be decoded by any available
-// path.
-var ErrNoDecoder = errors.New("core: no decoder available for entry")
-
-// Extract decodes one entry per the options and verifies its CRC-32.
-func (r *Reader) Extract(e *Entry, opts ExtractOptions) ([]byte, error) {
+// ExtractBytes decodes one entry per the options, verifies its CRC-32,
+// and returns the decoded bytes — the convenience form of Extract for
+// entries known to fit in memory comfortably.
+func (r *Reader) ExtractBytes(ctx context.Context, e *Entry, opts ...Option) ([]byte, error) {
 	var out bytes.Buffer
-	if _, err := r.ExtractTo(e, &out, opts); err != nil {
+	if _, err := r.extractTo(ctx, e, &out, buildOpts(opts)); err != nil {
 		return nil, err
 	}
 	return out.Bytes(), nil
+}
+
+// Extract decodes one entry and returns a stream over the decoded
+// bytes. The decode runs concurrently on a (possibly pooled) decoder
+// VM and is pulled incrementally by Read — output never has to be
+// resident. The stream fails with the decode's typed error; a CRC
+// mismatch surfaces as ErrBadArchive on the final Read.
+//
+// Close stops an unfinished decode: the context handed to the decoder
+// is canceled, the VM cooperatively halts at its next block boundary,
+// is rewound to the pristine decoder snapshot and returned to the pool.
+// Close blocks until the VM is back; canceling ctx has the same effect
+// on an in-flight decode.
+func (r *Reader) Extract(ctx context.Context, e *Entry, opts ...Option) (io.ReadCloser, error) {
+	o := buildOpts(opts)
+	// Parse the container section synchronously so a malformed entry
+	// fails here, not on the first Read; the decode goroutine reuses the
+	// validated section.
+	payload, err := r.zr.PayloadSection(e.hdr)
+	if err != nil {
+		return nil, badArchive(e.Name, err)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &extractStream{cancel: cancel, done: make(chan struct{})}
+	s.pr, s.pw = io.Pipe()
+	go func() {
+		defer close(s.done)
+		_, err := r.extractSection(sctx, e, payload, s.pw, o)
+		s.pw.CloseWithError(err) // nil closes with io.EOF
+	}()
+	// Cancellation watcher: a decoder blocked writing into the pipe
+	// cannot reach its cooperative cancellation check, so a canceled
+	// context also severs the pipe, unblocking the guest with a virtual
+	// EIO. Closing the write side makes pending and future Reads return
+	// the typed cancellation error. Without this, canceling ctx while
+	// not reading would strand the VM until the stream was closed.
+	go func() {
+		select {
+		case <-sctx.Done():
+			s.pw.CloseWithError(&Error{Kind: KindCanceled, Entry: e.Name, Trap: sctx.Err()})
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// extractStream is the io.ReadCloser Extract hands out.
+type extractStream struct {
+	pr     *io.PipeReader
+	pw     *io.PipeWriter
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Read pulls decoded bytes from the in-flight decoder.
+func (s *extractStream) Read(p []byte) (int, error) { return s.pr.Read(p) }
+
+// Close abandons the stream and waits for the decoder VM to be reset
+// and returned to its pool. Closing an already-drained stream is a
+// cheap no-op. Close always returns nil.
+func (s *extractStream) Close() error {
+	s.cancel()
+	// Unblock a decoder mid-Write immediately; the cooperative cancel
+	// catches compute-bound guests at the next block boundary.
+	s.pr.CloseWithError(ErrCanceled)
+	<-s.done
+	return nil
 }
 
 // ExtractTo decodes one entry, streaming the output to w, and returns
 // the number of bytes written. The CRC-32 is checked incrementally as
 // the decoder produces output; on a CRC or decode error, partial output
 // may already have been written to w (callers extracting to files should
-// remove the file on error).
-func (r *Reader) ExtractTo(e *Entry, w io.Writer, opts ExtractOptions) (int64, error) {
-	payload, err := r.zr.Payload(e.hdr)
+// remove the file on error). ctx cancels the decode cooperatively; the
+// error then matches ErrCanceled.
+func (r *Reader) ExtractTo(ctx context.Context, e *Entry, w io.Writer, opts ...Option) (int64, error) {
+	return r.extractTo(ctx, e, w, buildOpts(opts))
+}
+
+// extractTo is the assembled-options core of ExtractTo.
+func (r *Reader) extractTo(ctx context.Context, e *Entry, w io.Writer, opts ExtractOptions) (int64, error) {
+	payload, err := r.zr.PayloadSection(e.hdr)
 	if err != nil {
-		return 0, err
+		return 0, badArchive(e.Name, err)
+	}
+	return r.extractSection(ctx, e, payload, w, opts)
+}
+
+// extractSection decodes one entry from its already-parsed payload
+// section.
+func (r *Reader) extractSection(ctx context.Context, e *Entry, payload *io.SectionReader, w io.Writer, opts ExtractOptions) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, &Error{Kind: KindCanceled, Entry: e.Name, Trap: err}
+	}
+	if opts.Limit > 0 {
+		w = &limitWriter{w: w, remaining: opts.Limit, limit: opts.Limit}
 	}
 
 	// Stored entries: either plain stored files or pre-compressed media.
-	// The payload is on hand, so the CRC is checked before writing.
+	// One pass over the backing source — the payload is CRC-summed as it
+	// is delivered, exactly like decoded output, so a lazily-opened
+	// archive reads each stored byte once. On a mismatch, partial output
+	// has been written (same contract as decoded entries: callers
+	// extracting to files remove them on error).
 	if e.Method == zipfile.MethodStore && (!e.PreCompressed || !opts.DecodeAll) {
-		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-			return 0, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+		crc := crc32.NewIEEE()
+		n, err := io.Copy(io.MultiWriter(crc, w), &ctxReader{ctx: ctx, r: payload})
+		if err != nil {
+			return n, classifyDecode(e.Name, err, ctx.Err())
 		}
-		n, err := w.Write(payload)
-		return int64(n), err
+		if crc.Sum32() != e.hdr.CRC32 {
+			return n, corruptf(e.Name, "stored data CRC mismatch")
+		}
+		return n, nil
 	}
 
 	// The archive CRC covers the original input. For pre-compressed
 	// entries being force-decoded, the CRC covers the compressed form
-	// (which we already have), so check that up front; decoding itself
-	// is the integrity check for the decoded form.
+	// (still at hand), so check that up front; decoding itself is the
+	// integrity check for the decoded form.
 	if e.PreCompressed {
-		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-			return 0, fmt.Errorf("core: %s: stored data CRC mismatch", e.Name)
+		if err := r.checkPayloadCRC(ctx, e, payload); err != nil {
+			return 0, err
 		}
 		cw := &countWriter{w: w}
-		if err := r.decodeStream(e, payload, opts, cw); err != nil {
-			return cw.n, cw.firstError(e, err)
+		if err := r.decodeStream(ctx, e, payload, opts, cw); err != nil {
+			return cw.n, classifyDecode(e.Name, cw.firstError(e, err), ctx.Err())
 		}
 		return cw.n, nil
 	}
 
 	crc := crc32.NewIEEE()
 	cw := &countWriter{w: io.MultiWriter(crc, w)}
-	if err := r.decodeStream(e, payload, opts, cw); err != nil {
-		return cw.n, cw.firstError(e, err)
+	if err := r.decodeStream(ctx, e, payload, opts, cw); err != nil {
+		return cw.n, classifyDecode(e.Name, cw.firstError(e, err), ctx.Err())
 	}
 	if crc.Sum32() != e.hdr.CRC32 {
-		return cw.n, fmt.Errorf("core: %s: decoded data CRC mismatch", e.Name)
+		return cw.n, corruptf(e.Name, "decoded data CRC mismatch")
 	}
 	return cw.n, nil
+}
+
+// checkPayloadCRC streams the stored payload through a CRC-32 and
+// rewinds it, reporting a mismatch as ErrBadArchive. The pass is
+// ctx-aware: host-side reads over a multi-gigabyte stored payload honor
+// cancellation just like guest decodes do.
+func (r *Reader) checkPayloadCRC(ctx context.Context, e *Entry, payload *io.SectionReader) error {
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, &ctxReader{ctx: ctx, r: payload}); err != nil {
+		if ctx.Err() != nil {
+			return &Error{Kind: KindCanceled, Entry: e.Name, Trap: ctx.Err()}
+		}
+		return badArchive(e.Name, err)
+	}
+	if crc.Sum32() != e.hdr.CRC32 {
+		return corruptf(e.Name, "stored data CRC mismatch")
+	}
+	_, err := payload.Seek(0, io.SeekStart)
+	return badArchive(e.Name, err)
+}
+
+// ctxReader makes a host-side payload pass cancelable: each Read (every
+// 32 KiB under io.Copy) first checks the context, so canceling stops a
+// long disk scan promptly even though no guest is involved.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, &Error{Kind: KindCanceled, Trap: err}
+	}
+	return c.r.Read(p)
 }
 
 // serializeWriter wraps w so concurrent workers can share it as decoder
@@ -383,26 +626,50 @@ func (c *countWriter) firstError(e *Entry, decodeErr error) error {
 	return decodeErr
 }
 
-func (r *Reader) decodeStream(e *Entry, payload []byte, opts ExtractOptions, out io.Writer) error {
+// maxNativeBuffer bounds the buffered native-decode attempt: entries
+// whose decoded output would exceed it take the archived-decoder path,
+// which streams. Sized to the default decoder address space — a decoded
+// form the sandbox could hold, the host can afford to buffer once.
+const maxNativeBuffer = int64(DefaultDecoderMemSize)
+
+func (r *Reader) decodeStream(ctx context.Context, e *Entry, payload *io.SectionReader, opts ExtractOptions, out io.Writer) error {
 	// Native fast path (§2.3): method tag or codec name identifies a
 	// well-known algorithm with a native decoder. The attempt is
 	// buffered so a mid-stream native failure leaves out untouched for
-	// the archived-decoder fallback.
-	if opts.Mode == NativeFirst {
+	// the archived-decoder fallback — which is why it only runs for
+	// entries whose claimed decoded size fits maxNativeBuffer; larger
+	// entries go straight to the archived decoder, preserving the
+	// streaming contract (output never resident). The buffer itself is
+	// capped too, so a lying size field cannot balloon it: overflowing
+	// the cap counts as a native failure and falls back, while crossing
+	// an explicit WithLimit is final.
+	if opts.Mode == NativeFirst && int64(e.USize) <= maxNativeBuffer {
 		if c, ok := codec.ByName(e.Codec); ok && c.Decode != nil {
+			bound := maxNativeBuffer
+			if opts.Limit > 0 && opts.Limit < bound {
+				bound = opts.Limit
+			}
 			var buf bytes.Buffer
-			if err := c.Decode(&buf, bytes.NewReader(payload)); err == nil {
+			lw := &limitWriter{w: &buf, remaining: bound, limit: bound}
+			if err := c.Decode(lw, payload); err == nil {
 				_, err := out.Write(buf.Bytes())
 				return err
 			}
-			// Native decoder failed: fall back to the archived decoder,
-			// exactly the contingency §2.3 describes.
+			if lw.err != nil && opts.Limit > 0 && bound == opts.Limit {
+				return lw.err
+			}
+			// Native decoder failed (or outgrew the buffer cap): fall
+			// back to the archived decoder, exactly the contingency
+			// §2.3 describes.
+			if _, err := payload.Seek(0, io.SeekStart); err != nil {
+				return badArchive(e.Name, err)
+			}
 		}
 	}
 	if e.hdr.VXA == nil {
-		return fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
+		return &Error{Kind: KindUnknownCodec, Entry: e.Name}
 	}
-	return r.runArchivedDecoder(e, payload, opts, out)
+	return r.runArchivedDecoder(ctx, e, payload, opts, out)
 }
 
 // DefaultDecoderMemSize is the guest address space the reader gives
@@ -502,6 +769,17 @@ func (r *Reader) PoolStats() vmpool.Stats {
 	return p.Stats()
 }
 
+// PoolOutstanding reports how many decoder-VM leases this Reader holds
+// in flight — whether they come from its private pool or from a shared
+// SnapCache (zero before the first pooled extraction). After every
+// extraction call — including canceled ones — has returned, this is 0:
+// cancellation resets and returns VMs, it never leaks them.
+func (r *Reader) PoolOutstanding() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inFlight
+}
+
 func (r *Reader) noteReinit() {
 	r.mu.Lock()
 	r.ReinitCount++
@@ -510,7 +788,10 @@ func (r *Reader) noteReinit() {
 
 // runArchivedDecoder executes the archived VXA decoder over the payload,
 // streaming the decoded output to out and honouring the VM reuse policy.
-func (r *Reader) runArchivedDecoder(e *Entry, payload []byte, opts ExtractOptions, out io.Writer) error {
+// A canceled context stops the guest at its next block boundary; the
+// leased VM is then rewound to the pristine snapshot and returned to the
+// pool, so cancellation never leaks a VM or a pool slot.
+func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.SectionReader, opts ExtractOptions, out io.Writer) error {
 	if opts.VM.MemSize == 0 {
 		opts.VM.MemSize = DefaultDecoderMemSize
 	}
@@ -531,18 +812,18 @@ func (r *Reader) runArchivedDecoder(e *Entry, payload []byte, opts ExtractOption
 		// Reader's scope keeps parked-VM residue from crossing clients.
 		hash, err := r.decoderHash(e.hdr.VXA.DecoderOffset, elf)
 		if err != nil {
-			return err
+			return badArchive(e.Name, err)
 		}
-		if lease, err = cache.Get(hash, e.Mode, scope, elf); err != nil {
-			return err
+		if lease, err = cache.Get(ctx, hash, e.Mode, scope, elf); err != nil {
+			return classifyDecode(e.Name, err, ctx.Err())
 		}
 	case !opts.ReuseVM:
 		elfBytes, err := elf()
 		if err != nil {
-			return err
+			return badArchive(e.Name, err)
 		}
 		r.noteReinit()
-		return codec.RunDecoderELFTo(e.Codec, elfBytes, payload, out, opts.VM)
+		return codec.RunDecoderELFTo(ctx, e.Codec, elfBytes, payload, payload.Size(), out, opts.VM)
 	default:
 		// Pooled path (§2.4): resume a parked VM for equal security
 		// attributes; an attribute change or a new worker re-initializes
@@ -553,15 +834,33 @@ func (r *Reader) runArchivedDecoder(e *Entry, payload []byte, opts ExtractOption
 		// name, and each must run in its own VM line.
 		poolKey := fmt.Sprintf("%s@%#x", e.Codec, e.hdr.VXA.DecoderOffset)
 		var err error
-		if lease, err = r.vmPool(opts.VM, opts.Parallel).Get(poolKey, e.Mode, elf); err != nil {
-			return err
+		if lease, err = r.vmPool(opts.VM, opts.Parallel).Get(ctx, poolKey, e.Mode, elf); err != nil {
+			return classifyDecode(e.Name, err, ctx.Err())
 		}
 	}
+	// Count the lease for the Reader's own outstanding view: it covers
+	// the shared-cache path too, where the backing pool is not ours to
+	// ask. Every exit below releases the lease first, so the decrement
+	// on return keeps PoolOutstanding exact.
+	r.mu.Lock()
+	r.inFlight++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.inFlight--
+		r.mu.Unlock()
+	}()
 	if lease.Pristine() {
 		r.noteReinit()
 	}
-	reusable, err := runOneStream(lease.VM(), payload, out, opts)
+	reusable, err := runOneStream(ctx, lease.VM(), payload, out, opts)
 	if err != nil {
+		if vm.IsCanceled(err) || ctx.Err() != nil {
+			// The stream was abandoned, not broken: rewind the VM to the
+			// pristine snapshot and park it for the next caller.
+			lease.ReleaseReset()
+			return classifyDecode(e.Name, err, ctx.Err())
+		}
 		// A trapped or failed VM is not reusable. (Diagnostics stream
 		// to opts.Verbose live on this path rather than being captured.)
 		de := codec.ClassifyDecodeError(e.Codec, err, lease.VM().ExitCode(), "")
@@ -585,11 +884,11 @@ func streamFuel(payloadLen int, cfg vm.Config) int64 {
 	return vm.StreamFuel(payloadLen)
 }
 
-// runOneStream feeds one payload to a (possibly resumed) decoder VM and
-// streams the decoded output; reusable reports whether the VM parked at
-// the done gate and can take another stream.
-func runOneStream(v *vm.VM, payload []byte, out io.Writer, opts ExtractOptions) (reusable bool, err error) {
-	return v.RunStream(bytes.NewReader(payload), out, opts.Verbose, streamFuel(len(payload), opts.VM))
+// runOneStream feeds one payload section to a (possibly resumed)
+// decoder VM and streams the decoded output to out; reusable reports
+// whether the VM parked at the done gate and can take another stream.
+func runOneStream(ctx context.Context, v *vm.VM, payload *io.SectionReader, out io.Writer, opts ExtractOptions) (reusable bool, err error) {
+	return v.RunStream(ctx, payload, out, opts.Verbose, streamFuel(int(payload.Size()), opts.VM))
 }
 
 // ExtractResult is one entry's outcome from ExtractAll.
@@ -600,17 +899,24 @@ type ExtractResult struct {
 }
 
 // ExtractAll decodes every entry through a bounded worker pipeline
-// (opts.Parallel workers; 0 selects GOMAXPROCS) and returns one result
-// per entry, in archive order. Combined with ReuseVM, workers draw
+// (WithParallel workers; 0 selects GOMAXPROCS) and returns one result
+// per entry, in archive order. Combined with WithReuseVM, workers draw
 // decoder VMs from the shared pool, so each worker pays the decoder
-// setup cost at most once per (codec, mode).
-func (r *Reader) ExtractAll(opts ExtractOptions) []ExtractResult {
-	opts.Verbose = serializeWriter(opts.Verbose)
+// setup cost at most once per (codec, mode). Canceling ctx stops
+// in-flight decodes cooperatively; entries not yet decoded report
+// ErrCanceled.
+func (r *Reader) ExtractAll(ctx context.Context, opts ...Option) []ExtractResult {
+	o := buildOpts(opts)
+	o.Verbose = serializeWriter(o.Verbose)
 	results := make([]ExtractResult, len(r.entries))
-	r.forEachEntry(opts.Parallel, func(i int) {
+	r.forEachEntry(o.Parallel, func(i int) {
 		e := &r.entries[i]
-		data, err := r.Extract(e, opts)
-		results[i] = ExtractResult{Entry: e, Data: data, Err: err}
+		var out bytes.Buffer
+		_, err := r.extractTo(ctx, e, &out, o)
+		results[i] = ExtractResult{Entry: e, Data: out.Bytes(), Err: err}
+		if err != nil {
+			results[i].Data = nil
+		}
 	})
 	return results
 }
@@ -653,15 +959,20 @@ func (r *Reader) forEachEntry(parallel int, fn func(i int)) {
 // Verify runs the §2.3 integrity check over every entry: each file is
 // decoded with its archived VXA decoder (never a native one) and checked
 // against its CRC. Entries are verified by a bounded worker pipeline
-// (opts.Parallel workers; 0 selects GOMAXPROCS). It returns one error
+// (WithParallel workers; 0 selects GOMAXPROCS). It returns one error
 // per failing entry, in archive order.
-func (r *Reader) Verify(opts ExtractOptions) []error {
-	opts.Mode = AlwaysVXA
-	opts.DecodeAll = false
-	opts.Verbose = serializeWriter(opts.Verbose)
+func (r *Reader) Verify(ctx context.Context, opts ...Option) []error {
+	o := buildOpts(opts)
+	o.Mode = AlwaysVXA
+	o.DecodeAll = false
+	// Verification measures integrity, not extraction policy: output is
+	// CRC-summed and discarded, never delivered, so an output cap would
+	// only make intact oversized entries fail verification.
+	o.Limit = 0
+	o.Verbose = serializeWriter(o.Verbose)
 	perEntry := make([]error, len(r.entries))
-	r.forEachEntry(opts.Parallel, func(i int) {
-		perEntry[i] = r.verifyEntry(&r.entries[i], opts)
+	r.forEachEntry(o.Parallel, func(i int) {
+		perEntry[i] = r.verifyEntry(ctx, &r.entries[i], o)
 	})
 	var errs []error
 	for _, err := range perEntry {
@@ -674,33 +985,33 @@ func (r *Reader) Verify(opts ExtractOptions) []error {
 
 // verifyEntry checks one entry with its archived decoder. The decoded
 // stream is CRC-summed as it is produced and never buffered.
-func (r *Reader) verifyEntry(e *Entry, opts ExtractOptions) error {
+func (r *Reader) verifyEntry(ctx context.Context, e *Entry, opts ExtractOptions) error {
 	if e.Codec == "" {
 		// Stored entries: CRC only, with the payload discarded unread.
-		_, err := r.ExtractTo(e, io.Discard, opts)
+		_, err := r.extractTo(ctx, e, io.Discard, opts)
 		return err
 	}
-	payload, err := r.zr.Payload(e.hdr)
+	payload, err := r.zr.PayloadSection(e.hdr)
 	if err != nil {
-		return err
+		return badArchive(e.Name, err)
 	}
 	if e.PreCompressed {
 		// Decoded form has no recorded CRC; decoding itself is the
 		// check, plus the stored CRC over the compressed payload.
-		if err := r.runArchivedDecoder(e, payload, opts, io.Discard); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+		if err := r.checkPayloadCRC(ctx, e, payload); err != nil {
+			return err
 		}
-		if crc32.ChecksumIEEE(payload) != e.hdr.CRC32 {
-			return fmt.Errorf("%s: stored CRC mismatch", e.Name)
+		if err := r.runArchivedDecoder(ctx, e, payload, opts, io.Discard); err != nil {
+			return classifyDecode(e.Name, err, ctx.Err())
 		}
 		return nil
 	}
 	crc := crc32.NewIEEE()
-	if err := r.runArchivedDecoder(e, payload, opts, crc); err != nil {
-		return fmt.Errorf("%s: %w", e.Name, err)
+	if err := r.runArchivedDecoder(ctx, e, payload, opts, crc); err != nil {
+		return classifyDecode(e.Name, err, ctx.Err())
 	}
 	if crc.Sum32() != e.hdr.CRC32 {
-		return fmt.Errorf("%s: decoded CRC mismatch", e.Name)
+		return corruptf(e.Name, "decoded CRC mismatch")
 	}
 	return nil
 }
@@ -714,17 +1025,26 @@ func (e *Entry) LocalOffset() uint32 { return e.hdr.Offset }
 // original input, which a lossy codec's decoder does not reproduce
 // bit-exactly; this is the accessor for the decoded form of lossy
 // entries (the BMP/WAV the archived decoder produces).
-func (r *Reader) ExtractDecodedForm(e *Entry, opts ExtractOptions) ([]byte, error) {
-	payload, err := r.zr.Payload(e.hdr)
+func (r *Reader) ExtractDecodedForm(ctx context.Context, e *Entry, opts ...Option) ([]byte, error) {
+	o := buildOpts(opts)
+	payload, err := r.zr.PayloadSection(e.hdr)
 	if err != nil {
-		return nil, err
+		return nil, badArchive(e.Name, err)
 	}
 	if e.hdr.VXA == nil {
-		return nil, fmt.Errorf("%w: %s", ErrNoDecoder, e.Name)
+		return nil, &Error{Kind: KindUnknownCodec, Entry: e.Name}
 	}
+	// WithLimit bounds this buffer too — the bomb guard holds on every
+	// decode surface, and the countWriter preserves the limit error over
+	// the decoder abort it provokes.
 	var out bytes.Buffer
-	if err := r.decodeStream(e, payload, opts, &out); err != nil {
-		return nil, err
+	dst := io.Writer(&out)
+	if o.Limit > 0 {
+		dst = &limitWriter{w: &out, remaining: o.Limit, limit: o.Limit}
+	}
+	cw := &countWriter{w: dst}
+	if err := r.decodeStream(ctx, e, payload, o, cw); err != nil {
+		return nil, classifyDecode(e.Name, cw.firstError(e, err), ctx.Err())
 	}
 	return out.Bytes(), nil
 }

@@ -4,8 +4,10 @@ import (
 	"archive/zip"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"vxa/internal/bmp"
@@ -94,7 +96,7 @@ func TestArchiveRoundTripNative(t *testing.T) {
 	}
 	for name, want := range inputs {
 		e := findEntry(t, r, name)
-		got, err := r.Extract(e, ExtractOptions{Mode: NativeFirst})
+		got, err := r.ExtractBytes(context.Background(), e, WithMode(NativeFirst))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -114,7 +116,7 @@ func TestArchiveRoundTripVXA(t *testing.T) {
 	}
 	for name, want := range inputs {
 		e := findEntry(t, r, name)
-		got, err := r.Extract(e, ExtractOptions{Mode: AlwaysVXA})
+		got, err := r.ExtractBytes(context.Background(), e, WithMode(AlwaysVXA))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -166,7 +168,7 @@ func TestLossyOptIn(t *testing.T) {
 	}
 	// CRC covers the original, which lossy coding cannot reproduce, so
 	// Extract reports a CRC mismatch unless we accept the decoded form.
-	got, err := r.Extract(e, ExtractOptions{Mode: NativeFirst})
+	got, err := r.ExtractBytes(context.Background(), e, WithMode(NativeFirst))
 	if err == nil {
 		// If it succeeded, the codec was lossless on this input, which
 		// for DCT at default quality would be surprising.
@@ -183,7 +185,7 @@ func TestDecodeAllUnpacksPreCompressed(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := findEntry(t, r, "logs/old.gz")
-	got, err := r.Extract(e, ExtractOptions{Mode: AlwaysVXA, DecodeAll: true})
+	got, err := r.ExtractBytes(context.Background(), e, WithMode(AlwaysVXA), WithDecodeAll(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestDecodeAllUnpacksPreCompressed(t *testing.T) {
 		t.Fatalf("forced decode mismatch: %d vs %d bytes", len(got), len(want))
 	}
 	// Without DecodeAll the compressed form comes back.
-	got2, err := r.Extract(e, ExtractOptions{Mode: AlwaysVXA})
+	got2, err := r.ExtractBytes(context.Background(), e, WithMode(AlwaysVXA))
 	if err != nil || !bytes.Equal(got2, inputs["logs/old.gz"]) {
 		t.Fatalf("default extraction should keep the compressed form (err=%v)", err)
 	}
@@ -207,7 +209,7 @@ func TestVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := r.Verify(ExtractOptions{}); len(errs) != 0 {
+	if errs := r.Verify(context.Background()); len(errs) != 0 {
 		t.Fatalf("verify of intact archive failed: %v", errs)
 	}
 
@@ -220,7 +222,7 @@ func TestVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := r2.Verify(ExtractOptions{}); len(errs) == 0 {
+	if errs := r2.Verify(context.Background()); len(errs) == 0 {
 		t.Fatal("verify missed payload corruption")
 	}
 }
@@ -255,10 +257,10 @@ func TestVMReusePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: true}
+	opts := []Option{WithMode(AlwaysVXA), WithReuseVM(true)}
 	for i := range r.Entries() {
 		e := &r.Entries()[i]
-		got, err := r.Extract(e, opts)
+		got, err := r.ExtractBytes(context.Background(), e, opts...)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
@@ -276,7 +278,7 @@ func TestVMReusePolicy(t *testing.T) {
 	r2, _ := NewReader(buf.Bytes())
 	for i := range r2.Entries() {
 		e := &r2.Entries()[i]
-		if _, err := r2.Extract(e, ExtractOptions{Mode: AlwaysVXA}); err != nil {
+		if _, err := r2.ExtractBytes(context.Background(), e, WithMode(AlwaysVXA)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -322,6 +324,49 @@ func TestZipBackwardCompat(t *testing.T) {
 			// VXA-method entries are listed but not extractable — exactly
 			// the paper's compatibility contract.
 		}
+	}
+}
+
+// TestOpenFileLazy: the v2 open path — an archive on disk opens through
+// lazy section-at-a-time parsing, extracts identically to the in-memory
+// path, streams through Extract, and Close releases the file.
+func TestOpenFileLazy(t *testing.T) {
+	arch, inputs := buildArchive(t, WriterOptions{})
+	path := t.TempDir() + "/archive.zip"
+	if err := os.WriteFile(path, arch, 0644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries()) != 5 {
+		t.Fatalf("entries = %d, want 5", len(r.Entries()))
+	}
+	// Entries() must be stable: same backing array on every call.
+	if &r.Entries()[0] != &r.Entries()[0] {
+		t.Fatal("Entries() re-copies per call")
+	}
+	for name, want := range inputs {
+		e := findEntry(t, r, name)
+		if e.Size() != int64(len(want)) {
+			t.Fatalf("%s: Size() = %d, want %d", name, e.Size(), len(want))
+		}
+		stream, err := r.Extract(context.Background(), e, WithMode(AlwaysVXA), WithReuseVM(true))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := io.ReadAll(stream)
+		stream.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: streamed round trip mismatch", name)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"vxa/internal/codec"
+	"vxa/internal/vm"
+	"vxa/internal/zipfile"
+)
+
+// ErrorKind classifies why an archive operation failed. It is the
+// load-bearing half of the v2 error taxonomy: callers branch on the
+// kind (HTTP status mapping, CLI exit codes, retry policy) instead of
+// string-matching error text.
+type ErrorKind int
+
+// Error kinds.
+const (
+	// KindBadArchive: the container is malformed or its contents fail
+	// their integrity checks (bad ZIP structure, truncated payload, CRC
+	// mismatch).
+	KindBadArchive ErrorKind = iota + 1
+	// KindUnknownCodec: the entry names a codec with no usable decoder —
+	// no archived decoder pseudo-file and no registered native codec.
+	KindUnknownCodec
+	// KindDecoderTrap: the archived decoder misbehaved in the sandbox —
+	// it trapped (memory fault, illegal instruction, ...) or exited
+	// nonzero. The archive may be fine; the decoder is not.
+	KindDecoderTrap
+	// KindFuelExhausted: the decoder exceeded its per-stream instruction
+	// budget (a looping or adversarial decoder, or a budget set too low
+	// via WithFuel).
+	KindFuelExhausted
+	// KindOutputLimit: the decoded output exceeded the WithLimit bound.
+	KindOutputLimit
+	// KindCanceled: the caller's context was canceled or expired before
+	// the operation completed. The underlying context error
+	// (context.Canceled or context.DeadlineExceeded) is reachable via
+	// errors.Is/Unwrap.
+	KindCanceled
+)
+
+// String names the kind for diagnostics.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindBadArchive:
+		return "bad archive"
+	case KindUnknownCodec:
+		return "unknown codec"
+	case KindDecoderTrap:
+		return "decoder trap"
+	case KindFuelExhausted:
+		return "fuel exhausted"
+	case KindOutputLimit:
+		return "output limit exceeded"
+	case KindCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("error kind %d", int(k))
+}
+
+// Error is the typed error every v2 archive operation returns: a kind
+// the caller can branch on, the entry it concerns (when known), and the
+// underlying cause. Match kinds with errors.Is against the exported
+// sentinels (errors.Is(err, ErrDecoderTrap)) or retrieve the full value
+// with errors.As:
+//
+//	var ve *core.Error
+//	if errors.As(err, &ve) && ve.Kind == core.KindFuelExhausted { ... }
+//
+// Cancellation errors also satisfy errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded through the wrapped cause.
+type Error struct {
+	Kind  ErrorKind
+	Entry string // archive entry name, when the failure concerns one
+	Trap  error  // underlying cause: *vm.Trap, *codec.DecodeError, parse or context error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := "vxa: " + e.Kind.String()
+	if e.Entry != "" {
+		s += ": " + e.Entry
+	}
+	if e.Trap != nil {
+		s += ": " + e.Trap.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Trap }
+
+// Is matches sentinel errors by kind: a target *Error with no cause and
+// no entry (the exported sentinels) matches any error of the same kind;
+// a target carrying an entry name additionally requires that entry.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return t.Kind == e.Kind && t.Trap == nil && (t.Entry == "" || t.Entry == e.Entry)
+}
+
+// Sentinel values for errors.Is. Each matches every *Error of its kind,
+// whatever entry or cause it carries.
+var (
+	ErrBadArchive    = &Error{Kind: KindBadArchive}
+	ErrUnknownCodec  = &Error{Kind: KindUnknownCodec}
+	ErrDecoderTrap   = &Error{Kind: KindDecoderTrap}
+	ErrFuelExhausted = &Error{Kind: KindFuelExhausted}
+	ErrOutputLimit   = &Error{Kind: KindOutputLimit}
+	ErrCanceled      = &Error{Kind: KindCanceled}
+)
+
+// badArchive wraps a container-level failure. Only genuine format
+// errors become KindBadArchive; a real I/O failure from the underlying
+// io.ReaderAt (disk, network filesystem) is not the archive's fault and
+// passes through unclassified, so it surfaces as a server/internal
+// error instead of blaming the client's archive.
+func badArchive(entry string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, zipfile.ErrFormat) {
+		return err
+	}
+	return &Error{Kind: KindBadArchive, Entry: entry, Trap: err}
+}
+
+// corruptf reports failed integrity checks (CRC mismatches) as
+// KindBadArchive with a formatted cause.
+func corruptf(entry, format string, args ...any) error {
+	return &Error{Kind: KindBadArchive, Entry: entry, Trap: fmt.Errorf(format, args...)}
+}
+
+// classifyDecode maps a decode-path failure onto the taxonomy. ctxErr is
+// the caller's context error at classification time: a context that died
+// mid-stream provokes secondary failures (the guest sees EIO on its
+// output pipe and aborts), all of which must surface as KindCanceled,
+// not as the decoder trap they masquerade as.
+func classifyDecode(entry string, err error, ctxErr error) error {
+	if err == nil {
+		return nil
+	}
+	var ve *Error
+	if errors.As(err, &ve) {
+		return err // already classified
+	}
+	if ce := (*vm.CanceledError)(nil); errors.As(err, &ce) {
+		return &Error{Kind: KindCanceled, Entry: entry, Trap: ce}
+	}
+	if ctxErr != nil {
+		return &Error{Kind: KindCanceled, Entry: entry, Trap: fmt.Errorf("%w (decode aborted: %v)", ctxErr, err)}
+	}
+	if le := (*limitError)(nil); errors.As(err, &le) {
+		return &Error{Kind: KindOutputLimit, Entry: entry, Trap: le}
+	}
+	var de *codec.DecodeError
+	if errors.As(err, &de) {
+		var trap *vm.Trap
+		if errors.As(err, &trap) && trap.Kind == vm.TrapFuel {
+			return &Error{Kind: KindFuelExhausted, Entry: entry, Trap: de}
+		}
+		return &Error{Kind: KindDecoderTrap, Entry: entry, Trap: de}
+	}
+	if errors.Is(err, zipfile.ErrFormat) {
+		return &Error{Kind: KindBadArchive, Entry: entry, Trap: err}
+	}
+	return err
+}
+
+// limitError marks a WithLimit overflow on the decoded-output writer.
+type limitError struct {
+	limit int64
+}
+
+func (e *limitError) Error() string {
+	return fmt.Sprintf("decoded output exceeds the %d-byte limit", e.limit)
+}
+
+// limitWriter enforces WithLimit: the write that would cross the bound
+// fails, which the guest sees as a virtual EIO on stdout. The resulting
+// decoder abort is re-classified as KindOutputLimit by firstError /
+// classifyDecode through the recorded err.
+type limitWriter struct {
+	w         io.Writer
+	remaining int64
+	limit     int64
+	err       error
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) > l.remaining {
+		if l.err == nil {
+			l.err = &limitError{limit: l.limit}
+		}
+		// Pass through what fits so the count reflects delivered bytes.
+		// A real failure on that boundary write outranks the limit: a
+		// full disk or dead client must not be misreported as
+		// ErrOutputLimit.
+		n := int(l.remaining)
+		if n > 0 {
+			m, werr := l.w.Write(p[:n])
+			l.remaining -= int64(m)
+			if werr != nil {
+				return m, werr
+			}
+			return m, l.err
+		}
+		return 0, l.err
+	}
+	n, err := l.w.Write(p)
+	l.remaining -= int64(n)
+	return n, err
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -47,10 +49,10 @@ func TestReaderConcurrentExtract(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: w%2 == 0}
+			opts := []Option{WithMode(AlwaysVXA), WithReuseVM(w%2 == 0)}
 			for i := range r.Entries() {
 				e := &r.Entries()[i]
-				got, err := r.Extract(e, opts)
+				got, err := r.ExtractBytes(context.Background(), e, opts...)
 				if err != nil {
 					errc <- fmt.Errorf("worker %d %s: %w", w, e.Name, err)
 					return
@@ -78,8 +80,7 @@ func TestExtractAllParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, parallel := range []int{1, 4, 0} {
-		opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: parallel}
-		results := r.ExtractAll(opts)
+		results := r.ExtractAll(context.Background(), WithMode(AlwaysVXA), WithReuseVM(true), WithParallel(parallel))
 		if len(results) != len(contents) {
 			t.Fatalf("parallel=%d: %d results, want %d", parallel, len(results), len(contents))
 		}
@@ -112,7 +113,7 @@ func TestExtractAllModeIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := r.ExtractAll(ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: 4})
+	results := r.ExtractAll(context.Background(), WithMode(AlwaysVXA), WithReuseVM(true), WithParallel(4))
 	for i, res := range results {
 		if res.Err != nil {
 			t.Fatalf("%s: %v", res.Entry.Name, res.Err)
@@ -135,11 +136,11 @@ func TestExtractToStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: true}
+	opts := []Option{WithMode(AlwaysVXA), WithReuseVM(true)}
 	for name, want := range inputs {
 		e := findEntry(t, r, name)
 		var out bytes.Buffer
-		n, err := r.ExtractTo(e, &out, opts)
+		n, err := r.ExtractTo(context.Background(), e, &out, opts...)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -157,7 +158,7 @@ func TestExtractToStreams(t *testing.T) {
 		t.Fatal(err)
 	}
 	e2 := findEntry(t, r2, "docs/readme.txt")
-	if _, err := r2.ExtractTo(e2, &bytes.Buffer{}, opts); err == nil {
+	if _, err := r2.ExtractTo(context.Background(), e2, &bytes.Buffer{}, opts...); err == nil {
 		t.Fatal("streamed extraction missed payload corruption")
 	}
 }
@@ -170,7 +171,7 @@ func TestParallelVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs := r.Verify(ExtractOptions{ReuseVM: true, Parallel: 4}); len(errs) != 0 {
+	if errs := r.Verify(context.Background(), WithReuseVM(true), WithParallel(4)); len(errs) != 0 {
 		t.Fatalf("parallel verify of intact archive: %v", errs)
 	}
 
@@ -181,9 +182,9 @@ func TestParallelVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := r2.Verify(ExtractOptions{Parallel: 1})
+	serial := r2.Verify(context.Background(), WithParallel(1))
 	r3, _ := NewReader(bad)
-	parallel := r3.Verify(ExtractOptions{ReuseVM: true, Parallel: 4})
+	parallel := r3.Verify(context.Background(), WithReuseVM(true), WithParallel(4))
 	if len(serial) != 1 || len(parallel) != 1 {
 		t.Fatalf("serial found %d errors, parallel %d, want 1 each", len(serial), len(parallel))
 	}
@@ -207,7 +208,8 @@ func TestStreamFuelAbsolute(t *testing.T) {
 	payload := encodePayload(t, c, bytes.Repeat([]byte("fuel discipline "), 500))
 	var remaining []int64
 	for i := 0; i < 3; i++ {
-		reusable, err := runOneStream(v, payload, &bytes.Buffer{}, ExtractOptions{})
+		section := io.NewSectionReader(bytes.NewReader(payload), 0, int64(len(payload)))
+		reusable, err := runOneStream(context.Background(), v, section, &bytes.Buffer{}, ExtractOptions{})
 		if err != nil {
 			t.Fatalf("stream %d: %v", i, err)
 		}
@@ -260,7 +262,7 @@ func TestVerboseWriterSerialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	var diag bytes.Buffer
-	results := r2.ExtractAll(ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: 4, Verbose: &diag})
+	results := r2.ExtractAll(context.Background(), WithMode(AlwaysVXA), WithReuseVM(true), WithParallel(4), WithVerbose(&diag))
 	for _, res := range results {
 		if res.Err == nil {
 			t.Fatalf("%s: corrupted entry decoded cleanly", res.Entry.Name)

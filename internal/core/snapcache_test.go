@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,19 +32,18 @@ func TestReaderSharedSnapCache(t *testing.T) {
 	arch1, arch2 := build("one.txt", 300), build("two.txt", 400)
 
 	cache := vmpool.NewSnapCache(vmpool.SnapCacheConfig{VM: vm.Config{MemSize: 16 << 20}})
-	opts := ExtractOptions{Mode: AlwaysVXA}
 	for i, arch := range [][]byte{arch1, arch2} {
 		r, err := NewReader(arch)
 		if err != nil {
 			t.Fatal(err)
 		}
 		r.SetSnapCache(cache)
-		for _, res := range r.ExtractAll(opts) {
+		for _, res := range r.ExtractAll(context.Background(), WithMode(AlwaysVXA)) {
 			if res.Err != nil {
 				t.Fatalf("archive %d: %s: %v", i, res.Entry.Name, res.Err)
 			}
 		}
-		if errs := r.Verify(opts); len(errs) != 0 {
+		if errs := r.Verify(context.Background()); len(errs) != 0 {
 			t.Fatalf("archive %d verify: %v", i, errs)
 		}
 	}
@@ -85,8 +85,7 @@ func TestReaderSnapCacheIsolation(t *testing.T) {
 	}
 	cache := vmpool.NewSnapCache(vmpool.SnapCacheConfig{VM: vm.Config{MemSize: 16 << 20}})
 	r.SetSnapCache(cache)
-	opts := ExtractOptions{Mode: AlwaysVXA}
-	for _, res := range r.ExtractAll(opts) {
+	for _, res := range r.ExtractAll(context.Background(), WithMode(AlwaysVXA)) {
 		if res.Err != nil {
 			t.Fatalf("%s: %v", res.Entry.Name, res.Err)
 		}

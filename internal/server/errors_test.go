@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"vxa/internal/codec"
+	"vxa/internal/core"
+	"vxa/internal/vm"
+)
+
+// TestErrorKindStatusRoundTrip pins the v2 error taxonomy end to end:
+// every core.ErrorKind survives an errors.Is/As round trip through
+// wrapping, matches exactly its own sentinel, and maps to its HTTP
+// status through the server's table. A new kind without a table row
+// fails here.
+func TestErrorKindStatusRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind     core.ErrorKind
+		sentinel *core.Error
+		cause    error
+		status   int
+	}{
+		{core.KindBadArchive, core.ErrBadArchive, fmt.Errorf("zip: bad magic"), http.StatusBadRequest},
+		{core.KindUnknownCodec, core.ErrUnknownCodec, nil, http.StatusNotFound},
+		{core.KindDecoderTrap, core.ErrDecoderTrap,
+			&codec.DecodeError{Codec: "deflate", Trap: &vm.Trap{Kind: vm.TrapMemory, EIP: 0x1000}},
+			http.StatusUnprocessableEntity},
+		{core.KindFuelExhausted, core.ErrFuelExhausted,
+			&codec.DecodeError{Codec: "deflate", Trap: &vm.Trap{Kind: vm.TrapFuel, EIP: 0x1000}},
+			http.StatusUnprocessableEntity},
+		{core.KindOutputLimit, core.ErrOutputLimit, nil, http.StatusRequestEntityTooLarge},
+		{core.KindCanceled, core.ErrCanceled, context.Canceled, StatusClientClosedRequest},
+	}
+	sentinels := []*core.Error{
+		core.ErrBadArchive, core.ErrUnknownCodec, core.ErrDecoderTrap,
+		core.ErrFuelExhausted, core.ErrOutputLimit, core.ErrCanceled,
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			err := error(&core.Error{Kind: tc.kind, Entry: "a.txt", Trap: tc.cause})
+			// Another layer of prose wrapping must not break matching.
+			err = fmt.Errorf("handler: %w", err)
+
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(err, %v sentinel) = false", tc.kind)
+			}
+			for _, other := range sentinels {
+				if other.Kind != tc.kind && errors.Is(err, other) {
+					t.Fatalf("kind %v also matches sentinel %v", tc.kind, other.Kind)
+				}
+			}
+			var ve *core.Error
+			if !errors.As(err, &ve) || ve.Kind != tc.kind || ve.Entry != "a.txt" {
+				t.Fatalf("errors.As round trip lost the value: %+v", ve)
+			}
+			if got := StatusFor(err); got != tc.status {
+				t.Fatalf("StatusFor(%v) = %d, want %d", tc.kind, got, tc.status)
+			}
+		})
+	}
+
+	// Cancellation must also unwrap to the context error itself.
+	cerr := fmt.Errorf("x: %w", &core.Error{Kind: core.KindCanceled, Trap: context.Canceled})
+	if !errors.Is(cerr, context.Canceled) {
+		t.Fatal("KindCanceled does not unwrap to context.Canceled")
+	}
+
+	// Non-taxonomy errors fall through to 500.
+	if got := StatusFor(errors.New("disk on fire")); got != http.StatusInternalServerError {
+		t.Fatalf("unknown error mapped to %d, want 500", got)
+	}
+}

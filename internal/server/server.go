@@ -182,27 +182,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // ---------- request plumbing ----------
 
+// StatusClientClosedRequest is the (nginx-convention) status recorded
+// when the client's own context canceled the work mid-request; the
+// client is gone, so the code is for logs and metrics, not the wire.
+const StatusClientClosedRequest = 499
+
+// kindStatus maps the library's error taxonomy onto HTTP statuses — the
+// v2 replacement for classifying failures by error-string shape. Every
+// core.ErrorKind has a row; the round-trip test pins that.
+var kindStatus = map[core.ErrorKind]int{
+	core.KindBadArchive:    http.StatusBadRequest,          // the request body is at fault
+	core.KindUnknownCodec:  http.StatusNotFound,            // nothing can decode the entry
+	core.KindDecoderTrap:   http.StatusUnprocessableEntity, // well-formed request, hostile/buggy decoder
+	core.KindFuelExhausted: http.StatusUnprocessableEntity, // decoder exceeded its instruction budget
+	core.KindOutputLimit:   http.StatusRequestEntityTooLarge,
+	core.KindCanceled:      StatusClientClosedRequest,
+}
+
+// StatusFor resolves any error the serving paths produce to its HTTP
+// status: typed archive errors through the kind table, admission and
+// transport errors through their sentinels, everything else 500.
+// Exported so the error-taxonomy round trip is testable end to end.
+func StatusFor(err error) int {
+	var ve *core.Error
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrExpired):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &ve):
+		if status, ok := kindStatus[ve.Kind]; ok {
+			return status
+		}
+	case errors.Is(err, zipfile.ErrFormat), errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound
+	case errors.As(err, new(*codec.DecodeError)):
+		// Raw-stream decode failures (/v1/decode) that bypassed the
+		// archive layer's classification.
+		return http.StatusUnprocessableEntity
+	case errors.As(err, new(*http.MaxBytesError)):
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
+}
+
 // fail writes an error response with the status implied by err.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.errors.Add(1)
-	status := http.StatusInternalServerError
-	var de *codec.DecodeError
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		status = http.StatusServiceUnavailable
+	status := StatusFor(err)
+	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, ErrExpired):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, zipfile.ErrFormat), errors.Is(err, errBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, errNotFound), errors.Is(err, core.ErrNoDecoder):
-		status = http.StatusNotFound
-	case errors.As(err, &de):
-		// The sandbox contained a buggy or hostile decoder; the request
-		// itself was well-formed.
-		status = http.StatusUnprocessableEntity
-	case errors.As(err, new(*http.MaxBytesError)):
-		status = http.StatusRequestEntityTooLarge
 	}
 	http.Error(w, err.Error(), status)
 }
@@ -312,16 +343,17 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 }
 
 // extractOptions builds the decode options shared by extract and verify.
-func (s *Server) extractOptions(r *http.Request, fuel int64) core.ExtractOptions {
-	opts := core.ExtractOptions{
-		Mode: core.AlwaysVXA,
-		VM:   vm.Config{MemSize: s.cfg.MemSize, Fuel: fuel},
-	}
+func (s *Server) extractOptions(r *http.Request, fuel int64) []core.Option {
+	mode := core.AlwaysVXA
 	if r.URL.Query().Get("mode") == "native" {
-		opts.Mode = core.NativeFirst
+		mode = core.NativeFirst
+	}
+	opts := []core.Option{
+		core.WithMode(mode),
+		core.WithVM(vm.Config{MemSize: s.cfg.MemSize, Fuel: fuel}),
 	}
 	if r.URL.Query().Get("decode_all") != "" {
-		opts.DecodeAll = true
+		opts = append(opts, core.WithDecodeAll(true))
 	}
 	return opts
 }
@@ -364,7 +396,11 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	cw := &countWriter{w: w}
-	_, err = cr.ExtractTo(entry, cw, s.extractOptions(r, fuel))
+	// The request's own context drives the decode: a client that
+	// disconnects mid-stream cancels the guest at its next block
+	// boundary, and the VM goes back to the shared pool immediately
+	// instead of decoding for a reader that is gone.
+	_, err = cr.ExtractTo(r.Context(), entry, cw, s.extractOptions(r, fuel)...)
 	s.bytesOut.Add(uint64(cw.n))
 	if err != nil {
 		if cw.n == 0 {
@@ -415,7 +451,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res := verifyResult{Name: e.Name, OK: true}
-		if _, err := cr.ExtractTo(e, io.Discard, s.extractOptions(r, fuel)); err != nil {
+		if _, err := cr.ExtractTo(r.Context(), e, io.Discard, s.extractOptions(r, fuel)...); err != nil {
 			res.OK, res.Error = false, err.Error()
 			failed++
 		}
@@ -492,7 +528,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	// registry's own compiled decoders, which carry no per-client
 	// secrets, so resume-in-place across requests is safe and keeps the
 	// endpoint at warm-cache latency.
-	lease, err := s.cache.Get(hash, decodeMode, 0, func() ([]byte, error) { return c.DecoderELF() })
+	lease, err := s.cache.Get(r.Context(), hash, decodeMode, 0, func() ([]byte, error) { return c.DecoderELF() })
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -500,9 +536,15 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	cw := &countWriter{w: w}
 	var diag bytes.Buffer
-	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), cw, &diag, fuel)
+	reusable, err := lease.VM().RunStream(r.Context(), bytes.NewReader(payload), cw, &diag, fuel)
 	s.bytesOut.Add(uint64(cw.n))
 	if err != nil {
+		if vm.IsCanceled(err) {
+			// The client is gone; reset the VM to pristine and park it.
+			lease.ReleaseReset()
+			s.errors.Add(1)
+			panic(http.ErrAbortHandler)
+		}
 		de := codec.ClassifyDecodeError(name, err, lease.VM().ExitCode(), diag.String())
 		lease.Release(false)
 		if cw.n == 0 {

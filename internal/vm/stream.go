@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -13,10 +14,14 @@ import (
 // stream, so reusable is false. Every per-stream entry point (the
 // archive reader, vxrun, the benchmarks) routes through this one
 // function so the protocol cannot diverge between callers.
-func (v *VM) RunStream(stdin io.Reader, stdout, stderr io.Writer, fuel int64) (reusable bool, err error) {
+//
+// ctx cancels the stream cooperatively: the executor polls it at block
+// boundaries (see RunContext) and returns a *CanceledError; the caller
+// owns putting the VM back through a pristine reset before reuse.
+func (v *VM) RunStream(ctx context.Context, stdin io.Reader, stdout, stderr io.Writer, fuel int64) (reusable bool, err error) {
 	v.Stdin, v.Stdout, v.Stderr = stdin, stdout, stderr
 	v.SetFuel(fuel)
-	st, err := v.Run()
+	st, err := v.RunContext(ctx)
 	if err != nil {
 		return false, err
 	}

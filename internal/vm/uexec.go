@@ -648,6 +648,22 @@ func (v *VM) execUops(br *bref) error {
 
 blocks:
 	for {
+		// Cancellation poll (RunContext): one nil check per block when
+		// the run is uncancellable; otherwise a countdown decrement, with
+		// the channel select only every cancelQuantum guest instructions.
+		// Nothing here touches the per-uop dispatch loop below.
+		if v.cancel != nil {
+			v.cancelCredit -= br.b.cost
+			if v.cancelCredit <= 0 {
+				v.cancelCredit = cancelQuantum
+				select {
+				case <-v.cancel:
+					return &CanceledError{Cause: v.cancelCause()}
+				default:
+				}
+			}
+		}
+
 		// Superblock promotion and hot-path profiling. Once a block has
 		// run hot, its dominant path is re-translated into a
 		// straight-line superblock (superblock.go) hung off the base

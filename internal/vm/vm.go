@@ -27,6 +27,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -203,6 +204,16 @@ type VM struct {
 	noSB    bool
 	optCfg  uop.OptConfig
 	blocks  map[uint32]*bref
+
+	// Cooperative cancellation (RunContext). cancel is the context's
+	// done channel, nil when the run is uncancellable — the common case,
+	// reducing the hot-loop cost to one nil check per block. The channel
+	// is polled only every cancelQuantum guest instructions
+	// (cancelCredit counts down by block cost), so the select never
+	// appears on the per-uop path.
+	cancel       <-chan struct{}
+	cancelCause  func() error
+	cancelCredit int64
 
 	// Stdin is the encoded input stream (virtual fd 0).
 	Stdin io.Reader
@@ -393,6 +404,41 @@ func (v *VM) WriteMem(addr uint32, data []byte) error {
 var errExit = errors.New("vm: guest exited")
 var errDone = errors.New("vm: guest stream done")
 
+// CanceledError reports that a guest run was stopped by its context:
+// the VM observed cancellation at a block boundary and returned without
+// completing the stream. The VM's guest state is mid-stream garbage;
+// pool it back only through a pristine reset. Unwrap exposes the
+// context's error, so errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) holds.
+type CanceledError struct {
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	if e.Cause != nil {
+		return "vm: run canceled: " + e.Cause.Error()
+	}
+	return "vm: run canceled"
+}
+
+// Unwrap exposes the context error.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// IsCanceled reports whether err (anywhere in its chain) is a
+// *CanceledError — a run stopped by its context rather than by the
+// guest.
+func IsCanceled(err error) bool {
+	var ce *CanceledError
+	return errors.As(err, &ce)
+}
+
+// cancelQuantum is how many guest instructions may execute between
+// cancellation polls: small enough that a canceled stream releases its
+// VM within a fraction of a millisecond, large enough that the poll
+// (one channel select) is amortized to nothing.
+const cancelQuantum = 1 << 16
+
 // Run executes the guest until it invokes exit or done, or faults.
 // After StatusDone the VM may be resumed by calling Run again, optionally
 // with new Stdin/Stdout, implementing the multi-stream decoder protocol.
@@ -402,6 +448,22 @@ var errDone = errors.New("vm: guest stream done")
 // fragment, and only indirect branches (and chain misses) resolve
 // through the fragment-cache map.
 func (v *VM) Run() (Status, error) {
+	return v.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelable, the executor polls it at block-chain boundaries on a
+// fuel-quantum cadence (never on the per-uop hot path) and returns a
+// *CanceledError mid-stream. A context that cannot be canceled
+// (context.Background()) costs one nil check per block.
+func (v *VM) RunContext(ctx context.Context) (Status, error) {
+	if done := ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			return StatusExit, &CanceledError{Cause: err}
+		}
+		v.cancel, v.cancelCause, v.cancelCredit = done, ctx.Err, cancelQuantum
+		defer func() { v.cancel, v.cancelCause = nil, nil }()
+	}
 	br, err := v.lookupBlock(v.eip)
 	if err != nil {
 		return StatusExit, err

@@ -1,0 +1,125 @@
+package vmpool
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"vxa/internal/vm"
+)
+
+// TestGetBlocksUntilReleaseOrCancel: with MaxLive, Get blocks while all
+// slots are leased, wakes when one is released, and honours context
+// cancellation while waiting.
+func TestGetBlocksUntilReleaseOrCancel(t *testing.T) {
+	elf := compile(t, echoSrc)
+	p := New(Options{MaxLive: 1})
+	ctx := context.Background()
+
+	l1, err := p.Get(ctx, "echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bounded wait must fail with the context error once the deadline
+	// passes, leaving the pool intact.
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(short, "echo", 0644, elf); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Get returned %v, want DeadlineExceeded", err)
+	}
+
+	// A waiter must wake when the slot frees.
+	got := make(chan error, 1)
+	go func() {
+		l2, err := p.Get(ctx, "echo", 0644, elf)
+		if err == nil {
+			l2.Release(false)
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	l1.Release(false)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after Release")
+	}
+	if n := p.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding = %d, want 0", n)
+	}
+}
+
+// TestReleaseReset: a canceled lease goes back through the pristine
+// reset — Outstanding drops, the VM is parked idle, and the next lease
+// resumes it with clean state.
+func TestReleaseResetParksPristineVM(t *testing.T) {
+	elf := compile(t, echoSrc)
+	p := New(Options{})
+	ctx := context.Background()
+
+	l, err := p.Get(ctx, "echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run half a stream, then abandon it as a cancellation would.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := l.VM().RunStream(cctx, bytes.NewReader([]byte("junk state")), io.Discard, nil, vm.StreamFuel(16)); !vm.IsCanceled(err) {
+		t.Fatalf("RunStream under dead context returned %v, want CanceledError", err)
+	}
+	l.ReleaseReset()
+
+	if n := p.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding = %d after ReleaseReset, want 0", n)
+	}
+	if n := p.IdleCount(); n != 1 {
+		t.Fatalf("IdleCount = %d, want the reset VM parked", n)
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats %+v: want exactly one reset", st)
+	}
+
+	// The parked VM must serve a clean stream.
+	l2, err := p.Get(ctx, "echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("post-cancel stream")
+	var out bytes.Buffer
+	reusable, err := l2.VM().RunStream(ctx, bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Release(reusable)
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatalf("echo after reset = %q, want %q", out.Bytes(), payload)
+	}
+}
+
+// TestReleaseResetFreesMaxLiveSlot: the cancellation path releases the
+// MaxLive slot exactly like a normal release.
+func TestReleaseResetFreesMaxLiveSlot(t *testing.T) {
+	elf := compile(t, echoSrc)
+	p := New(Options{MaxLive: 1})
+	ctx := context.Background()
+
+	l, err := p.Get(ctx, "echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ReleaseReset()
+	short, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	l2, err := p.Get(short, "echo", 0644, elf)
+	if err != nil {
+		t.Fatalf("slot not freed by ReleaseReset: %v", err)
+	}
+	l2.Release(false)
+}

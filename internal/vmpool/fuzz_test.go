@@ -2,6 +2,7 @@ package vmpool
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -59,11 +60,11 @@ func FuzzRunStream(f *testing.F) {
 	f.Add([]byte{0xff, 0x00, 0xfe, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		lease, err := fuzzPool.Get("deflate", 0644, func() ([]byte, error) { return fuzzElf, nil })
+		lease, err := fuzzPool.Get(context.Background(), "deflate", 0644, func() ([]byte, error) { return fuzzElf, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
-		reusable, err := lease.VM().RunStream(bytes.NewReader(data), io.Discard, nil, fuzzFuel)
+		reusable, err := lease.VM().RunStream(context.Background(), bytes.NewReader(data), io.Discard, nil, fuzzFuel)
 		if err != nil {
 			lease.Release(false)
 			return // decode failure contained by the sandbox: the contract

@@ -17,6 +17,7 @@
 package vmpool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,6 +47,11 @@ type Options struct {
 	// MaxIdlePerKey bounds how many idle VMs are retained per key;
 	// returning a VM beyond the bound drops it. 0 selects GOMAXPROCS.
 	MaxIdlePerKey int
+	// MaxLive caps leases in flight across the whole pool. When every
+	// slot is leased, Get blocks until a lease is released or the
+	// caller's context is canceled — the backpressure a bounded serving
+	// layer needs instead of unbounded VM growth. 0 means unlimited.
+	MaxLive int
 }
 
 // Stats are cumulative pool counters (JSON-tagged: they surface,
@@ -62,6 +68,7 @@ type Stats struct {
 // New.
 type Pool struct {
 	opts Options
+	sem  chan struct{} // MaxLive lease slots; nil when unlimited
 
 	mu          sync.Mutex
 	codec       map[string]*codecState
@@ -92,11 +99,15 @@ func New(opts Options) *Pool {
 	if opts.MaxIdlePerKey <= 0 {
 		opts.MaxIdlePerKey = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{
+	p := &Pool{
 		opts:  opts,
 		codec: make(map[string]*codecState),
 		idle:  make(map[Key][]*vm.VM),
 	}
+	if opts.MaxLive > 0 {
+		p.sem = make(chan struct{}, opts.MaxLive)
+	}
+	return p
 }
 
 // Lease is one checked-out VM. The holder runs exactly one stream on it
@@ -159,16 +170,23 @@ func (p *Pool) Seed(codec string, snap *vm.Snapshot, spare *vm.VM) bool {
 // pristine VM the snapshot was captured from; an idle VM from another
 // security mode or scope, rewound to the pristine snapshot; a VM
 // materialized fresh from the snapshot.
-func (p *Pool) Get(codec string, mode uint32, elf func() ([]byte, error)) (*Lease, error) {
-	return p.GetScoped(codec, mode, 0, elf)
+//
+// When the pool was created with MaxLive and every slot is leased, Get
+// blocks until a lease is released or ctx is canceled; the returned
+// error then wraps ctx.Err().
+func (p *Pool) Get(ctx context.Context, codec string, mode uint32, elf func() ([]byte, error)) (*Lease, error) {
+	return p.GetScoped(ctx, codec, mode, 0, elf)
 }
 
 // GetScoped is Get with an explicit trust scope: VMs park and resume
 // per (codec, mode, scope), and a lease crossing scopes always starts
 // from the pristine snapshot, so one client's decoder residue can never
 // reach another client's stream. Single-tenant callers use Get.
-func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
+func (p *Pool) GetScoped(ctx context.Context, codec string, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
 	key := Key{Codec: codec, Mode: mode, Scope: scope}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vmpool: %w", err)
+	}
 
 	p.mu.Lock()
 	cs := p.codec[codec]
@@ -204,6 +222,21 @@ func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]
 	})
 	if cs.err != nil {
 		return nil, fmt.Errorf("vmpool: decoder %s: %w", codec, cs.err)
+	}
+
+	// Lease-slot admission (MaxLive): block here, not under the pool
+	// lock, until a slot frees or the caller gives up. The slot is
+	// released by Release/ReleaseReset.
+	if p.sem != nil {
+		select {
+		case p.sem <- struct{}{}:
+		default:
+			select {
+			case p.sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("vmpool: waiting for a VM: %w", ctx.Err())
+			}
+		}
 	}
 
 	p.mu.Lock()
@@ -243,6 +276,7 @@ func (p *Pool) GetScoped(codec string, mode uint32, scope uint64, elf func() ([]
 			p.mu.Lock()
 			p.outstanding--
 			p.mu.Unlock()
+			p.releaseSlot()
 			return nil, err
 		}
 		return newLease(p, v, key, true), nil
@@ -266,6 +300,7 @@ func (l *Lease) Release(reusable bool) {
 	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil
 
 	p := l.p
+	defer p.releaseSlot()
 	// First return of a warmed-up VM: fold its translation cache into
 	// the snapshot so every future build/reset starts warm. Done once
 	// per codec, outside the pool lock, and before the VM re-enters the
@@ -290,6 +325,57 @@ func (l *Lease) Release(reusable bool) {
 		return
 	}
 	p.idle[l.key] = append(p.idle[l.key], v)
+}
+
+// ReleaseReset returns a lease whose stream was abandoned mid-flight
+// (a canceled context): the VM's guest state is partial-stream garbage,
+// so it is rewound to the pristine decoder snapshot and then parked
+// idle — the cancellation path keeps the allocated guest image instead
+// of discarding it, so a burst of cancellations cannot force a burst of
+// image re-allocations. A VM that cannot be reset (no snapshot, size
+// mismatch) is dropped.
+func (l *Lease) ReleaseReset() {
+	if l.done {
+		return
+	}
+	l.done = true
+	v := l.v
+	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil
+
+	p := l.p
+	defer p.releaseSlot()
+	p.mu.Lock()
+	addVMStats(&p.vmAgg, v.Stats(), l.stats0)
+	p.outstanding--
+	cs := p.codec[l.key.Codec]
+	var snap *vm.Snapshot
+	if cs != nil {
+		snap = cs.snap
+	}
+	p.mu.Unlock()
+
+	if snap == nil || v.Reset(snap) != nil {
+		p.mu.Lock()
+		p.stats.Discards++
+		p.mu.Unlock()
+		return
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Resets++
+	if len(p.idle[l.key]) >= p.opts.MaxIdlePerKey {
+		p.stats.Discards++
+		return
+	}
+	p.idle[l.key] = append(p.idle[l.key], v)
+}
+
+// releaseSlot frees one MaxLive lease slot, unblocking a waiting Get.
+func (p *Pool) releaseSlot() {
+	if p.sem != nil {
+		<-p.sem
+	}
 }
 
 // Stats returns a copy of the cumulative counters.

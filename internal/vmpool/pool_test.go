@@ -2,6 +2,7 @@ package vmpool
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -82,7 +83,7 @@ func TestModeIsolation(t *testing.T) {
 	aaaa := bytes.Repeat([]byte("A"), 64)
 	bbbb := bytes.Repeat([]byte("B"), 64)
 
-	l1, err := p.Get("leaky", 0600, elf)
+	l1, err := p.Get(context.Background(), "leaky", 0600, elf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestModeIsolation(t *testing.T) {
 
 	// Same key: the parked VM resumes, and the previous stream's data is
 	// visible — that is what "reuse within equal attributes" means.
-	l2, err := p.Get("leaky", 0600, elf)
+	l2, err := p.Get(context.Background(), "leaky", 0600, elf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestModeIsolation(t *testing.T) {
 
 	// Different security mode: the idle VM is rewound to the pristine
 	// snapshot; stream B's secret must be gone.
-	l3, err := p.Get("leaky", 0644, elf)
+	l3, err := p.Get(context.Background(), "leaky", 0644, elf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestConcurrentLeases(t *testing.T) {
 			}
 			for i := 0; i < streams; i++ {
 				input := bytes.Repeat([]byte{byte('a' + w)}, 128+i)
-				l, err := p.Get("echo", mode, elf)
+				l, err := p.Get(context.Background(), "echo", mode, elf)
 				if err != nil {
 					errc <- err
 					return
@@ -192,7 +193,7 @@ func TestIdleBound(t *testing.T) {
 	elf := compile(t, echoSrc)
 	var leases []*Lease
 	for i := 0; i < 3; i++ {
-		l, err := p.Get("echo", 0644, elf)
+		l, err := p.Get(context.Background(), "echo", 0644, elf)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func TestIdleBound(t *testing.T) {
 // fetch surfaces (and stays) as an error for the codec.
 func TestDoubleReleaseAndBadELF(t *testing.T) {
 	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
-	l, err := p.Get("echo", 0644, compile(t, echoSrc))
+	l, err := p.Get(context.Background(), "echo", 0644, compile(t, echoSrc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,13 +226,13 @@ func TestDoubleReleaseAndBadELF(t *testing.T) {
 		t.Fatalf("double release duplicated the VM: idle = %d", p.IdleCount())
 	}
 
-	if _, err := p.Get("broken", 0644, func() ([]byte, error) {
+	if _, err := p.Get(context.Background(), "broken", 0644, func() ([]byte, error) {
 		return nil, fmt.Errorf("no such decoder")
 	}); err == nil {
 		t.Fatal("want error from failing elf fetch")
 	}
 	// The elf callback must not be retried: the failure is cached.
-	if _, err := p.Get("broken", 0644, func() ([]byte, error) {
+	if _, err := p.Get(context.Background(), "broken", 0644, func() ([]byte, error) {
 		t.Fatal("elf callback retried after cached failure")
 		return nil, nil
 	}); err == nil {
@@ -243,7 +244,7 @@ func TestDoubleReleaseAndBadELF(t *testing.T) {
 func TestDrain(t *testing.T) {
 	p := New(Options{VM: vm.Config{MemSize: 4 << 20}})
 	elf := compile(t, echoSrc)
-	l, err := p.Get("echo", 0644, elf)
+	l, err := p.Get(context.Background(), "echo", 0644, elf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("idle = %d after drain", p.IdleCount())
 	}
 	// The snapshot survives: the next stream needs no new ELF parse.
-	l2, err := p.Get("echo", 0644, elf)
+	l2, err := p.Get(context.Background(), "echo", 0644, elf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestDrainRaceStress(t *testing.T) {
 					name = "leaky"
 				}
 				mode := uint32(0600 + (w+i)%2*044)
-				l, err := p.Get(name, mode, elves[name])
+				l, err := p.Get(context.Background(), name, mode, elves[name])
 				if err != nil {
 					t.Error(err)
 					return
@@ -332,7 +333,7 @@ func TestDrainRaceStress(t *testing.T) {
 			s.Builds, s.Resets, s.Resumes, workers*iters)
 	}
 	// The pool must still serve after the storm.
-	l, err := p.Get("echo", 0644, echo)
+	l, err := p.Get(context.Background(), "echo", 0644, echo)
 	if err != nil {
 		t.Fatal(err)
 	}

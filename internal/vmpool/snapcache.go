@@ -2,6 +2,7 @@ package vmpool
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -136,7 +137,11 @@ func poolKey(hash [32]byte) string { return hex.EncodeToString(hash[:]) }
 // Any other scope receives a VM rewound to the pristine snapshot, so a
 // malicious decoder embedded in two clients' archives cannot carry one
 // client's data into the other's output.
-func (c *SnapCache) Get(hash [32]byte, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
+//
+// ctx bounds the wait for a lease slot when the entry's pool caps
+// in-flight leases (see Options.MaxLive); canceling it while waiting
+// returns the context error.
+func (c *SnapCache) Get(ctx context.Context, hash [32]byte, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
 	key := CacheKey{Hash: hash, Mode: mode}
 	c.mu.Lock()
 	e := c.entries[key]
@@ -162,7 +167,7 @@ func (c *SnapCache) Get(hash [32]byte, mode uint32, scope uint64, elf func() ([]
 		c.mu.Unlock()
 		return nil, e.err
 	}
-	return e.pool.GetScoped(poolKey(hash), mode, scope, nil)
+	return e.pool.GetScoped(ctx, poolKey(hash), mode, scope, nil)
 }
 
 // NextScope returns a fresh trust-scope token for SnapCache.Get. Each

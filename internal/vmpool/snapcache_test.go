@@ -2,6 +2,7 @@ package vmpool
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"sync"
@@ -18,7 +19,7 @@ func cacheStream(t testing.TB, c *SnapCache, hash [32]byte, mode uint32, scope u
 	if t != nil {
 		t.Helper()
 	}
-	lease, err := c.Get(hash, mode, scope, elf)
+	lease, err := c.Get(context.Background(), hash, mode, scope, elf)
 	if err != nil {
 		if t != nil {
 			t.Fatal(err)
@@ -26,7 +27,7 @@ func cacheStream(t testing.TB, c *SnapCache, hash [32]byte, mode uint32, scope u
 		return
 	}
 	var out bytes.Buffer
-	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+	reusable, err := lease.VM().RunStream(context.Background(), bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
 	if err != nil {
 		lease.Release(false)
 		if t != nil {
@@ -97,12 +98,12 @@ func TestSnapCacheSiblingImport(t *testing.T) {
 
 	// Mode 0600 is a distinct cache entry; its snapshot must arrive
 	// pre-translated via the sibling import.
-	lease, err := c.Get(hash, 0600, 0, echo)
+	lease, err := c.Get(context.Background(), hash, 0600, 0, echo)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer lease.Release(false)
-	if _, err := lease.VM().RunStream(bytes.NewReader(payload), io.Discard, nil, vm.StreamFuel(len(payload))); err != nil {
+	if _, err := lease.VM().RunStream(context.Background(), bytes.NewReader(payload), io.Discard, nil, vm.StreamFuel(len(payload))); err != nil {
 		t.Fatal(err)
 	}
 	if built := lease.VM().Stats().BlocksBuilt; built != 0 {
@@ -211,12 +212,12 @@ func TestSnapCacheScopeIsolation(t *testing.T) {
 
 	run := func(scope uint64, payload []byte) []byte {
 		t.Helper()
-		lease, err := c.Get(hash, 0644, scope, leaky)
+		lease, err := c.Get(context.Background(), hash, 0644, scope, leaky)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+		reusable, err := lease.VM().RunStream(context.Background(), bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
 		if err != nil {
 			lease.Release(false)
 			t.Fatal(err)
@@ -258,7 +259,7 @@ func TestSnapCacheEvictionKeepsInFlightCounters(t *testing.T) {
 
 	// Check out a lease on the echo line and hold it across the
 	// eviction caused by building the leaky line.
-	lease, err := c.Get(echoHash, 0644, 0, echo)
+	lease, err := c.Get(context.Background(), echoHash, 0644, 0, echo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestSnapCacheEvictionKeepsInFlightCounters(t *testing.T) {
 
 	// Run the stream on the orphaned pool's lease and release it.
 	var out bytes.Buffer
-	reusable, err := lease.VM().RunStream(bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
+	reusable, err := lease.VM().RunStream(context.Background(), bytes.NewReader(payload), &out, nil, vm.StreamFuel(len(payload)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -244,25 +244,65 @@ func (zw *Writer) Close() error {
 
 // ---------- reader ----------
 
-// Reader reads a vxZIP archive from memory.
+// Reader reads a vxZIP archive from any random-access source. Parsing
+// is lazy and section-at-a-time: opening reads only the end-of-central-
+// directory record and the central directory; each payload access reads
+// that entry's local header and (on demand) its stored bytes. A
+// multi-gigabyte archive is never resident in memory — only the
+// sections actually touched are.
+//
+// A Reader is safe for concurrent use as long as the underlying
+// io.ReaderAt is (os.File and bytes.Reader both are).
 type Reader struct {
-	data  []byte
+	ra    io.ReaderAt
+	size  int64
 	Files []FileHeader
 }
 
-// NewReader parses the central directory of an archive.
+// NewReader opens an archive held in memory (an adapter over
+// NewReaderAt for callers that already have the whole container).
 func NewReader(data []byte) (*Reader, error) {
-	// Find EOCD: scan backwards over a possible comment.
-	if len(data) < 22 {
+	return NewReaderAt(bytes.NewReader(data), int64(len(data)))
+}
+
+// readFullAt reads exactly len(buf) bytes at off, tolerating the
+// io.ReaderAt contract's permitted (n == len(buf), io.EOF) return for a
+// read ending exactly at the end of the source — common for the tail
+// sections a ZIP reader lives on.
+func readFullAt(ra io.ReaderAt, buf []byte, off int64) error {
+	n, err := ra.ReadAt(buf, off)
+	if n == len(buf) {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// maxEOCDScan bounds the tail window searched for the end-of-central-
+// directory record: the 22-byte record plus the maximum ZIP comment.
+const maxEOCDScan = 22 + 0xFFFF
+
+// NewReaderAt opens an archive from a random-access source of the given
+// size, parsing only the end record and central directory.
+func NewReaderAt(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size < 22 {
 		return nil, fmt.Errorf("%w: too small", ErrFormat)
 	}
-	var eocd int = -1
-	min := len(data) - 22 - 0xFFFF
-	if min < 0 {
-		min = 0
+	// Find EOCD: read the tail window once, scan backwards over a
+	// possible comment.
+	window := int64(maxEOCDScan)
+	if window > size {
+		window = size
 	}
-	for i := len(data) - 22; i >= min; i-- {
-		if binary.LittleEndian.Uint32(data[i:]) == sigEOCD {
+	tail := make([]byte, window)
+	if err := readFullAt(ra, tail, size-window); err != nil {
+		return nil, fmt.Errorf("zipfile: reading end record: %w", err)
+	}
+	eocd := -1
+	for i := len(tail) - 22; i >= 0; i-- {
+		if binary.LittleEndian.Uint32(tail[i:]) == sigEOCD {
 			eocd = i
 			break
 		}
@@ -270,19 +310,29 @@ func NewReader(data []byte) (*Reader, error) {
 	if eocd < 0 {
 		return nil, fmt.Errorf("%w: no end-of-central-directory record", ErrFormat)
 	}
-	count := int(binary.LittleEndian.Uint16(data[eocd+10:]))
-	cdOff := binary.LittleEndian.Uint32(data[eocd+16:])
-	r := &Reader{data: data}
-	pos := int(cdOff)
+	count := int(binary.LittleEndian.Uint16(tail[eocd+10:]))
+	cdSize := int64(binary.LittleEndian.Uint32(tail[eocd+12:]))
+	cdOff := int64(binary.LittleEndian.Uint32(tail[eocd+16:]))
+	if cdOff+cdSize > size || cdSize < 0 {
+		return nil, fmt.Errorf("%w: central directory outside archive", ErrFormat)
+	}
+	// Read the central directory section in one piece; it is small
+	// (tens of bytes per entry) even for huge archives.
+	cd := make([]byte, cdSize)
+	if err := readFullAt(ra, cd, cdOff); err != nil {
+		return nil, fmt.Errorf("zipfile: reading central directory: %w", err)
+	}
+	r := &Reader{ra: ra, size: size}
+	pos := 0
 	for i := 0; i < count; i++ {
-		if pos+46 > len(data) || binary.LittleEndian.Uint32(data[pos:]) != sigCentral {
+		if pos+46 > len(cd) || binary.LittleEndian.Uint32(cd[pos:]) != sigCentral {
 			return nil, fmt.Errorf("%w: bad central directory entry", ErrFormat)
 		}
-		h := data[pos:]
+		h := cd[pos:]
 		nameLen := int(binary.LittleEndian.Uint16(h[28:]))
 		extraLen := int(binary.LittleEndian.Uint16(h[30:]))
 		commentLen := int(binary.LittleEndian.Uint16(h[32:]))
-		if pos+46+nameLen+extraLen+commentLen > len(data) {
+		if pos+46+nameLen+extraLen+commentLen > len(cd) {
 			return nil, fmt.Errorf("%w: truncated central directory", ErrFormat)
 		}
 		f := FileHeader{
@@ -305,31 +355,54 @@ func NewReader(data []byte) (*Reader, error) {
 	return r, nil
 }
 
-// payloadAt parses the local header at off and returns the stored
-// payload plus the header fields.
-func (r *Reader) payloadAt(off uint32) (payload []byte, method uint16, usize uint32, err error) {
-	if int(off)+30 > len(r.data) || binary.LittleEndian.Uint32(r.data[off:]) != sigLocal {
-		return nil, 0, 0, fmt.Errorf("%w: bad local header at %#x", ErrFormat, off)
+// sectionAt parses the local header at off and returns the payload's
+// position within the archive plus the header fields.
+func (r *Reader) sectionAt(off uint32) (start, csize int64, method uint16, usize uint32, err error) {
+	var h [30]byte
+	if int64(off)+30 > r.size {
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad local header at %#x", ErrFormat, off)
 	}
-	h := r.data[off:]
+	if err := readFullAt(r.ra, h[:], int64(off)); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("zipfile: reading local header at %#x: %w", off, err)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != sigLocal {
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad local header at %#x", ErrFormat, off)
+	}
 	method = binary.LittleEndian.Uint16(h[8:])
-	csize := binary.LittleEndian.Uint32(h[18:])
+	csize = int64(binary.LittleEndian.Uint32(h[18:]))
 	usize = binary.LittleEndian.Uint32(h[22:])
-	nameLen := uint32(binary.LittleEndian.Uint16(h[26:]))
-	extraLen := uint32(binary.LittleEndian.Uint16(h[28:]))
-	start := off + 30 + nameLen + extraLen
-	end := start + csize
-	if uint64(end) > uint64(len(r.data)) || end < start {
-		return nil, 0, 0, fmt.Errorf("%w: truncated payload", ErrFormat)
+	nameLen := int64(binary.LittleEndian.Uint16(h[26:]))
+	extraLen := int64(binary.LittleEndian.Uint16(h[28:]))
+	start = int64(off) + 30 + nameLen + extraLen
+	if start+csize > r.size {
+		return 0, 0, 0, 0, fmt.Errorf("%w: truncated payload", ErrFormat)
 	}
-	return r.data[start:end], method, usize, nil
+	return start, csize, method, usize, nil
 }
 
-// Payload returns the raw stored bytes of an archived file (compressed
-// form, exactly as archived).
+// PayloadSection returns a reader over the raw stored bytes of an
+// archived file (compressed form, exactly as archived) without loading
+// them: the archive-native way to stream a payload into a decoder.
+func (r *Reader) PayloadSection(f *FileHeader) (*io.SectionReader, error) {
+	start, csize, _, _, err := r.sectionAt(f.Offset)
+	if err != nil {
+		return nil, err
+	}
+	return io.NewSectionReader(r.ra, start, csize), nil
+}
+
+// Payload returns the raw stored bytes of an archived file, fully read.
+// Prefer PayloadSection when the bytes are only streamed through.
 func (r *Reader) Payload(f *FileHeader) ([]byte, error) {
-	p, _, _, err := r.payloadAt(f.Offset)
-	return p, err
+	start, csize, _, _, err := r.sectionAt(f.Offset)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, csize)
+	if err := readFullAt(r.ra, out, start); err != nil {
+		return nil, fmt.Errorf("zipfile: reading payload: %w", err)
+	}
+	return out, nil
 }
 
 // MaxDecoderSize caps a decoder pseudo-file's decompressed size. Real
@@ -341,7 +414,7 @@ const MaxDecoderSize = 16 << 20
 // Decoder extracts and decompresses the decoder pseudo-file at the given
 // archive offset (decoders are always deflate-compressed, §3.2).
 func (r *Reader) Decoder(off uint32) ([]byte, error) {
-	payload, method, usize, err := r.payloadAt(off)
+	start, csize, method, usize, err := r.sectionAt(off)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +424,7 @@ func (r *Reader) Decoder(off uint32) ([]byte, error) {
 	if usize > MaxDecoderSize {
 		return nil, fmt.Errorf("%w: decoder pseudo-file claims %d bytes (cap %d)", ErrFormat, usize, MaxDecoderSize)
 	}
-	fr := flate.NewReader(bytes.NewReader(payload))
+	fr := flate.NewReader(io.NewSectionReader(r.ra, start, csize))
 	defer fr.Close()
 	out, err := io.ReadAll(io.LimitReader(fr, int64(usize)+1))
 	if err != nil {

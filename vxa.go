@@ -8,18 +8,44 @@
 // exactly five virtual system calls, so archived data remains decodable
 // — safely — long after the codecs that produced it are gone.
 //
-// Quick start:
+// # Opening archives
 //
-//	var buf bytes.Buffer
-//	w := vxa.NewWriter(&buf, vxa.WriterOptions{})
-//	w.AddFile("notes.txt", text, 0644)
-//	w.Close()
+// Archives open from any random-access source; parsing is lazy and
+// section-at-a-time, so a multi-gigabyte archive is never resident:
 //
-//	r, _ := vxa.OpenReader(buf.Bytes())
-//	for _, e := range r.Entries() {
-//	    data, _ := r.Extract(&e, vxa.ExtractOptions{Mode: vxa.AlwaysVXA})
+//	r, err := vxa.OpenFile("backup.zip")   // or vxa.Open(readerAt, size)
+//	defer r.Close()
+//	for i := range r.Entries() {
+//	    e := &r.Entries()[i]
 //	    ...
 //	}
+//
+// OpenReader remains for archives already held as bytes.
+//
+// # Extracting
+//
+// Every operation takes a context.Context and functional options.
+// Extract returns a stream that pulls decoded data incrementally from a
+// pooled decoder VM; ExtractBytes is the buffered convenience form:
+//
+//	rc, err := r.Extract(ctx, e, vxa.WithMode(vxa.AlwaysVXA))
+//	if err != nil { ... }
+//	defer rc.Close()
+//	io.Copy(dst, rc)
+//
+// Canceling ctx — or closing the stream early — stops the decoder at
+// its next block boundary; the sandboxed VM is rewound to its pristine
+// snapshot and returned to the pool. Nothing leaks, however hostile the
+// decoder.
+//
+// # Errors
+//
+// Failures carry a typed taxonomy (*vxa.Error with a Kind) instead of
+// prose. Match with errors.Is against the sentinels:
+//
+//	if errors.Is(err, vxa.ErrDecoderTrap) { ... }   // sandbox contained it
+//	if errors.Is(err, vxa.ErrFuelExhausted) { ... } // runaway decoder cut off
+//	if errors.Is(err, vxa.ErrCanceled) { ... }      // also matches context.Canceled
 //
 // The underlying pieces — the x86 subset, the vx32-analog VM, the ELF
 // tooling, the VXC compiler, and the codec plug-ins — live in internal
@@ -52,17 +78,28 @@ type (
 	Writer = core.Writer
 	// Reader extracts VXA archives. A Reader is safe for concurrent
 	// use; Reader.ExtractAll and Reader.Verify fan out across a bounded
-	// worker pipeline (ExtractOptions.Parallel), drawing sandboxed
-	// decoder VMs from a shared snapshot/reset pool.
+	// worker pipeline (WithParallel), drawing sandboxed decoder VMs
+	// from a shared snapshot/reset pool.
 	Reader = core.Reader
 	// Entry is one archived file.
 	Entry = core.Entry
-	// ExtractOptions configure extraction.
+	// Option configures one extraction call; build values with
+	// WithMode, WithFuel, WithParallel, WithLimit, ...
+	Option = core.Option
+	// ExtractOptions is the assembled form the functional options
+	// produce. No public method accepts it directly — it is re-exported
+	// only so documentation and tooling can name the struct the options
+	// write into.
 	ExtractOptions = core.ExtractOptions
 	// ExtractMode selects native-first or always-VXA decoding.
 	ExtractMode = core.ExtractMode
 	// ExtractResult is one entry's outcome from Reader.ExtractAll.
 	ExtractResult = core.ExtractResult
+	// Error is the typed error archive operations return; branch on its
+	// Kind or match the Err* sentinels with errors.Is.
+	Error = core.Error
+	// ErrorKind classifies an Error.
+	ErrorKind = core.ErrorKind
 	// PoolStats are the decoder VM pool's cumulative counters, from
 	// Reader.PoolStats.
 	PoolStats = vmpool.Stats
@@ -84,12 +121,87 @@ const (
 	AlwaysVXA = core.AlwaysVXA
 )
 
+// Error kinds, for branching on (*Error).Kind.
+const (
+	KindBadArchive    = core.KindBadArchive
+	KindUnknownCodec  = core.KindUnknownCodec
+	KindDecoderTrap   = core.KindDecoderTrap
+	KindFuelExhausted = core.KindFuelExhausted
+	KindOutputLimit   = core.KindOutputLimit
+	KindCanceled      = core.KindCanceled
+)
+
+// Error sentinels for errors.Is; each matches every *Error of its kind.
+var (
+	// ErrBadArchive: malformed container or failed integrity check.
+	ErrBadArchive = core.ErrBadArchive
+	// ErrUnknownCodec: no archived or native decoder can handle the entry.
+	ErrUnknownCodec = core.ErrUnknownCodec
+	// ErrDecoderTrap: the archived decoder trapped or exited nonzero in
+	// the sandbox.
+	ErrDecoderTrap = core.ErrDecoderTrap
+	// ErrFuelExhausted: the decoder exceeded its per-stream instruction
+	// budget.
+	ErrFuelExhausted = core.ErrFuelExhausted
+	// ErrOutputLimit: the decoded output exceeded the WithLimit bound.
+	ErrOutputLimit = core.ErrOutputLimit
+	// ErrCanceled: the caller's context canceled the operation; also
+	// matches context.Canceled / context.DeadlineExceeded via Unwrap.
+	ErrCanceled = core.ErrCanceled
+)
+
+// Extraction options.
+
+// WithMode selects the decode path: NativeFirst (default) or AlwaysVXA.
+func WithMode(m ExtractMode) Option { return core.WithMode(m) }
+
+// WithFuel sets the absolute per-stream guest instruction budget,
+// overriding the payload-scaled default; exceeding it surfaces as
+// ErrFuelExhausted.
+func WithFuel(n int64) Option { return core.WithFuel(n) }
+
+// WithParallel bounds the worker count ExtractAll and Verify fan out
+// to: 0 (default) selects GOMAXPROCS, 1 forces serial operation.
+func WithParallel(n int) Option { return core.WithParallel(n) }
+
+// WithLimit caps the decoded output size in bytes; crossing it aborts
+// the decode with ErrOutputLimit (the decompression-bomb guard).
+func WithLimit(n int64) Option { return core.WithLimit(n) }
+
+// WithDecodeAll forces pre-compressed entries to decode to their raw
+// form instead of extracting still-compressed.
+func WithDecodeAll(on bool) Option { return core.WithDecodeAll(on) }
+
+// WithReuseVM routes archived decoders through the Reader's VM pool
+// (the paper's §2.4 reuse policy) instead of a fresh VM per stream.
+func WithReuseVM(on bool) Option { return core.WithReuseVM(on) }
+
+// WithVerbose streams decoder stderr diagnostics to w.
+func WithVerbose(w io.Writer) Option { return core.WithVerbose(w) }
+
+// WithMemSize sets the guest address space per decoder VM in bytes
+// (default 64 MiB, capped at the paper's 1 GiB sandbox limit) — for
+// decoders that hold whole image/audio planes.
+func WithMemSize(n uint32) Option { return core.WithMemSize(n) }
+
 // NewWriter begins writing an archive to w.
 func NewWriter(w io.Writer, opts WriterOptions) *Writer {
 	return core.NewWriter(w, opts)
 }
 
-// OpenReader opens an archive held in memory.
+// Open opens an archive from any random-access source. Parsing is lazy
+// and section-at-a-time, so only the end record, the central directory
+// and the entries actually extracted are ever read.
+func Open(ra io.ReaderAt, size int64) (*Reader, error) {
+	return core.Open(ra, size)
+}
+
+// OpenFile opens an archive on disk; Reader.Close releases the file.
+func OpenFile(path string) (*Reader, error) {
+	return core.OpenFile(path)
+}
+
+// OpenReader opens an archive held in memory (a thin adapter over Open).
 func OpenReader(data []byte) (*Reader, error) {
 	return core.NewReader(data)
 }

@@ -2,6 +2,7 @@ package vxa
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"vxa/internal/bench"
@@ -24,7 +25,7 @@ func TestQuickstart(t *testing.T) {
 	}
 	for _, mode := range []ExtractMode{NativeFirst, AlwaysVXA} {
 		e := r.Entries()[0]
-		got, err := r.Extract(&e, ExtractOptions{Mode: mode})
+		got, err := r.ExtractBytes(context.Background(), &e, WithMode(mode))
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -32,7 +33,7 @@ func TestQuickstart(t *testing.T) {
 			t.Fatalf("mode %v: mismatch", mode)
 		}
 	}
-	if errs := r.Verify(ExtractOptions{}); len(errs) != 0 {
+	if errs := r.Verify(context.Background()); len(errs) != 0 {
 		t.Fatalf("verify: %v", errs)
 	}
 }
@@ -174,8 +175,8 @@ func TestParallelPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := ExtractOptions{Mode: AlwaysVXA, ReuseVM: true, Parallel: 4}
-	results := r.ExtractAll(opts)
+	opts := []Option{WithMode(AlwaysVXA), WithReuseVM(true), WithParallel(4)}
+	results := r.ExtractAll(context.Background(), opts...)
 	if len(results) != len(want) {
 		t.Fatalf("results = %d, want %d", len(results), len(want))
 	}
@@ -187,7 +188,7 @@ func TestParallelPublicAPI(t *testing.T) {
 			t.Fatalf("%s: content mismatch", res.Entry.Name)
 		}
 	}
-	if errs := r.Verify(opts); len(errs) != 0 {
+	if errs := r.Verify(context.Background(), opts...); len(errs) != 0 {
 		t.Fatalf("parallel verify: %v", errs)
 	}
 	st := r.PoolStats()
