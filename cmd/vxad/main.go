@@ -8,10 +8,13 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +28,7 @@ import (
 func main() {
 	httpAddr := flag.String("http", "127.0.0.1:7788", "HTTP listen address (empty to disable)")
 	unixPath := flag.String("unix", "", "unix socket path to also listen on")
+	debugAddr := flag.String("debug-addr", "", "admin listen address serving /debug/pprof and /debug/vars (empty to disable)")
 	inflight := flag.Int("inflight", 0, "max concurrent decode streams (0 = all cores)")
 	queue := flag.Int("queue", 0, "max queued requests before shedding (0 = 4x inflight)")
 	queueTimeout := flag.Duration("queue-timeout", server.DefaultQueueTimeout, "max time a request may wait for a stream slot")
@@ -32,6 +36,8 @@ func main() {
 	memSize := flag.Uint64("mem", 0, "guest address space per decoder VM in bytes (0 = default 64 MiB)")
 	maxFuel := flag.Int64("max-fuel", 0, "per-stream guest instruction ceiling (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 256 MiB)")
+	slowMS := flag.Int64("slow-ms", 0, "log requests slower than this many ms with their per-stage breakdown (0 = off)")
+	quiet := flag.Bool("quiet", false, "suppress per-request access logs (slow-request warnings still log)")
 	flag.Parse()
 	_ = vxa.Codecs() // register the built-in codec set for /v1/decode
 
@@ -42,6 +48,15 @@ func main() {
 		fatal(fmt.Errorf("-mem %d exceeds the %d-byte (1 GiB) sandbox limit", *memSize, vm.MaxMemSize))
 	}
 
+	// Structured logs go to stderr: one line per request at Info, slow
+	// requests at Warn with the per-stage timeline. -quiet keeps the
+	// stream down to warnings for high-rate deployments.
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv := server.New(server.Config{
 		MemSize:         uint32(*memSize),
 		MaxFuel:         *maxFuel,
@@ -50,6 +65,8 @@ func main() {
 		MaxQueue:        *queue,
 		QueueTimeout:    *queueTimeout,
 		MaxRequestBytes: *maxBody,
+		Logger:          logger,
+		SlowThreshold:   time.Duration(*slowMS) * time.Millisecond,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 
@@ -72,6 +89,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vxad: listening on unix:%s\n", *unixPath)
 		go func() { errc <- hs.Serve(ln) }()
 	}
+	if *debugAddr != "" {
+		// The admin surface is its own listener, never the service one:
+		// pprof and expvar expose internals that must not ride the
+		// client-facing port.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxad: debug listening on http://%s\n", ln.Addr())
+		go func() { errc <- http.Serve(ln, debugMux()) }()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -89,6 +117,20 @@ func main() {
 	if *unixPath != "" {
 		os.Remove(*unixPath)
 	}
+}
+
+// debugMux builds the admin handler: the full net/http/pprof surface
+// plus expvar. Registered on an explicit mux rather than the package
+// defaults so nothing leaks onto http.DefaultServeMux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"vxa"
 	"vxa/internal/bench"
@@ -34,6 +35,7 @@ type report struct {
 	Pool       []bench.PoolRow     `json:"pool,omitempty"`
 	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
 	Server     []bench.ServerRow   `json:"server,omitempty"`
+	ServerLoad []bench.LoadRow     `json:"server_load,omitempty"`
 }
 
 func main() {
@@ -44,11 +46,15 @@ func main() {
 	pl := flag.Bool("pool", false, "measure cold vs pooled per-stream decoder setup")
 	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
 	sv := flag.Bool("server", false, "measure vxad cold vs warm snapshot-cache request latency")
+	load := flag.Bool("load", false, "drive vxad with open-loop Poisson load and report latency percentiles")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
 	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks)")
 	streams := flag.Int("streams", 16, "streams per codec for -pool")
 	entries := flag.Int("entries", 16, "archive entries for -parallel")
 	warm := flag.Int("warm", 16, "warm requests per codec for -server")
+	rate := flag.Float64("rate", 50, "offered request rate per second for -load")
+	duration := flag.Duration("duration", 2*time.Second, "load duration per codec for -load")
+	conc := flag.Int("conc", 8, "max in-flight client requests for -load")
 	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
 	baseline := flag.String("baseline", "", "compare -fig7 against a previous -json file; exit nonzero on >10% geomean regression")
@@ -81,18 +87,18 @@ func main() {
 		}()
 	}
 	_ = vxa.Codecs()
-	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*ablateOpt
-	if *baseline != "" {
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*load && !*ablateOpt
+	if *baseline != "" && !*load {
 		*f7 = true // the compare mode needs a fresh Figure 7 run
 	}
 
 	// Load the baseline up front: it must be the *previous* run even
 	// when -json later overwrites the same file, and a bad path should
 	// fail before minutes of benchmarking.
-	var baseRows []bench.Fig7Row
+	var base *report
 	if *baseline != "" {
 		var err error
-		if baseRows, err = loadBaseline(*baseline); err != nil {
+		if base, err = loadBaseline(*baseline, *f7 || all, *load); err != nil {
 			fatal(err)
 		}
 	}
@@ -165,6 +171,23 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *load || all {
+		rows, err := bench.LoadBench(*rate, *duration, *conc)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ServerLoad = rows
+		fmt.Printf("Server load: open-loop Poisson arrivals, %v req/s for %v per codec, %d client slots\n",
+			*rate, *duration, *conc)
+		fmt.Printf("  %-8s %6s %5s %12s %12s %12s %12s %11s\n",
+			"decoder", "reqs", "errs", "p50", "p90", "p99", "max", "allocs/op")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %6d %5d %12v %12v %12v %12v %11.0f\n",
+				r.Codec, r.Requests, r.Errors, r.P50.Round(10e3), r.P90.Round(10e3),
+				r.P99.Round(10e3), r.Max.Round(10e3), r.AllocsPerOp)
+		}
+		fmt.Println()
+	}
 	if *par || all {
 		row, err := bench.ParallelExtract(*entries, *workers)
 		if err != nil {
@@ -225,9 +248,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vxbench: wrote %s\n", *jsonPath)
 	}
 
-	if *baseline != "" {
-		if err := compareBaseline(*baseline, baseRows, rep.Fig7); err != nil {
-			fatal(err)
+	if base != nil {
+		if rep.Fig7 != nil && len(base.Fig7) > 0 {
+			if err := compareBaseline(*baseline, base.Fig7, rep.Fig7); err != nil {
+				fatal(err)
+			}
+		}
+		if rep.ServerLoad != nil && len(base.ServerLoad) > 0 {
+			if err := compareLoadBaseline(*baseline, base.ServerLoad, rep.ServerLoad); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }
@@ -236,9 +266,15 @@ func main() {
 // geometric-mean slowdown across the Figure 7 codecs fails the run.
 const maxGeomeanRegression = 1.10
 
-// loadBaseline reads the Figure 7 rows of a previously written -json
-// report.
-func loadBaseline(path string) ([]bench.Fig7Row, error) {
+// maxLoadP99Regression is the load-compare threshold. Tail latency on a
+// loaded loopback server is far noisier than a straight-line decode, so
+// the gate is correspondingly looser: it exists to catch an
+// order-of-magnitude queueing pathology, not a few percent.
+const maxLoadP99Regression = 1.5
+
+// loadBaseline reads a previously written -json report and checks it
+// carries the sections this run wants to compare.
+func loadBaseline(path string, wantFig7, wantLoad bool) (*report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -247,10 +283,13 @@ func loadBaseline(path string) ([]bench.Fig7Row, error) {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(base.Fig7) == 0 {
+	if wantFig7 && len(base.Fig7) == 0 {
 		return nil, fmt.Errorf("%s: no fig7 rows to compare against", path)
 	}
-	return base.Fig7, nil
+	if wantLoad && len(base.ServerLoad) == 0 {
+		return nil, fmt.Errorf("%s: no server_load rows to compare against (regenerate the baseline with -load)", path)
+	}
+	return &base, nil
 }
 
 // compareBaseline diffs the fresh Figure 7 rows against the baseline and
@@ -274,6 +313,31 @@ func compareBaseline(path string, baseRows, current []bench.Fig7Row) error {
 	if geomean > maxGeomeanRegression {
 		return fmt.Errorf("geomean regression %.1f%% exceeds the %.0f%% gate",
 			(geomean-1)*100, (maxGeomeanRegression-1)*100)
+	}
+	return nil
+}
+
+// compareLoadBaseline diffs the fresh load percentiles against the
+// baseline's server_load section and enforces the p99 gate.
+func compareLoadBaseline(path string, baseRows, current []bench.LoadRow) error {
+	regs, geomean := bench.CompareLoad(baseRows, current)
+	if len(regs) == 0 {
+		return fmt.Errorf("%s: no codecs in common with the current load run", path)
+	}
+	fmt.Printf("\nLoad baseline comparison vs %s (p99 latency; <1.00x is faster)\n", path)
+	fmt.Printf("  %-8s %14s %14s %9s\n", "decoder", "baseline", "current", "ratio")
+	for _, r := range regs {
+		note := ""
+		if r.Ratio > maxLoadP99Regression {
+			note = "  <-- regression"
+		}
+		fmt.Printf("  %-8s %14v %14v %8.2fx%s\n",
+			r.Codec, r.Baseline.Round(10e3), r.Current.Round(10e3), r.Ratio, note)
+	}
+	fmt.Printf("  geomean %.3fx\n", geomean)
+	if geomean > maxLoadP99Regression {
+		return fmt.Errorf("load p99 geomean regression %.0f%% exceeds the %.0f%% gate",
+			(geomean-1)*100, (maxLoadP99Regression-1)*100)
 	}
 	return nil
 }

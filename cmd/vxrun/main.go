@@ -32,9 +32,11 @@ import (
 	"runtime"
 	"sync"
 	"syscall"
+	"time"
 
 	"vxa"
 	"vxa/internal/codec"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
 )
@@ -134,7 +136,8 @@ func main() {
 			fatal(err)
 		}
 		var out bytes.Buffer
-		st, err := codec.RunDecoderELFToStats(ctx, name, elf, bytes.NewReader(input), int64(len(input)), &out, cfg)
+		sctx, sp := obs.WithSpan(ctx)
+		st, err := codec.RunDecoderELFToStats(sctx, name, elf, bytes.NewReader(input), int64(len(input)), &out, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +146,7 @@ func main() {
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "vxrun: decoded %d -> %d bytes\n", len(input), out.Len())
+			fmt.Fprintf(os.Stderr, "vxrun: stages: %s\n", sp.Timeline())
 			fmt.Fprintf(os.Stderr,
 				"vxrun: engine: %d steps, %d uops, %d blocks built, %d chained, %d lookups, %d flag bits materialized, %d syscalls\n",
 				st.Steps, st.UopsExecuted, st.BlocksBuilt, st.BlocksChained,
@@ -211,7 +215,11 @@ func decodeFile(ctx context.Context, pool *vmpool.Pool, name string, elf []byte,
 	if err != nil {
 		return err
 	}
-	out := &countingWriter{w: f}
+	// Per-file tracing rides the same span machinery as the daemon:
+	// -v prints where the file's wall time went (lease wait, snapshot
+	// build, translate, execute, host write).
+	ctx, sp := obs.WithSpan(ctx)
+	out := &countingWriter{w: f, sp: sp}
 	var stderr io.Writer
 	if verbose {
 		stderr = os.Stderr
@@ -222,7 +230,11 @@ func decodeFile(ctx context.Context, pool *vmpool.Pool, name string, elf []byte,
 		os.Remove(dst)
 		return err
 	}
+	st0 := lease.VM().Stats()
 	reusable, err := lease.VM().RunStream(ctx, bytes.NewReader(input), out, stderr, vm.StreamFuel(len(input)))
+	st1 := lease.VM().Stats()
+	sp.Add(obs.StageTranslate, time.Duration(st1.TranslateNS-st0.TranslateNS))
+	sp.Add(obs.StageExecute, time.Duration(st1.ExecuteNS-st0.ExecuteNS))
 	if vm.IsCanceled(err) {
 		lease.ReleaseReset()
 	} else {
@@ -241,21 +253,30 @@ func decodeFile(ctx context.Context, pool *vmpool.Pool, name string, elf []byte,
 		return err
 	}
 	if verbose {
-		fmt.Fprintf(os.Stderr, "vxrun: %s: %d -> %d bytes\n", path, len(input), out.n)
+		fmt.Fprintf(os.Stderr, "vxrun: %s: %d -> %d bytes [%s]\n", path, len(input), out.n, sp.Timeline())
 	}
 	return nil
 }
 
 // countingWriter counts bytes written through to w and remembers the
-// first write error (the guest only sees a virtual EIO).
+// first write error (the guest only sees a virtual EIO). With sp set,
+// write time lands in the span's write stage.
 type countingWriter struct {
 	w   io.Writer
+	sp  *obs.Span
 	n   int64
 	err error
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
+	var start time.Time
+	if c.sp != nil {
+		start = time.Now()
+	}
 	n, err := c.w.Write(p)
+	if c.sp != nil {
+		c.sp.Add(obs.StageWrite, time.Since(start))
+	}
 	c.n += int64(n)
 	if err != nil && c.err == nil {
 		c.err = err

@@ -32,6 +32,7 @@ import (
 	"syscall"
 
 	"vxa"
+	"vxa/internal/obs"
 )
 
 // Exit codes, one per error kind, so scripts can branch on the cause.
@@ -206,7 +207,7 @@ func main() {
 				defer wg.Done()
 				for i := range jobs {
 					e := &entries[i]
-					if err := extractEntry(ctx, r, e, *dir, opts); err != nil {
+					if err := extractEntry(ctx, r, e, *dir, opts, *verbose); err != nil {
 						fmt.Fprintf(os.Stderr, "vxunzip: %s: %v\n", e.Name, err)
 						worst.note(err)
 					}
@@ -228,7 +229,7 @@ func main() {
 // file; a failed extraction removes the partial file. Entry names are
 // untrusted: anything absolute or escaping the output directory
 // (zip-slip) is rejected.
-func extractEntry(ctx context.Context, r *vxa.Reader, e *vxa.Entry, dir string, opts []vxa.Option) error {
+func extractEntry(ctx context.Context, r *vxa.Reader, e *vxa.Entry, dir string, opts []vxa.Option, verbose bool) error {
 	rel := filepath.FromSlash(e.Name)
 	if !filepath.IsLocal(rel) {
 		return fmt.Errorf("unsafe entry path %q", e.Name)
@@ -241,6 +242,10 @@ func extractEntry(ctx context.Context, r *vxa.Reader, e *vxa.Entry, dir string, 
 	if err != nil {
 		return err
 	}
+	// The span rides the context through the extraction stack: the pool,
+	// snapshot cache and VM layers attribute their stage timings to it,
+	// and -v prints the per-entry breakdown.
+	ctx, sp := obs.WithSpan(ctx)
 	n, err := r.ExtractTo(ctx, e, f, opts...)
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -249,7 +254,11 @@ func extractEntry(ctx context.Context, r *vxa.Reader, e *vxa.Entry, dir string, 
 		os.Remove(dst)
 		return err
 	}
-	fmt.Printf("  extracted %s (%d bytes)\n", e.Name, n)
+	if verbose {
+		fmt.Printf("  extracted %s (%d bytes) [%s]\n", e.Name, n, sp.Timeline())
+	} else {
+		fmt.Printf("  extracted %s (%d bytes)\n", e.Name, n)
+	}
 	return nil
 }
 

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vxa/internal/obs"
+	"vxa/internal/server"
+)
+
+// LoadRow is one codec's open-loop load measurement against vxad:
+// latency percentiles under Poisson arrivals at a fixed offered rate,
+// plus whole-process allocations per request (client and server share
+// the process over HTTP loopback, so the figure is the serving stack's
+// end-to-end allocation cost).
+type LoadRow struct {
+	Codec        string        `json:"codec"`
+	TargetRate   float64       `json:"target_rate_per_sec"`
+	AchievedRate float64       `json:"achieved_rate_per_sec"`
+	Duration     time.Duration `json:"duration_ns"`
+	Concurrency  int           `json:"concurrency"`
+	Requests     int           `json:"requests"`
+	Errors       int           `json:"errors"`
+	Mean         time.Duration `json:"mean_ns"`
+	P50          time.Duration `json:"p50_ns"`
+	P90          time.Duration `json:"p90_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	Max          time.Duration `json:"max_ns"`
+	AllocsPerOp  float64       `json:"allocs_per_op"`
+}
+
+// loadSeed fixes the arrival-process randomness so two runs of the
+// harness offer the same request schedule (run-to-run latency deltas
+// then reflect the code, not the dice).
+const loadSeed = 1
+
+// LoadBench drives vxad's /v1/decode with an open-loop Poisson arrival
+// process at `rate` requests/second for `dur` per codec, with at most
+// `conc` in-flight client requests. Open loop means latency is measured
+// from each request's *scheduled* arrival, not its dispatch: when the
+// server falls behind, the queueing delay lands in the percentiles
+// instead of being hidden by a coordinated-omission client that only
+// asks as fast as the server answers.
+func LoadBench(rate float64, dur time.Duration, conc int) ([]LoadRow, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("bench: load rate must be positive (got %v)", rate)
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("bench: load duration must be positive (got %v)", dur)
+	}
+	if conc < 1 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	ws, err := serverWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if _, err := w.Codec.DecoderELF(); err != nil {
+			return nil, err
+		}
+	}
+	var rows []LoadRow
+	for _, w := range ws {
+		row, err := loadOne(w, rate, dur, conc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// loadOne runs one codec's open-loop pass against a fresh server.
+func loadOne(w Workload, rate float64, dur time.Duration, conc int) (LoadRow, error) {
+	// The client's conc slots are the only throttle: the server queue is
+	// sized past it so admission never sheds, and what the harness
+	// measures is latency, not 503s.
+	srv := server.New(server.Config{
+		MemSize:      64 << 20,
+		MaxInFlight:  runtime.GOMAXPROCS(0),
+		MaxQueue:     2 * conc,
+		QueueTimeout: time.Minute,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/decode?codec=" + w.Codec.Name
+
+	post := func() error {
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(w.Encoded))
+		if err != nil {
+			return err
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if int(n) != len(w.Raw) {
+			return fmt.Errorf("decoded %d bytes, want %d", n, len(w.Raw))
+		}
+		return nil
+	}
+	// Prime the snapshot cache: the load regime is the steady state, not
+	// the one-time miss path (ServerBench measures that split).
+	if err := post(); err != nil {
+		return LoadRow{}, fmt.Errorf("bench: %s prime: %w", w.Codec.Name, err)
+	}
+
+	// Pre-draw the Poisson arrival schedule so the dispatch loop does no
+	// arithmetic under time pressure.
+	rng := rand.New(rand.NewSource(loadSeed))
+	var offsets []time.Duration
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= dur {
+			break
+		}
+		offsets = append(offsets, t)
+	}
+	if len(offsets) == 0 {
+		return LoadRow{}, fmt.Errorf("bench: %s: no arrivals in %v at %v req/s", w.Codec.Name, dur, rate)
+	}
+
+	hist := &obs.Histogram{}
+	var errCount atomic.Int64
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, off := range offsets {
+		sched := start.Add(off)
+		if sleep := time.Until(sched); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := post(); err != nil {
+				errCount.Add(1)
+			}
+			hist.Observe(time.Since(sched))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	snap := hist.Snapshot()
+	return LoadRow{
+		Codec:        w.Codec.Name,
+		TargetRate:   rate,
+		AchievedRate: float64(len(offsets)) / elapsed.Seconds(),
+		Duration:     dur,
+		Concurrency:  conc,
+		Requests:     len(offsets),
+		Errors:       int(errCount.Load()),
+		Mean:         snap.Mean(),
+		P50:          snap.Quantile(0.50),
+		P90:          snap.Quantile(0.90),
+		P99:          snap.Quantile(0.99),
+		Max:          time.Duration(snap.Max),
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(len(offsets)),
+	}, nil
+}
+
+// LoadRegression is one codec's p99 comparison against a baseline load
+// run.
+type LoadRegression struct {
+	Codec    string        `json:"codec"`
+	Baseline time.Duration `json:"baseline_p99_ns"`
+	Current  time.Duration `json:"p99_ns"`
+	Ratio    float64       `json:"ratio"` // Current / Baseline; > 1 is a regression
+}
+
+// CompareLoad matches current load rows against a baseline by codec and
+// returns per-codec p99 ratios plus their geometric mean. Codecs on
+// only one side are skipped, as are degenerate zero-valued p99s.
+func CompareLoad(baseline, current []LoadRow) ([]LoadRegression, float64) {
+	base := make(map[string]LoadRow, len(baseline))
+	for _, r := range baseline {
+		base[r.Codec] = r
+	}
+	var regs []LoadRegression
+	logSum, matched := 0.0, 0
+	for _, r := range current {
+		b, ok := base[r.Codec]
+		if !ok || b.P99 <= 0 || r.P99 <= 0 {
+			continue
+		}
+		ratio := float64(r.P99) / float64(b.P99)
+		regs = append(regs, LoadRegression{Codec: r.Codec, Baseline: b.P99, Current: r.P99, Ratio: ratio})
+		logSum += math.Log(ratio)
+		matched++
+	}
+	if matched == 0 {
+		return regs, 1
+	}
+	return regs, math.Exp(logSum / float64(matched))
+}

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"vxa/internal/elf32"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 )
 
@@ -71,7 +73,14 @@ func RunDecoderELFTo(ctx context.Context, name string, elfBytes []byte, r io.Rea
 // statistics after the run (valid even when the decode failed), for
 // callers like vxrun -v that report on the translation engine.
 func RunDecoderELFToStats(ctx context.Context, name string, elfBytes []byte, r io.Reader, payloadLen int64, w io.Writer, cfg vm.Config) (vm.Stats, error) {
+	// Cold path: no pool, no snapshot cache. VM construction (ELF parse +
+	// address-space build) is the moral equivalent of a snapshot build, so
+	// a traced request attributes it to the snapshot stage; the guest's
+	// own counters split the run into translate and execute below.
+	sp := obs.SpanFrom(ctx)
+	buildStart := time.Now()
 	v, err := elf32.NewVM(elfBytes, cfg)
+	sp.Add(obs.StageSnapshot, time.Since(buildStart))
 	if err != nil {
 		return vm.Stats{}, err
 	}
@@ -79,6 +88,11 @@ func RunDecoderELFToStats(ctx context.Context, name string, elfBytes []byte, r i
 	if fuel == 0 {
 		fuel = vm.StreamFuel(int(payloadLen))
 	}
+	defer func(before vm.Stats) {
+		after := v.Stats()
+		sp.Add(obs.StageTranslate, time.Duration(after.TranslateNS-before.TranslateNS))
+		sp.Add(obs.StageExecute, time.Duration(after.ExecuteNS-before.ExecuteNS))
+	}(v.Stats())
 	var diag bytes.Buffer
 	if _, err := v.RunStream(ctx, r, w, &diag, fuel); err != nil {
 		if ce := (*vm.CanceledError)(nil); errors.As(err, &ce) {

@@ -26,8 +26,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"vxa/internal/codec"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
 	"vxa/internal/zipfile"
@@ -496,6 +498,7 @@ func (r *Reader) extractSection(ctx context.Context, e *Entry, payload *io.Secti
 	if err := ctx.Err(); err != nil {
 		return 0, &Error{Kind: KindCanceled, Entry: e.Name, Trap: err}
 	}
+	sp := obs.SpanFrom(ctx)
 	if opts.Limit > 0 {
 		w = &limitWriter{w: w, remaining: opts.Limit, limit: opts.Limit}
 	}
@@ -508,7 +511,8 @@ func (r *Reader) extractSection(ctx context.Context, e *Entry, payload *io.Secti
 	// extracting to files remove them on error).
 	if e.Method == zipfile.MethodStore && (!e.PreCompressed || !opts.DecodeAll) {
 		crc := crc32.NewIEEE()
-		n, err := io.Copy(io.MultiWriter(crc, w), &ctxReader{ctx: ctx, r: payload})
+		cw := &countWriter{w: io.MultiWriter(crc, w), sp: sp}
+		n, err := io.Copy(cw, &ctxReader{ctx: ctx, r: payload})
 		if err != nil {
 			return n, classifyDecode(e.Name, err, ctx.Err())
 		}
@@ -526,7 +530,7 @@ func (r *Reader) extractSection(ctx context.Context, e *Entry, payload *io.Secti
 		if err := r.checkPayloadCRC(ctx, e, payload); err != nil {
 			return 0, err
 		}
-		cw := &countWriter{w: w}
+		cw := &countWriter{w: w, sp: sp}
 		if err := r.decodeStream(ctx, e, payload, opts, cw); err != nil {
 			return cw.n, classifyDecode(e.Name, cw.firstError(e, err), ctx.Err())
 		}
@@ -534,7 +538,7 @@ func (r *Reader) extractSection(ctx context.Context, e *Entry, payload *io.Secti
 	}
 
 	crc := crc32.NewIEEE()
-	cw := &countWriter{w: io.MultiWriter(crc, w)}
+	cw := &countWriter{w: io.MultiWriter(crc, w), sp: sp}
 	if err := r.decodeStream(ctx, e, payload, opts, cw); err != nil {
 		return cw.n, classifyDecode(e.Name, cw.firstError(e, err), ctx.Err())
 	}
@@ -601,14 +605,25 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 // countWriter counts bytes passed through to w and remembers the first
 // write error, so a host-side failure (full disk, closed pipe) can be
 // reported as itself rather than as the decoder abort it provokes.
+// When the request is traced (sp non-nil), time spent inside Write —
+// host-side output delivery plus the incremental CRC riding in w's
+// MultiWriter — is attributed to the span's write stage.
 type countWriter struct {
 	w   io.Writer
+	sp  *obs.Span
 	n   int64
 	err error
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
+	var start time.Time
+	if c.sp != nil {
+		start = time.Now()
+	}
 	n, err := c.w.Write(p)
+	if c.sp != nil {
+		c.sp.Add(obs.StageWrite, time.Since(start))
+	}
 	c.n += int64(n)
 	if err != nil && c.err == nil {
 		c.err = err
@@ -853,7 +868,9 @@ func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.S
 	if lease.Pristine() {
 		r.noteReinit()
 	}
+	st0 := lease.VM().Stats()
 	reusable, err := runOneStream(ctx, lease.VM(), payload, out, opts)
+	recordVMStages(obs.SpanFrom(ctx), st0, lease.VM().Stats())
 	if err != nil {
 		if vm.IsCanceled(err) || ctx.Err() != nil {
 			// The stream was abandoned, not broken: rewind the VM to the
@@ -871,6 +888,14 @@ func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.S
 	// the done gate succeeded; it just cannot serve another stream.
 	lease.Release(reusable)
 	return nil
+}
+
+// recordVMStages attributes the guest-side work of one stream to the
+// request span, splitting the VM's counter deltas into translation and
+// execution time. No-op when the request is untraced (nil span).
+func recordVMStages(sp *obs.Span, before, after vm.Stats) {
+	sp.Add(obs.StageTranslate, time.Duration(after.TranslateNS-before.TranslateNS))
+	sp.Add(obs.StageExecute, time.Duration(after.ExecuteNS-before.ExecuteNS))
 }
 
 // streamFuel is the absolute instruction budget for decoding one stream,

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the brute-force reference: quantile by rank over the
+// sorted sample set, matching Quantile's rank = floor(q*n) (clamped)
+// convention.
+func refQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// distributions generates the sample sets the quantile accuracy test
+// runs over: shapes chosen to stress different bucket regimes (tiny
+// exact buckets, wide log buckets, heavy tails, all-equal).
+func distributions(n int) map[string][]int64 {
+	rng := rand.New(rand.NewSource(42))
+	uniform := make([]int64, n)
+	expo := make([]int64, n)
+	lognorm := make([]int64, n)
+	constant := make([]int64, n)
+	small := make([]int64, n)
+	for i := 0; i < n; i++ {
+		uniform[i] = rng.Int63n(50_000_000) // 0..50ms
+		expo[i] = int64(rng.ExpFloat64() * 5_000_000)
+		lognorm[i] = int64(math.Exp(rng.NormFloat64()*1.5 + 13)) // ~µs..100ms tail
+		constant[i] = 1_234_567
+		small[i] = rng.Int63n(16) // the exact-bucket range
+	}
+	return map[string][]int64{
+		"uniform": uniform, "exponential": expo,
+		"lognormal": lognorm, "constant": constant, "small": small,
+	}
+}
+
+// TestHistogramQuantileAccuracy pins the log-bucket quantile error
+// bound: every reported quantile must be within one sub-bucket width
+// (~value/16, i.e. ~6.25% relative) of the rank-order reference, and
+// exact for values inside the small-value exact buckets.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const n = 20_000
+	quantiles := []float64{0, 0.25, 0.50, 0.90, 0.99, 0.999, 1}
+	for name, samples := range distributions(n) {
+		var h Histogram
+		for _, v := range samples {
+			h.Observe(time.Duration(v))
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		snap := h.Snapshot()
+		if snap.Count != n {
+			t.Fatalf("%s: count = %d, want %d", name, snap.Count, n)
+		}
+		if snap.Max != sorted[n-1] {
+			t.Errorf("%s: max = %d, want %d", name, snap.Max, sorted[n-1])
+		}
+		for _, q := range quantiles {
+			got := int64(snap.Quantile(q))
+			want := refQuantile(sorted, q)
+			// One sub-bucket of slack either side: the reported value is a
+			// bucket midpoint, and the reference sample may sit anywhere in
+			// a neighboring bucket when counts straddle the rank boundary.
+			tol := want/(histSub/2) + 1
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s: q%.3f = %d, want %d ±%d", name, q, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestHistogramExactSmallValues: values below histSub land in exact
+// buckets and quantiles return them exactly.
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histSub; v++ {
+		h.Observe(time.Duration(v))
+	}
+	snap := h.Snapshot()
+	if got := int64(snap.Quantile(0)); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := int64(snap.Quantile(1)); got != histSub-1 {
+		t.Errorf("q1 = %d, want %d", got, histSub-1)
+	}
+}
+
+// TestHistogramNegativeClamp: negative durations count as zero rather
+// than corrupting a bucket index.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Sum != 0 || int64(snap.Quantile(0.5)) != 0 {
+		t.Fatalf("negative observe: count=%d sum=%d p50=%v", snap.Count, snap.Sum, snap.Quantile(0.5))
+	}
+}
+
+// TestHistogramMerge: merging shard snapshots must equal observing the
+// union into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, whole Histogram
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(100_000_000))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged header = {%d %d %d}, want {%d %d %d}",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	if merged.buckets != want.buckets {
+		t.Fatal("merged buckets differ from whole-set buckets")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.2f: merged %v, whole %v", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramBucketBoundsRoundTrip: every bucket's bounds contain the
+// values that map to it.
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	probes := []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, (1 << 40) + 12345, math.MaxInt64}
+	for _, v := range probes {
+		idx := bucketOf(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Errorf("value %d maps to bucket %d with bounds [%d, %d]", v, idx, lo, hi)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many writers with
+// concurrent snapshot readers; run under -race this is the lock-freedom
+// proof, and the final count must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	const writers = 8
+	const perWriter = 10_000
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := h.Snapshot()
+				_ = snap.Quantile(0.99)
+				_ = snap.Stats()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(rng.Int63n(10_000_000)))
+			}
+		}(int64(w))
+	}
+	for h.Count() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+}

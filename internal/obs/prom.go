@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4) —
+// hand-rolled, no client library. It tracks which metrics have had
+// their # TYPE header written so a metric family is declared exactly
+// once however many labeled series it carries, which is what makes the
+// output promtool-parseable.
+//
+// Latency histograms are exposed as summaries (precomputed quantiles +
+// _sum/_count): the histogram's log-bucket geometry is an internal
+// representation, and shipping ~1000 cumulative le-buckets per series
+// would bloat every scrape for no monitoring value.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first underlying write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header writes the # HELP / # TYPE preamble once per metric family.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatLabels renders a label set in sorted key order (deterministic
+// output, and duplicate-series detection in tests stays trivial).
+// Extra pairs are appended after the sorted base set.
+func formatLabels(labels map[string]string, extra ...[2]string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	for i, kv := range extra {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, kv[0], escapeLabel(kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter writes one counter series.
+func (p *PromWriter) Counter(name, help string, labels map[string]string, value float64) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %v\n", name, formatLabels(labels), value)
+}
+
+// Gauge writes one gauge series.
+func (p *PromWriter) Gauge(name, help string, labels map[string]string, value float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %v\n", name, formatLabels(labels), value)
+}
+
+// promQuantiles is the summary quantile set exposed for every latency
+// histogram (matches the JSON HistStats surface).
+var promQuantiles = []struct {
+	q string
+	f float64
+}{
+	{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}, {"1", 1},
+}
+
+// Summary writes a latency snapshot as a summary family: one series per
+// quantile plus <name>_sum and <name>_count. Durations are exposed in
+// seconds, per Prometheus convention.
+func (p *PromWriter) Summary(name, help string, labels map[string]string, s HistSnapshot) {
+	p.header(name, help, "summary")
+	for _, q := range promQuantiles {
+		p.printf("%s%s %v\n", name, formatLabels(labels, [2]string{"quantile", q.q}),
+			s.Quantile(q.f).Seconds())
+	}
+	p.printf("%s_sum%s %v\n", name, formatLabels(labels), float64(s.Sum)/1e9)
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), s.Count)
+}

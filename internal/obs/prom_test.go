@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromWriterBasic: one family gets exactly one TYPE header however
+// many series it carries, and label values are escaped.
+func TestPromWriterBasic(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("x_total", "help text", map[string]string{"a": "1"}, 3)
+	p.Counter("x_total", "help text", map[string]string{"a": `q"u\ o` + "\n" + `te`}, 4)
+	p.Gauge("g", "", nil, 1.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE x_total counter"); n != 1 {
+		t.Errorf("TYPE header count = %d, want 1\n%s", n, out)
+	}
+	if !strings.Contains(out, `a="q\"u\\ o\nte"`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "g 1.5\n") {
+		t.Errorf("bare gauge series missing:\n%s", out)
+	}
+}
+
+// TestPromWriterSummary: the summary family carries the quantile
+// series plus _sum/_count, in seconds.
+func TestPromWriterSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Second)
+	}
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Summary("lat_seconds", "latency", map[string]string{"ep": "x"}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds summary",
+		`lat_seconds{ep="x",quantile="0.5"} `,
+		`lat_seconds{ep="x",quantile="0.99"} `,
+		`lat_seconds_sum{ep="x"} 100`,
+		`lat_seconds_count{ep="x"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Quantile values are bucket midpoints in seconds: within the
+	// histogram's documented error of the true 1s sample.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `lat_seconds{`) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < 0.93 || v > 1.0 {
+			t.Errorf("quantile value %v outside [0.93, 1.0]: %s", v, line)
+		}
+	}
+}
+
+// TestFormatLabelsSorted: label rendering is deterministic (sorted) so
+// duplicate-series checks can compare strings.
+func TestFormatLabelsSorted(t *testing.T) {
+	got := formatLabels(map[string]string{"b": "2", "a": "1"})
+	if got != `{a="1",b="2"}` {
+		t.Errorf("formatLabels = %s", got)
+	}
+	if formatLabels(nil) != "" {
+		t.Error("empty labels should render as empty string")
+	}
+	got = formatLabels(map[string]string{"a": "1"}, [2]string{"quantile", "0.5"})
+	if got != `{a="1",quantile="0.5"}` {
+		t.Errorf("formatLabels with extra = %s", got)
+	}
+}

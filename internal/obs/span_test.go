@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanNilSafety: every method must be a no-op on a nil span — the
+// untraced-request contract the instrumented layers rely on.
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Add(StageQueue, time.Second) // must not panic
+	if sp.Get(StageQueue) != 0 {
+		t.Error("nil Get != 0")
+	}
+	if !sp.Start().IsZero() {
+		t.Error("nil Start not zero")
+	}
+	if sp.Elapsed() != 0 {
+		t.Error("nil Elapsed != 0")
+	}
+	if sp.Timeline() != "-" {
+		t.Errorf("nil Timeline = %q, want -", sp.Timeline())
+	}
+}
+
+// TestSpanAccumulation: adds accumulate per stage, negatives and
+// out-of-range stages are dropped.
+func TestSpanAccumulation(t *testing.T) {
+	sp := NewSpan()
+	sp.Add(StageTranslate, 10*time.Millisecond)
+	sp.Add(StageTranslate, 5*time.Millisecond)
+	sp.Add(StageExecute, -time.Second)
+	sp.Add(Stage(99), time.Second)
+	if got := sp.Get(StageTranslate); got != 15*time.Millisecond {
+		t.Errorf("translate = %v, want 15ms", got)
+	}
+	if got := sp.Get(StageExecute); got != 0 {
+		t.Errorf("negative add recorded: %v", got)
+	}
+	if got := sp.Get(Stage(99)); got != 0 {
+		t.Errorf("out-of-range stage recorded: %v", got)
+	}
+}
+
+// TestSpanTimeline: only non-zero stages render, in timeline order.
+func TestSpanTimeline(t *testing.T) {
+	sp := NewSpan()
+	if sp.Timeline() != "-" {
+		t.Errorf("empty timeline = %q, want -", sp.Timeline())
+	}
+	sp.Add(StageExecute, 4*time.Millisecond)
+	sp.Add(StageQueue, 1*time.Millisecond)
+	tl := sp.Timeline()
+	qi, ei := strings.Index(tl, "queue="), strings.Index(tl, "execute=")
+	if qi < 0 || ei < 0 || qi > ei {
+		t.Errorf("timeline %q: want queue before execute", tl)
+	}
+	if strings.Contains(tl, "lease=") {
+		t.Errorf("timeline %q renders a zero stage", tl)
+	}
+}
+
+// TestSpanContextRoundTrip: WithSpan/SpanFrom carry the span; a bare
+// context yields nil.
+func TestSpanContextRoundTrip(t *testing.T) {
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("bare context returned a span")
+	}
+	ctx, sp := WithSpan(context.Background())
+	if got := SpanFrom(ctx); got != sp {
+		t.Fatalf("SpanFrom = %p, want %p", got, sp)
+	}
+	sp.Add(StageLease, time.Millisecond)
+	if SpanFrom(ctx).Get(StageLease) != time.Millisecond {
+		t.Fatal("stage write not visible through context")
+	}
+}
+
+// TestStageNames: every stage has a distinct non-placeholder name.
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range Stages() {
+		name := st.String()
+		if name == "" || strings.HasPrefix(name, "stage") || seen[name] {
+			t.Errorf("stage %d has bad or duplicate name %q", int(st), name)
+		}
+		seen[name] = true
+	}
+}

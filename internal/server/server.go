@@ -26,15 +26,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vxa/internal/codec"
 	"vxa/internal/core"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
 	"vxa/internal/zipfile"
@@ -64,6 +68,13 @@ type Config struct {
 	// MaxRequestBytes caps the request body (the archive or stream).
 	// Defaults to DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// Logger receives structured access and slow-request logs. Nil
+	// disables logging (the default, and what tests and the bench
+	// harness want: metrics still accumulate, nothing is printed).
+	Logger *slog.Logger
+	// SlowThreshold, when positive, logs any request whose total wall
+	// time meets it at Warn level with the full per-stage breakdown.
+	SlowThreshold time.Duration
 }
 
 // Server defaults.
@@ -82,13 +93,35 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	bytesIn  atomic.Uint64
-	bytesOut atomic.Uint64
+	requests  atomic.Uint64
+	errors    atomic.Uint64 // 5xx responses only; see statusClass for the rest
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	truncated atomic.Uint64 // streams aborted after a partial 200
+
+	// statusClass counts responses by status family, indexed status/100;
+	// client-cancel 499s get their own cell (index 0) so cancellations
+	// are visible without inflating the 4xx class.
+	statusClass [6]atomic.Uint64
+	// errKinds counts typed archive failures by core.ErrorKind (indexed
+	// by the kind's own value), however the status maps out.
+	errKinds [8]atomic.Uint64
+
+	// Latency histograms: endpoint and stage families are fixed at
+	// construction (lock-free observe); the per-codec family grows on
+	// first use under mu.
+	epHist    map[string]*obs.Histogram
+	stageHist map[obs.Stage]*obs.Histogram
 
 	mu        sync.Mutex
+	codecHist map[string]*obs.Histogram
 	codecHash map[string][32]byte // built-in codec name -> ELF content hash
+}
+
+// errorKinds enumerates the taxonomy for the metrics surfaces.
+var errorKinds = []core.ErrorKind{
+	core.KindBadArchive, core.KindUnknownCodec, core.KindDecoderTrap,
+	core.KindFuelExhausted, core.KindOutputLimit, core.KindCanceled,
 }
 
 // New creates a Server with its own snapshot cache and admission
@@ -121,14 +154,24 @@ func New(cfg Config) *Server {
 		adm:       NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		epHist:    make(map[string]*obs.Histogram),
+		stageHist: make(map[obs.Stage]*obs.Histogram),
+		codecHist: make(map[string]*obs.Histogram),
 		codecHash: make(map[string][32]byte),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /v1/entries", s.handleEntries)
-	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
-	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	for _, st := range obs.Stages() {
+		s.stageHist[st] = &obs.Histogram{}
+	}
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		s.epHist[endpoint] = &obs.Histogram{}
+		s.mux.HandleFunc(pattern, s.instrument(endpoint, h))
+	}
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	route("POST /v1/entries", "entries", s.handleEntries)
+	route("POST /v1/extract", "extract", s.handleExtract)
+	route("POST /v1/verify", "verify", s.handleVerify)
+	route("POST /v1/decode", "decode", s.handleDecode)
 	return s
 }
 
@@ -142,30 +185,233 @@ func (s *Server) Cache() *vmpool.SnapCache { return s.cache }
 // Admission exposes the server's admission controller.
 func (s *Server) Admission() *Admission { return s.adm }
 
-// ---------- metrics ----------
+// ---------- request instrumentation ----------
 
-// Metrics is the /metrics document.
-type Metrics struct {
-	UptimeSeconds float64               `json:"uptime_seconds"`
-	Requests      uint64                `json:"requests"`
-	Errors        uint64                `json:"errors"`
-	BytesIn       uint64                `json:"bytes_in"`
-	BytesOut      uint64                `json:"bytes_out"`
-	Admission     AdmissionStats        `json:"admission"`
-	Cache         vmpool.SnapCacheStats `json:"cache"`
+// reqInfo carries per-request annotations from handler to middleware:
+// the handler knows the codec once it has parsed the request; the
+// middleware owns observation.
+type reqInfo struct {
+	codec string
 }
 
-// MetricsSnapshot returns the current counters.
-func (s *Server) MetricsSnapshot() Metrics {
-	return Metrics{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Errors:        s.errors.Load(),
-		BytesIn:       s.bytesIn.Load(),
-		BytesOut:      s.bytesOut.Load(),
-		Admission:     s.adm.Stats(),
-		Cache:         s.cache.Stats(),
+type reqInfoKey struct{}
+
+// setCodec labels the in-flight request with the codec doing the work,
+// feeding the per-codec latency histogram.
+func setCodec(ctx context.Context, name string) {
+	if info, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok && name != "" {
+		info.codec = name
 	}
+}
+
+// statusWriter captures the response status actually sent. A handler
+// that never calls WriteHeader implicitly sends 200 on first write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status, sw.wrote = code, true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.status, sw.wrote = http.StatusOK, true
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so handlers can still cut a
+// truncated stream short through the wrapper.
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps a handler with the observation pipeline: it opens a
+// tracing span on the request context, captures the response status,
+// and on the way out feeds the latency histograms, status-class
+// counters and the structured access/slow logs. A panic after partial
+// output (the deliberate truncation of a broken 200 stream) is
+// observed as a truncated stream, then re-raised so net/http still
+// severs the connection.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.epHist[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		info := &reqInfo{}
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		ctx, sp := obs.WithSpan(ctx)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			aborted := recover()
+			elapsed := sp.Elapsed()
+			hist.Observe(elapsed)
+			s.observeStages(sp)
+			s.observeCodec(info.codec, elapsed)
+			s.observeStatus(sw.status)
+			if aborted != nil {
+				s.truncated.Add(1)
+			}
+			s.logRequest(r, endpoint, sw.status, elapsed, sp, info.codec, aborted != nil)
+			if aborted != nil {
+				panic(http.ErrAbortHandler)
+			}
+		}()
+		h(sw, r.WithContext(ctx))
+	}
+}
+
+// observeStages feeds each stage the request actually passed through
+// into the per-stage histograms. Zero stages are skipped: a warm
+// request records no snapshot-build sample, so the snapshot histogram
+// describes cold-path builds instead of being flattened by zeros.
+func (s *Server) observeStages(sp *obs.Span) {
+	for _, st := range obs.Stages() {
+		if d := sp.Get(st); d > 0 {
+			s.stageHist[st].Observe(d)
+		}
+	}
+}
+
+// observeCodec records latency under the codec label, creating the
+// series on first use.
+func (s *Server) observeCodec(name string, d time.Duration) {
+	if name == "" {
+		return
+	}
+	s.mu.Lock()
+	h := s.codecHist[name]
+	if h == nil {
+		h = &obs.Histogram{}
+		s.codecHist[name] = h
+	}
+	s.mu.Unlock()
+	h.Observe(d)
+}
+
+// observeStatus files the response under its status family. 499 gets
+// its own cell; Errors means 5xx — a client mistake (4xx) or a client
+// hangup (499) is not a server error.
+func (s *Server) observeStatus(status int) {
+	switch {
+	case status == StatusClientClosedRequest:
+		s.statusClass[0].Add(1)
+	case status >= 100 && status < 600:
+		s.statusClass[status/100].Add(1)
+	}
+	if status >= 500 {
+		s.errors.Add(1)
+	}
+}
+
+// logRequest emits the structured access log line and, past the slow
+// threshold, a warning with the per-stage timeline.
+func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapsed time.Duration, sp *obs.Span, codecName string, aborted bool) {
+	log := s.cfg.Logger
+	if log == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("endpoint", endpoint),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+	}
+	if codecName != "" {
+		attrs = append(attrs, slog.String("codec", codecName))
+	}
+	if aborted {
+		attrs = append(attrs, slog.Bool("truncated", true))
+	}
+	if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold {
+		attrs = append(attrs, slog.String("stages", sp.Timeline()))
+		log.LogAttrs(r.Context(), slog.LevelWarn, "slow request", attrs...)
+		return
+	}
+	log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
+// ---------- metrics ----------
+
+// Metrics is the /metrics document (JSON form). Errors counts 5xx
+// responses only; shed/expired admissions, client mistakes and client
+// hangups appear under StatusClasses and Admission instead.
+type Metrics struct {
+	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Requests         uint64                   `json:"requests"`
+	Errors           uint64                   `json:"errors"`
+	BytesIn          uint64                   `json:"bytes_in"`
+	BytesOut         uint64                   `json:"bytes_out"`
+	TruncatedStreams uint64                   `json:"truncated_streams"`
+	StatusClasses    map[string]uint64        `json:"status_classes"`
+	ErrorKinds       map[string]uint64        `json:"error_kinds,omitempty"`
+	Endpoints        map[string]obs.HistStats `json:"endpoint_latency"`
+	Codecs           map[string]obs.HistStats `json:"codec_latency,omitempty"`
+	Stages           map[string]obs.HistStats `json:"stage_latency,omitempty"`
+	Admission        AdmissionStats           `json:"admission"`
+	Cache            vmpool.SnapCacheStats    `json:"cache"`
+}
+
+// MetricsSnapshot returns the current counters and latency summaries.
+func (s *Server) MetricsSnapshot() Metrics {
+	m := Metrics{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		BytesIn:          s.bytesIn.Load(),
+		BytesOut:         s.bytesOut.Load(),
+		TruncatedStreams: s.truncated.Load(),
+		StatusClasses:    make(map[string]uint64),
+		Endpoints:        make(map[string]obs.HistStats),
+		Admission:        s.adm.Stats(),
+		Cache:            s.cache.Stats(),
+	}
+	for class := 1; class < len(s.statusClass); class++ {
+		if n := s.statusClass[class].Load(); n > 0 {
+			m.StatusClasses[fmt.Sprintf("%dxx", class)] = n
+		}
+	}
+	if n := s.statusClass[0].Load(); n > 0 {
+		m.StatusClasses["499"] = n
+	}
+	for _, k := range errorKinds {
+		if n := s.errKinds[k].Load(); n > 0 {
+			if m.ErrorKinds == nil {
+				m.ErrorKinds = make(map[string]uint64)
+			}
+			m.ErrorKinds[k.String()] = n
+		}
+	}
+	for name, h := range s.epHist {
+		m.Endpoints[name] = h.Snapshot().Stats()
+	}
+	for _, st := range obs.Stages() {
+		snap := s.stageHist[st].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if m.Stages == nil {
+			m.Stages = make(map[string]obs.HistStats)
+		}
+		m.Stages[st.String()] = snap.Stats()
+	}
+	s.mu.Lock()
+	for name, h := range s.codecHist {
+		if m.Codecs == nil {
+			m.Codecs = make(map[string]obs.HistStats)
+		}
+		m.Codecs[name] = h.Snapshot().Stats()
+	}
+	s.mu.Unlock()
+	return m
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -173,11 +419,108 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// wantsPrometheus reports whether the scrape asked for text exposition:
+// either explicitly (?format=prometheus) or via an Accept header
+// preferring text/plain, which is what a stock Prometheus scraper
+// sends. JSON stays the default for humans and the existing tooling.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WritePrometheus(w); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Error("metrics: prometheus write failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.MetricsSnapshot())
+	if err := enc.Encode(s.MetricsSnapshot()); err != nil && s.cfg.Logger != nil {
+		// A scrape client that hung up mid-encode is the usual cause;
+		// the failure is the scraper's problem but must not be silent.
+		s.cfg.Logger.Error("metrics: JSON encode failed", "err", err)
+	}
+}
+
+// WritePrometheus renders the metrics in Prometheus text exposition
+// format 0.0.4. Latency families are summaries (precomputed quantiles
+// in seconds); counter families carry the same values as the JSON
+// document. Exported so the format self-check can scrape it directly.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	p := obs.NewPromWriter(w)
+	p.Gauge("vxad_uptime_seconds", "Seconds since the server started.", nil, time.Since(s.start).Seconds())
+	p.Counter("vxad_requests_total", "HTTP requests received.", nil, float64(s.requests.Load()))
+	p.Counter("vxad_errors_total", "Responses with a 5xx status.", nil, float64(s.errors.Load()))
+	p.Counter("vxad_bytes_in_total", "Request body bytes read.", nil, float64(s.bytesIn.Load()))
+	p.Counter("vxad_bytes_out_total", "Decoded bytes streamed to clients.", nil, float64(s.bytesOut.Load()))
+	p.Counter("vxad_truncated_streams_total", "Streams aborted after partial output.", nil, float64(s.truncated.Load()))
+	for class := 1; class < len(s.statusClass); class++ {
+		p.Counter("vxad_responses_total", "Responses by status class.",
+			map[string]string{"class": fmt.Sprintf("%dxx", class)}, float64(s.statusClass[class].Load()))
+	}
+	p.Counter("vxad_responses_total", "", map[string]string{"class": "499"}, float64(s.statusClass[0].Load()))
+	for _, k := range errorKinds {
+		p.Counter("vxad_error_kinds_total", "Typed archive failures by core.ErrorKind.",
+			map[string]string{"kind": k.String()}, float64(s.errKinds[k].Load()))
+	}
+
+	adm := s.adm.Stats()
+	p.Gauge("vxad_admission_in_flight", "Decode streams currently running.", nil, float64(adm.InFlight))
+	p.Gauge("vxad_admission_capacity", "Concurrent stream capacity.", nil, float64(adm.Capacity))
+	p.Gauge("vxad_admission_queue_depth", "Requests waiting for a slot.", nil, float64(adm.QueueDepth))
+	p.Counter("vxad_admission_admitted_total", "Requests granted a stream slot.", nil, float64(adm.Admitted))
+	p.Counter("vxad_admission_shed_total", "Requests shed with 503 (queue full).", nil, float64(adm.Shed))
+	p.Counter("vxad_admission_expired_total", "Requests expired with 504 (queue timeout).", nil, float64(adm.Expired))
+
+	cache := s.cache.Stats()
+	p.Counter("vxad_snapcache_hits_total", "Snapshot cache hits.", nil, float64(cache.Hits))
+	p.Counter("vxad_snapcache_misses_total", "Snapshot cache misses (builds).", nil, float64(cache.Misses))
+	p.Counter("vxad_snapcache_evictions_total", "Snapshot cache evictions.", nil, float64(cache.Evictions))
+	p.Gauge("vxad_snapcache_entries", "Resident snapshot cache entries.", nil, float64(cache.Entries))
+	p.Gauge("vxad_snapcache_bytes", "Resident snapshot cache bytes.", nil, float64(cache.Bytes))
+
+	for _, name := range sortedKeys(s.epHist) {
+		p.Summary("vxad_request_duration_seconds", "Request latency by endpoint.",
+			map[string]string{"endpoint": name}, s.epHist[name].Snapshot())
+	}
+	s.mu.Lock()
+	codecSnaps := make(map[string]obs.HistSnapshot, len(s.codecHist))
+	for name, h := range s.codecHist {
+		codecSnaps[name] = h.Snapshot()
+	}
+	s.mu.Unlock()
+	for _, name := range sortedKeys(codecSnaps) {
+		p.Summary("vxad_codec_duration_seconds", "Decode latency by codec.",
+			map[string]string{"codec": name}, codecSnaps[name])
+	}
+	for _, st := range obs.Stages() {
+		snap := s.stageHist[st].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		p.Summary("vxad_stage_duration_seconds", "Per-stage time within traced requests.",
+			map[string]string{"stage": st.String()}, snap)
+	}
+	return p.Err()
+}
+
+// sortedKeys returns m's keys sorted, for deterministic exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // ---------- request plumbing ----------
@@ -228,14 +571,24 @@ func StatusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
-// fail writes an error response with the status implied by err.
+// fail writes an error response with the status implied by err. The
+// middleware derives the error counters from the status it sees on the
+// way out; fail only files the typed-kind breakdown.
 func (s *Server) fail(w http.ResponseWriter, err error) {
-	s.errors.Add(1)
+	s.noteErrorKind(err)
 	status := StatusFor(err)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	http.Error(w, err.Error(), status)
+}
+
+// noteErrorKind counts a typed archive failure under its ErrorKind.
+func (s *Server) noteErrorKind(err error) {
+	var ve *core.Error
+	if errors.As(err, &ve) && int(ve.Kind) < len(s.errKinds) {
+		s.errKinds[ve.Kind].Add(1)
+	}
 }
 
 var (
@@ -255,10 +608,13 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 
 // admit runs the admission controller for one decode stream. The wait
 // context is the request's own (a client disconnect counts as expiry)
-// bounded by the configured queue timeout.
+// bounded by the configured queue timeout. Time spent waiting — slot
+// granted or not — is the request's queue stage.
 func (s *Server) admit(r *http.Request) (release func(), err error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
+	waitStart := time.Now()
+	defer func() { obs.SpanFrom(r.Context()).Add(obs.StageQueue, time.Since(waitStart)) }()
 	return s.adm.Acquire(ctx)
 }
 
@@ -298,14 +654,26 @@ func (s *Server) reader(w http.ResponseWriter, r *http.Request) (*core.Reader, e
 	return cr, nil
 }
 
-// countWriter tracks decoded bytes streamed to the client.
+// countWriter tracks decoded bytes streamed to the client. With sp set
+// it also attributes write time to the span's write stage — only the
+// raw-stream decode path sets it; archive extraction is timed by the
+// core layer's own writer, and double counting would overstate the
+// stage.
 type countWriter struct {
-	w http.ResponseWriter
-	n int64
+	w  http.ResponseWriter
+	sp *obs.Span
+	n  int64
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
+	var start time.Time
+	if c.sp != nil {
+		start = time.Now()
+	}
 	n, err := c.w.Write(p)
+	if c.sp != nil {
+		c.sp.Add(obs.StageWrite, time.Since(start))
+	}
 	c.n += int64(n)
 	return n, err
 }
@@ -324,7 +692,6 @@ type entryInfo struct {
 }
 
 func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	cr, err := s.reader(w, r)
 	if err != nil {
 		s.fail(w, err)
@@ -359,7 +726,6 @@ func (s *Server) extractOptions(r *http.Request, fuel int64) []core.Option {
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	name := r.URL.Query().Get("entry")
 	if name == "" {
 		s.fail(w, fmt.Errorf("%w: missing ?entry=", errBadRequest))
@@ -381,6 +747,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, fmt.Errorf("%w: entry %q", errNotFound, name))
 		return
 	}
+	setCodec(r.Context(), entry.Codec)
 	fuel, err := s.fuel(r, int(entry.CSize))
 	if err != nil {
 		s.fail(w, err)
@@ -409,7 +776,8 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 		// Decoded bytes already reached the client under a 200: all we
 		// can do is cut the stream short so the truncation is visible.
-		s.errors.Add(1)
+		// The middleware files it under the truncated-streams counter.
+		s.noteErrorKind(err)
 		if fl, ok := w.(http.Flusher); ok {
 			fl.Flush()
 		}
@@ -425,7 +793,6 @@ type verifyResult struct {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	cr, err := s.reader(w, r)
 	if err != nil {
 		s.fail(w, err)
@@ -495,7 +862,6 @@ func (s *Server) builtinCodec(name string) (*codec.Codec, [32]byte, error) {
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	name := r.URL.Query().Get("codec")
 	if name == "" {
 		s.fail(w, fmt.Errorf("%w: missing ?codec=", errBadRequest))
@@ -506,6 +872,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	setCodec(r.Context(), name)
 	payload, err := s.readBody(w, r)
 	if err != nil {
 		s.fail(w, err)
@@ -534,15 +901,19 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	cw := &countWriter{w: w}
+	sp := obs.SpanFrom(r.Context())
+	cw := &countWriter{w: w, sp: sp}
 	var diag bytes.Buffer
+	st0 := lease.VM().Stats()
 	reusable, err := lease.VM().RunStream(r.Context(), bytes.NewReader(payload), cw, &diag, fuel)
+	st1 := lease.VM().Stats()
+	sp.Add(obs.StageTranslate, time.Duration(st1.TranslateNS-st0.TranslateNS))
+	sp.Add(obs.StageExecute, time.Duration(st1.ExecuteNS-st0.ExecuteNS))
 	s.bytesOut.Add(uint64(cw.n))
 	if err != nil {
 		if vm.IsCanceled(err) {
 			// The client is gone; reset the VM to pristine and park it.
 			lease.ReleaseReset()
-			s.errors.Add(1)
 			panic(http.ErrAbortHandler)
 		}
 		de := codec.ClassifyDecodeError(name, err, lease.VM().ExitCode(), diag.String())
@@ -551,7 +922,6 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, de)
 			return
 		}
-		s.errors.Add(1)
 		panic(http.ErrAbortHandler)
 	}
 	lease.Release(reusable)

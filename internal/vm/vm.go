@@ -170,6 +170,7 @@ type Stats struct {
 	UopsFused         uint64 `json:"uops_fused"`         // fused micro-ops created at translate time (each replaces 2-3)
 	SuperblocksFormed uint64 `json:"superblocks_formed"` // hot-path superblocks assembled from edge profiles
 	TranslateNS       uint64 `json:"translate_ns"`       // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
+	ExecuteNS         uint64 `json:"execute_ns"`         // nanoseconds spent running translated code (Run wall time minus translation)
 	Syscalls          uint64 `json:"syscalls"`
 }
 
@@ -464,6 +465,17 @@ func (v *VM) RunContext(ctx context.Context) (Status, error) {
 		v.cancel, v.cancelCause, v.cancelCredit = done, ctx.Err, cancelQuantum
 		defer func() { v.cancel, v.cancelCause = nil, nil }()
 	}
+	// Execute accounting: the run's wall time minus whatever translation
+	// it triggered is time spent executing translated code. Two clock
+	// reads per Run (a whole stream) — far below the fig7 noise floor.
+	start := time.Now()
+	translate0 := v.stats.TranslateNS
+	defer func() {
+		total := uint64(time.Since(start))
+		if dt := v.stats.TranslateNS - translate0; total > dt {
+			v.stats.ExecuteNS += total - dt
+		}
+	}()
 	br, err := v.lookupBlock(v.eip)
 	if err != nil {
 		return StatusExit, err

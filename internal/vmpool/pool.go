@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vxa/internal/elf32"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 )
 
@@ -187,6 +189,13 @@ func (p *Pool) GetScoped(ctx context.Context, codec string, mode uint32, scope u
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("vmpool: %w", err)
 	}
+	// Request tracing: snapshot-build time (the cold path, including
+	// coalesced waits on another goroutine's in-flight build) and lease
+	// wait (slot wait + VM pickup/reset/build) are attributed to the
+	// request's span when one rides in ctx. Untraced callers pay two
+	// context lookups and clock reads per lease.
+	sp := obs.SpanFrom(ctx)
+	snapStart := time.Now()
 
 	p.mu.Lock()
 	cs := p.codec[codec]
@@ -223,6 +232,9 @@ func (p *Pool) GetScoped(ctx context.Context, codec string, mode uint32, scope u
 	if cs.err != nil {
 		return nil, fmt.Errorf("vmpool: decoder %s: %w", codec, cs.err)
 	}
+	sp.Add(obs.StageSnapshot, time.Since(snapStart))
+	leaseStart := time.Now()
+	defer func() { sp.Add(obs.StageLease, time.Since(leaseStart)) }()
 
 	// Lease-slot admission (MaxLive): block here, not under the pool
 	// lock, until a slot frees or the caller gives up. The slot is
@@ -419,6 +431,7 @@ func addVMStats(dst *vm.Stats, after, before vm.Stats) {
 	dst.UopsFused += after.UopsFused - before.UopsFused
 	dst.SuperblocksFormed += after.SuperblocksFormed - before.SuperblocksFormed
 	dst.TranslateNS += after.TranslateNS - before.TranslateNS
+	dst.ExecuteNS += after.ExecuteNS - before.ExecuteNS
 	dst.Syscalls += after.Syscalls - before.Syscalls
 }
 

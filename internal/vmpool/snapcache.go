@@ -9,8 +9,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vxa/internal/elf32"
+	"vxa/internal/obs"
 	"vxa/internal/vm"
 )
 
@@ -157,7 +159,13 @@ func (c *SnapCache) Get(ctx context.Context, hash [32]byte, mode uint32, scope u
 	}
 	c.mu.Unlock()
 
+	// The build (or the coalesced wait on another request's in-flight
+	// build) is the content-addressed cold path; attribute it to the
+	// request's snapshot stage. A resident hit passes through in
+	// nanoseconds and contributes nothing visible.
+	buildStart := time.Now()
 	e.once.Do(func() { c.build(e, elf) })
+	obs.SpanFrom(ctx).Add(obs.StageSnapshot, time.Since(buildStart))
 	if e.err != nil {
 		// Drop the failed entry so a later Get retries the build.
 		c.mu.Lock()
