@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"vxa"
+	"vxa/internal/fault"
 	"vxa/internal/server"
 	"vxa/internal/vm"
 )
@@ -38,6 +39,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 256 MiB)")
 	slowMS := flag.Int64("slow-ms", 0, "log requests slower than this many ms with their per-stage breakdown (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress per-request access logs (slow-request warnings still log)")
+	streamTimeout := flag.Duration("stream-timeout", server.DefaultStreamTimeout, "wall-clock watchdog budget per decode stream (negative = no watchdog)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight streams on shutdown before cutting them")
+	memWatermark := flag.Int64("mem-watermark", 0, "heap bytes past which the snapshot cache is emergency-shrunk (0 = off)")
+	faultSpec := flag.String("fault", "", `arm deterministic fault injection, e.g. "rate=0.05,seed=1,points=all" (also via VXA_FAULT; testing only)`)
 	flag.Parse()
 	_ = vxa.Codecs() // register the built-in codec set for /v1/decode
 
@@ -46,6 +51,20 @@ func main() {
 	}
 	if *memSize > vm.MaxMemSize {
 		fatal(fmt.Errorf("-mem %d exceeds the %d-byte (1 GiB) sandbox limit", *memSize, vm.MaxMemSize))
+	}
+
+	// Chaos arming: the -fault flag wins over the VXA_FAULT environment
+	// variable. Both are for fault-injection testing only; disarmed (the
+	// default) the injection points are a single atomic load.
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("VXA_FAULT")
+	}
+	if spec != "" {
+		if err := fault.ArmFromSpec(spec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxad: FAULT INJECTION ARMED (%s)\n", spec)
 	}
 
 	// Structured logs go to stderr: one line per request at Info, slow
@@ -67,8 +86,19 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		Logger:          logger,
 		SlowThreshold:   time.Duration(*slowMS) * time.Millisecond,
+		StreamTimeout:   *streamTimeout,
+		MemWatermark:    *memWatermark,
 	})
-	hs := &http.Server{Handler: srv.Handler()}
+	// baseCtx parents every request context: canceling it cooperatively
+	// stops every in-flight decode stream (guests halt at their next
+	// block boundary, VMs rewind to pristine and return to the pool) —
+	// the hard edge of the drain sequence below.
+	baseCtx, cancelAll := context.WithCancel(context.Background())
+	defer cancelAll()
+	hs := &http.Server{
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 
 	errc := make(chan error, 2)
 	if *httpAddr != "" {
@@ -109,10 +139,32 @@ func main() {
 			fatal(err)
 		}
 	case <-sig:
-		fmt.Fprintln(os.Stderr, "vxad: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx)
+		// Graceful drain: stop taking work, let in-flight streams finish
+		// within the drain budget, then cut survivors cooperatively.
+		//
+		//  1. StartDrain: /readyz flips to draining and new decode
+		//     requests shed with 503 + Retry-After, so load balancers
+		//     stop routing here while existing streams complete.
+		//  2. Shutdown(drain budget): stop accepting connections and wait
+		//     for in-flight requests to return.
+		//  3. Past the budget: cancel the base context — every remaining
+		//     guest halts at its next block boundary, VMs rewind pristine
+		//     to the pool, clients see truncated streams (the same
+		//     observable outcome as a client-side cancel) — then a short
+		//     final Shutdown reaps the connections.
+		fmt.Fprintln(os.Stderr, "vxad: draining")
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vxad: drain deadline passed, canceling in-flight streams")
+			cancelAll()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			hs.Shutdown(ctx)
+			cancel()
+		}
+		srv.Close()
 	}
 	if *unixPath != "" {
 		os.Remove(*unixPath)

@@ -36,6 +36,10 @@ type report struct {
 	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
 	Server     []bench.ServerRow   `json:"server,omitempty"`
 	ServerLoad []bench.LoadRow     `json:"server_load,omitempty"`
+	// ServerChaos is populated by -chaos only: the pass arms the
+	// process-global fault registry, so it never rides the default run
+	// (the clean figures must stay clean).
+	ServerChaos *bench.ChaosRow `json:"server_chaos,omitempty"`
 }
 
 func main() {
@@ -47,6 +51,7 @@ func main() {
 	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
 	sv := flag.Bool("server", false, "measure vxad cold vs warm snapshot-cache request latency")
 	load := flag.Bool("load", false, "drive vxad with open-loop Poisson load and report latency percentiles")
+	chaos := flag.Bool("chaos", false, "drive vxad with fault injection armed and report containment/recovery figures")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
 	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks)")
 	streams := flag.Int("streams", 16, "streams per codec for -pool")
@@ -54,7 +59,9 @@ func main() {
 	warm := flag.Int("warm", 16, "warm requests per codec for -server")
 	rate := flag.Float64("rate", 50, "offered request rate per second for -load")
 	duration := flag.Duration("duration", 2*time.Second, "load duration per codec for -load")
-	conc := flag.Int("conc", 8, "max in-flight client requests for -load")
+	conc := flag.Int("conc", 8, "max in-flight client requests for -load and -chaos")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "fault-injection probability per point for -chaos")
+	chaosReqs := flag.Int("chaos-reqs", 2000, "requests for -chaos")
 	workers := flag.Int("p", 0, "workers for -parallel (0 = all cores)")
 	jsonPath := flag.String("json", "", "also write the results to this file as JSON (e.g. BENCH_results.json)")
 	baseline := flag.String("baseline", "", "compare -fig7 against a previous -json file; exit nonzero on >10% geomean regression")
@@ -87,7 +94,9 @@ func main() {
 		}()
 	}
 	_ = vxa.Codecs()
-	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*load && !*ablateOpt
+	// -chaos and -ablate-opt are opt-in only: chaos arms the global
+	// fault registry and must never contaminate the clean figures.
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*load && !*ablateOpt && !*chaos
 	if *baseline != "" && !*load {
 		*f7 = true // the compare mode needs a fresh Figure 7 run
 	}
@@ -187,6 +196,22 @@ func main() {
 				r.P99.Round(10e3), r.Max.Round(10e3), r.AllocsPerOp)
 		}
 		fmt.Println()
+	}
+	if *chaos {
+		row, err := bench.ChaosBench(*chaosRate, *chaosReqs, *conc)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ServerChaos = &row
+		fmt.Printf("Server chaos: %d mixed requests, %d workers, %.0f%% injection across all points (seed %d)\n",
+			row.Requests, row.Concurrency, row.InjectionRate*100, row.Seed)
+		fmt.Printf("  outcomes: %d ok, %d truncated, %d decode-err (422), %d canceled (499), %d io-err (500), %d shed (503/504), %d quarantined (521), %d conn-cut\n",
+			row.OK, row.Truncated, row.DecodeErrors, row.Canceled, row.ServerErrors, row.Shed, row.Quarantined, row.TransportErrors)
+		fmt.Printf("  injected %d faults; breaker: %d trips, %d probes; shed rate %.2f%%\n",
+			row.InjectedFaults, row.BreakerTrips, row.BreakerProbes, row.ShedRate*100)
+		fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v; recovery after disarm %v\n\n",
+			row.P50.Round(10e3), row.P90.Round(10e3), row.P99.Round(10e3),
+			row.Max.Round(10e3), row.Recovery.Round(10e3))
 	}
 	if *par || all {
 		row, err := bench.ParallelExtract(*entries, *workers)

@@ -46,6 +46,7 @@ const (
 	exitFuel       = 6
 	exitLimit      = 7
 	exitCanceled   = 8
+	exitDeadline   = 9
 )
 
 // exitCode maps a typed extraction error to its exit code.
@@ -65,6 +66,8 @@ func exitCode(err error) int {
 		return exitTrap
 	case errors.Is(err, vxa.ErrCanceled), errors.Is(err, context.Canceled):
 		return exitCanceled
+	case errors.Is(err, vxa.ErrDeadline):
+		return exitDeadline
 	}
 	return exitIO
 }
@@ -98,7 +101,8 @@ exit codes:
   5  archived decoder trapped or exited nonzero in the sandbox
   6  decoder exceeded its instruction budget
   7  decoded output exceeded -limit
-  8  canceled (SIGINT/SIGTERM)`)
+  8  canceled (SIGINT/SIGTERM)
+  9  wall-clock watchdog killed the decoder (-wall)`)
 }
 
 func main() {
@@ -110,6 +114,7 @@ func main() {
 	dir := flag.String("d", ".", "output directory")
 	parallel := flag.Int("p", 0, "extraction/verify workers (0 = all cores, 1 = serial)")
 	limit := flag.Int64("limit", 0, "per-entry decoded output cap in bytes (0 = unlimited)")
+	wall := flag.Duration("wall", 0, "per-stream wall-clock decoder budget (0 = no watchdog)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -138,6 +143,7 @@ func main() {
 		vxa.WithReuseVM(true),
 		vxa.WithParallel(*parallel),
 		vxa.WithLimit(*limit),
+		vxa.WithWallBudget(*wall),
 	}
 	if *verbose {
 		opts = append(opts, vxa.WithVerbose(os.Stderr))

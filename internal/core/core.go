@@ -20,6 +20,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"vxa/internal/codec"
+	"vxa/internal/fault"
 	"vxa/internal/obs"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
@@ -255,6 +257,14 @@ func WithVerbose(w io.Writer) Option { return func(o *ExtractOptions) { o.Verbos
 // WithVM sets the decoder VM configuration (memory size, cache policy,
 // ablation knobs). WithFuel after WithVM still overrides the budget.
 func WithVM(cfg vm.Config) Option { return func(o *ExtractOptions) { o.VM = cfg } }
+
+// WithWallBudget arms the per-stream wall-clock watchdog: a decoder
+// stream still running after d of real time is killed at its next
+// block boundary and surfaces as ErrDeadline, independent of how much
+// instruction fuel remains. 0 (default) disarms the watchdog.
+func WithWallBudget(d time.Duration) Option {
+	return func(o *ExtractOptions) { o.VM.WallBudget = d }
+}
 
 // WithMemSize sets the guest address space given to each decoder VM in
 // bytes (default DefaultDecoderMemSize, capped at the 1 GiB sandbox
@@ -758,6 +768,24 @@ func (r *Reader) decoderHash(off uint32, elf func() ([]byte, error)) ([32]byte, 
 	return h, nil
 }
 
+// DecoderHash returns the content address (SHA-256 of the ELF bytes)
+// of the entry's archived decoder, fetching and hashing it once per
+// Reader. ok is false for entries with no archived decoder (plain
+// stored files). Serving layers use it to consult the shared cache
+// before admission: whether the decoder's snapshot is already resident
+// (warm vs cold path) and whether its circuit breaker is open.
+func (r *Reader) DecoderHash(e *Entry) (hash [32]byte, ok bool, err error) {
+	if e.hdr.VXA == nil {
+		return [32]byte{}, false, nil
+	}
+	off := e.hdr.VXA.DecoderOffset
+	h, err := r.decoderHash(off, func() ([]byte, error) { return r.zr.Decoder(off) })
+	if err != nil {
+		return [32]byte{}, false, badArchive(e.Name, err)
+	}
+	return h, true, nil
+}
+
 // DrainVMs drops the pool's idle decoder VMs, releasing their guest
 // memory, and reports how many were dropped. Decoder snapshots are
 // kept, so later extractions stay cheap. Useful on a long-lived Reader
@@ -818,6 +846,11 @@ func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.S
 	cache, scope := r.snapCache, r.cacheScope
 	r.mu.Unlock()
 
+	// report feeds the stream's outcome into the shared cache's decoder
+	// health tracker (a no-op on the private-pool and fresh-VM paths,
+	// which have no cross-client breaker to maintain).
+	report := func(vmpool.Outcome) {}
+
 	var lease *vmpool.Lease
 	switch {
 	case cache != nil:
@@ -832,6 +865,7 @@ func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.S
 		if lease, err = cache.Get(ctx, hash, e.Mode, scope, elf); err != nil {
 			return classifyDecode(e.Name, err, ctx.Err())
 		}
+		report = func(o vmpool.Outcome) { cache.Report(hash, o) }
 	case !opts.ReuseVM:
 		elfBytes, err := elf()
 		if err != nil {
@@ -872,20 +906,40 @@ func (r *Reader) runArchivedDecoder(ctx context.Context, e *Entry, payload *io.S
 	reusable, err := runOneStream(ctx, lease.VM(), payload, out, opts)
 	recordVMStages(obs.SpanFrom(ctx), st0, lease.VM().Stats())
 	if err != nil {
-		if vm.IsCanceled(err) || ctx.Err() != nil {
+		switch {
+		case vm.IsCanceled(err) || ctx.Err() != nil:
 			// The stream was abandoned, not broken: rewind the VM to the
-			// pristine snapshot and park it for the next caller.
+			// pristine snapshot and park it for the next caller. No health
+			// signal — a canceled stream says nothing about the decoder.
 			lease.ReleaseReset()
+			return classifyDecode(e.Name, err, ctx.Err())
+		case vm.IsWatchdog(err):
+			// Wall-clock kill: the guest was stopped at a block boundary
+			// with its state intact, so a pristine-snapshot rewind returns
+			// the VM to the pool undamaged. The kill indicts the decoder.
+			report(vmpool.OutcomeWatchdog)
+			lease.ReleaseReset()
+			return &Error{Kind: KindDeadline, Entry: e.Name, Trap: err}
+		case errors.Is(err, fault.ErrInjected):
+			// An injected archive-read fault aborted the guest from the
+			// host side; the decoder is blameless, so no health report.
+			lease.Release(false)
 			return classifyDecode(e.Name, err, ctx.Err())
 		}
 		// A trapped or failed VM is not reusable. (Diagnostics stream
 		// to opts.Verbose live on this path rather than being captured.)
+		// Traps and fuel exhaustion count against the decoder's breaker;
+		// nonzero exits do not — those are routinely payload-driven, and
+		// quarantining a shared codec over one corrupt upload would be a
+		// denial of service.
+		report(vmpool.OutcomeFor(err))
 		de := codec.ClassifyDecodeError(e.Codec, err, lease.VM().ExitCode(), "")
 		lease.Release(false)
 		return de
 	}
 	// A decoder that decoded the stream but exited instead of parking at
 	// the done gate succeeded; it just cannot serve another stream.
+	report(vmpool.OutcomeOK)
 	lease.Release(reusable)
 	return nil
 }
@@ -912,8 +966,21 @@ func streamFuel(payloadLen int, cfg vm.Config) int64 {
 // runOneStream feeds one payload section to a (possibly resumed)
 // decoder VM and streams the decoded output to out; reusable reports
 // whether the VM parked at the done gate and can take another stream.
+// With fault injection armed, the payload reads pass through a fault
+// reader; an injected read error outranks the guest abort it provokes
+// (the guest only sees a virtual EIO and fails with its own message,
+// but the caller needs the real cause).
 func runOneStream(ctx context.Context, v *vm.VM, payload *io.SectionReader, out io.Writer, opts ExtractOptions) (reusable bool, err error) {
-	return v.RunStream(ctx, payload, out, opts.Verbose, streamFuel(int(payload.Size()), opts.VM))
+	fuel := streamFuel(int(payload.Size()), opts.VM)
+	if !fault.Armed() {
+		return v.RunStream(ctx, payload, out, opts.Verbose, fuel)
+	}
+	fr := fault.NewReader(payload)
+	reusable, err = v.RunStream(ctx, fr, out, opts.Verbose, fuel)
+	if ferr := fr.Err(); ferr != nil && err != nil {
+		return reusable, ferr
+	}
+	return reusable, err
 }
 
 // ExtractResult is one entry's outcome from ExtractAll.

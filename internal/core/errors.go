@@ -6,7 +6,9 @@ import (
 	"io"
 
 	"vxa/internal/codec"
+	"vxa/internal/fault"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 	"vxa/internal/zipfile"
 )
 
@@ -40,6 +42,23 @@ const (
 	// (context.Canceled or context.DeadlineExceeded) is reachable via
 	// errors.Is/Unwrap.
 	KindCanceled
+	// KindIO: a host-side I/O failure — the archive's backing store or
+	// the snapshot build infrastructure failed, not the client's archive
+	// or decoder. Retryable; surfaces as a server error, never a client
+	// one.
+	KindIO
+	// KindUnavailable: the service could not take the request right now
+	// (VM lease machinery failed, load shed). Retryable after backoff.
+	KindUnavailable
+	// KindQuarantined: the entry's decoder is under circuit-breaker
+	// quarantine after repeated failures; requests fail fast without
+	// leasing a VM until a half-open probe succeeds. The wrapped
+	// *vmpool.QuarantineError carries the retry-after hint.
+	KindQuarantined
+	// KindDeadline: the wall-clock watchdog killed the decoder stream —
+	// it exceeded its real-time budget even though instruction fuel
+	// remained (a decoder blocking or running pathologically slowly).
+	KindDeadline
 )
 
 // String names the kind for diagnostics.
@@ -57,6 +76,14 @@ func (k ErrorKind) String() string {
 		return "output limit exceeded"
 	case KindCanceled:
 		return "canceled"
+	case KindIO:
+		return "host I/O failure"
+	case KindUnavailable:
+		return "service unavailable"
+	case KindQuarantined:
+		return "decoder quarantined"
+	case KindDeadline:
+		return "watchdog deadline exceeded"
 	}
 	return fmt.Sprintf("error kind %d", int(k))
 }
@@ -113,6 +140,10 @@ var (
 	ErrFuelExhausted = &Error{Kind: KindFuelExhausted}
 	ErrOutputLimit   = &Error{Kind: KindOutputLimit}
 	ErrCanceled      = &Error{Kind: KindCanceled}
+	ErrIO            = &Error{Kind: KindIO}
+	ErrUnavailable   = &Error{Kind: KindUnavailable}
+	ErrQuarantined   = &Error{Kind: KindQuarantined}
+	ErrDeadline      = &Error{Kind: KindDeadline}
 )
 
 // badArchive wraps a container-level failure. Only genuine format
@@ -136,6 +167,13 @@ func corruptf(entry, format string, args ...any) error {
 	return &Error{Kind: KindBadArchive, Entry: entry, Trap: fmt.Errorf(format, args...)}
 }
 
+// ClassifyDecode is the exported form of classifyDecode for serving
+// layers that drive VM streams directly (vxad's raw /v1/decode path)
+// and need the same error taxonomy the archive paths get.
+func ClassifyDecode(entry string, err error, ctxErr error) error {
+	return classifyDecode(entry, err, ctxErr)
+}
+
 // classifyDecode maps a decode-path failure onto the taxonomy. ctxErr is
 // the caller's context error at classification time: a context that died
 // mid-stream provokes secondary failures (the guest sees EIO on its
@@ -151,6 +189,25 @@ func classifyDecode(entry string, err error, ctxErr error) error {
 	}
 	if ce := (*vm.CanceledError)(nil); errors.As(err, &ce) {
 		return &Error{Kind: KindCanceled, Entry: entry, Trap: ce}
+	}
+	if we := (*vm.WatchdogError)(nil); errors.As(err, &we) {
+		return &Error{Kind: KindDeadline, Entry: entry, Trap: err}
+	}
+	if errors.Is(err, vmpool.ErrDecoderQuarantined) {
+		return &Error{Kind: KindQuarantined, Entry: entry, Trap: err}
+	}
+	if fe := (*fault.Error)(nil); errors.As(err, &fe) {
+		// Injected faults classify exactly as the real failure they
+		// simulate would: lease machinery → unavailable, a severed client
+		// write → canceled, archive reads and snapshot builds → host I/O.
+		switch fe.Point {
+		case fault.LeaseAcquire:
+			return &Error{Kind: KindUnavailable, Entry: entry, Trap: err}
+		case fault.ResponseWrite:
+			return &Error{Kind: KindCanceled, Entry: entry, Trap: err}
+		default:
+			return &Error{Kind: KindIO, Entry: entry, Trap: err}
+		}
 	}
 	if ctxErr != nil {
 		return &Error{Kind: KindCanceled, Entry: entry, Trap: fmt.Errorf("%w (decode aborted: %v)", ctxErr, err)}

@@ -1,0 +1,252 @@
+// Package fault is a seeded, deterministic fault-injection registry
+// for the vxad serving path. Five injection points cover the stack's
+// externally-visible failure surfaces: archive payload reads, decoder
+// snapshot builds, VM lease acquisition, guest syscalls, and response
+// writes. The registry is disarmed by default and the disarmed fast
+// path is a single atomic load, so shipping the hooks in production
+// code is free; tests, the chaos soak, and `vxbench -chaos` arm it
+// with a seed and a per-call injection rate.
+//
+// Decisions are deterministic: whether call number k at point p
+// injects is a pure function of (seed, p, k). Two runs with the same
+// seed and the same call interleaving inject at the same calls, which
+// keeps chaos failures replayable.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Point identifies one injection site in the serving stack.
+type Point uint8
+
+const (
+	// ArchiveRead fails a read of archive payload bytes (the backend
+	// I/O the decoder consumes).
+	ArchiveRead Point = iota
+	// SnapshotBuild fails a decoder snapshot construction in the
+	// SnapCache.
+	SnapshotBuild
+	// LeaseAcquire fails a VM lease checkout from the pool.
+	LeaseAcquire
+	// GuestSyscall traps a guest syscall inside the VM.
+	GuestSyscall
+	// ResponseWrite fails a write of response bytes toward the client.
+	ResponseWrite
+
+	// NumPoints is the number of injection sites.
+	NumPoints = int(ResponseWrite) + 1
+)
+
+var pointNames = [NumPoints]string{"read", "snapshot", "lease", "syscall", "write"}
+
+func (p Point) String() string {
+	if int(p) < NumPoints {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("fault.Point(%d)", uint8(p))
+}
+
+// ErrInjected is the sentinel every injected fault matches via
+// errors.Is, so callers can distinguish synthetic faults from organic
+// ones without depending on the concrete *Error.
+var ErrInjected = errors.New("fault: injected")
+
+// Error is the concrete error returned by Inject. It records which
+// point fired and the call sequence number, so a chaos failure log
+// pins the exact replayable injection.
+type Error struct {
+	Point Point
+	Seq   uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s failure (call %d)", e.Point, e.Seq)
+}
+
+// Is makes errors.Is(err, ErrInjected) match any injected fault.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Config arms the registry.
+type Config struct {
+	// Seed keys the deterministic injection decisions.
+	Seed uint64
+	// Rate is the per-call injection probability in [0, 1].
+	Rate float64
+	// Points is a bitmask of armed points (1 << Point). Zero arms
+	// nothing; use AllPoints to arm every site.
+	Points uint32
+}
+
+// AllPoints is the Points mask arming every injection site.
+func AllPoints() uint32 { return 1<<NumPoints - 1 }
+
+// regState is the armed registry. It is swapped in whole via an atomic
+// pointer so Inject never takes a lock.
+type regState struct {
+	cfg       Config
+	threshold uint64 // Rate scaled to the u64 hash range
+	calls     [NumPoints]atomic.Uint64
+	injected  [NumPoints]atomic.Uint64
+}
+
+var (
+	armed atomic.Bool
+	state atomic.Pointer[regState]
+)
+
+// Arm installs cfg and starts injecting. Counters reset.
+func Arm(cfg Config) {
+	if cfg.Rate < 0 {
+		cfg.Rate = 0
+	}
+	if cfg.Rate > 1 {
+		cfg.Rate = 1
+	}
+	st := &regState{cfg: cfg}
+	if cfg.Rate >= 1 {
+		st.threshold = math.MaxUint64
+	} else {
+		st.threshold = uint64(cfg.Rate * float64(math.MaxUint64))
+	}
+	state.Store(st)
+	armed.Store(true)
+}
+
+// Disarm stops all injection. Counters from the last armed period
+// remain readable via Stats until the next Arm.
+func Disarm() { armed.Store(false) }
+
+// Armed reports whether the registry is currently injecting.
+func Armed() bool { return armed.Load() }
+
+// Inject is called at each injection site. It returns nil when
+// disarmed, when p is not in the armed mask, or when the deterministic
+// decision for this call says "no fault"; otherwise it returns an
+// *Error matching ErrInjected.
+func Inject(p Point) error {
+	if !armed.Load() {
+		return nil
+	}
+	st := state.Load()
+	if st == nil || st.cfg.Points&(1<<p) == 0 {
+		return nil
+	}
+	seq := st.calls[p].Add(1)
+	if mix(st.cfg.Seed, p, seq) > st.threshold {
+		return nil
+	}
+	st.injected[p].Add(1)
+	return &Error{Point: p, Seq: seq}
+}
+
+// mix is a splitmix64-style avalanche of (seed, point, seq): cheap,
+// stateless, and uniform enough that the injection rate tracks Rate.
+func mix(seed uint64, p Point, seq uint64) uint64 {
+	x := seed ^ (uint64(p)+1)*0x9E3779B97F4A7C15 ^ seq*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// PointStats is one point's call/injection tally.
+type PointStats struct {
+	Point    string `json:"point"`
+	Calls    uint64 `json:"calls"`
+	Injected uint64 `json:"injected"`
+}
+
+// Snapshot is a point-in-time view of the registry.
+type Snapshot struct {
+	Armed  bool         `json:"armed"`
+	Seed   uint64       `json:"seed"`
+	Rate   float64      `json:"rate"`
+	Points []PointStats `json:"points"`
+}
+
+// Stats returns the current counters (from the most recent Arm, even
+// after Disarm).
+func Stats() Snapshot {
+	st := state.Load()
+	if st == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Armed: armed.Load(), Seed: st.cfg.Seed, Rate: st.cfg.Rate}
+	for i := 0; i < NumPoints; i++ {
+		s.Points = append(s.Points, PointStats{
+			Point:    Point(i).String(),
+			Calls:    st.calls[i].Load(),
+			Injected: st.injected[i].Load(),
+		})
+	}
+	return s
+}
+
+// ArmFromSpec parses a spec of the form
+//
+//	rate=0.05,seed=1,points=read+snapshot+lease+syscall+write
+//
+// (points=all arms every site) and arms the registry. An empty spec is
+// a no-op. This is the format of vxad's -fault flag and the VXA_FAULT
+// environment variable.
+func ArmFromSpec(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	cfg := Config{Seed: 1, Rate: 0.05, Points: AllPoints()}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return fmt.Errorf("fault: bad spec field %q (want key=value)", field)
+		}
+		switch k {
+		case "rate":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r < 0 || r > 1 {
+				return fmt.Errorf("fault: bad rate %q (want 0..1)", v)
+			}
+			cfg.Rate = r
+		case "seed":
+			s, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return fmt.Errorf("fault: bad seed %q", v)
+			}
+			cfg.Seed = s
+		case "points":
+			if v == "all" {
+				cfg.Points = AllPoints()
+				break
+			}
+			cfg.Points = 0
+			for _, name := range strings.Split(v, "+") {
+				p, err := parsePoint(name)
+				if err != nil {
+					return err
+				}
+				cfg.Points |= 1 << p
+			}
+		default:
+			return fmt.Errorf("fault: unknown spec key %q", k)
+		}
+	}
+	Arm(cfg)
+	return nil
+}
+
+func parsePoint(name string) (Point, error) {
+	for i, n := range pointNames {
+		if n == name {
+			return Point(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown point %q (want one of %s)", name, strings.Join(pointNames[:], ", "))
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Injection decisions must be a pure function of (seed, point, seq):
+// two armed periods with the same config inject at exactly the same
+// call numbers.
+func TestInjectDeterministic(t *testing.T) {
+	defer Disarm()
+	decide := func() []bool {
+		Arm(Config{Seed: 42, Rate: 0.1, Points: AllPoints()})
+		var got []bool
+		for i := 0; i < 1000; i++ {
+			got = append(got, Inject(GuestSyscall) != nil)
+		}
+		return got
+	}
+	a, b := decide(), decide()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical armed runs", i)
+		}
+	}
+}
+
+// The realized injection rate should track the configured rate.
+func TestInjectRate(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 7, Rate: 0.05, Points: 1 << ArchiveRead})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Inject(ArchiveRead) != nil {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.03 || rate > 0.07 {
+		t.Fatalf("realized rate %.4f, want ~0.05", rate)
+	}
+	st := Stats()
+	if st.Points[ArchiveRead].Calls != n || st.Points[ArchiveRead].Injected != uint64(hits) {
+		t.Fatalf("stats %+v, want calls=%d injected=%d", st.Points[ArchiveRead], n, hits)
+	}
+}
+
+// Rate 1 must inject on every call; unarmed points never inject.
+func TestInjectMaskAndCertainty(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 1, Rate: 1, Points: 1 << LeaseAcquire})
+	for i := 0; i < 100; i++ {
+		if Inject(LeaseAcquire) == nil {
+			t.Fatal("rate=1 armed point did not inject")
+		}
+		if Inject(ResponseWrite) != nil {
+			t.Fatal("unarmed point injected")
+		}
+	}
+}
+
+func TestDisarmed(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if Inject(SnapshotBuild) != nil {
+			t.Fatal("disarmed registry injected")
+		}
+	}
+}
+
+func TestErrorIdentity(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 3, Rate: 1, Points: AllPoints()})
+	err := Inject(SnapshotBuild)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not match ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != SnapshotBuild {
+		t.Fatalf("injected error %v does not carry its point", err)
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("error text %q should name the point", err)
+	}
+}
+
+func TestArmFromSpec(t *testing.T) {
+	defer Disarm()
+	if err := ArmFromSpec("rate=0.25,seed=9,points=read+write"); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats()
+	if !st.Armed || st.Seed != 9 || st.Rate != 0.25 {
+		t.Fatalf("spec not applied: %+v", st)
+	}
+	if Inject(LeaseAcquire) != nil {
+		t.Fatal("lease point should not be armed by points=read+write")
+	}
+	for _, bad := range []string{"rate=2", "bogus", "points=nope", "seed=x"} {
+		if err := ArmFromSpec(bad); err == nil {
+			t.Fatalf("spec %q should be rejected", bad)
+		}
+	}
+	if err := ArmFromSpec(""); err != nil {
+		t.Fatalf("empty spec must be a no-op, got %v", err)
+	}
+}
+
+// The Reader wrapper returns the injected fault to its consumer and
+// pins it for the host via Err, even if the consumer keeps reading.
+func TestReader(t *testing.T) {
+	defer Disarm()
+	Arm(Config{Seed: 5, Rate: 1, Points: 1 << ArchiveRead})
+	fr := NewReader(strings.NewReader("payload"))
+	if _, err := fr.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error %v, want injected", err)
+	}
+	if _, err := fr.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("subsequent read error %v, want pinned injected fault", err)
+	}
+	if !errors.Is(fr.Err(), ErrInjected) {
+		t.Fatalf("Err() = %v, want pinned fault", fr.Err())
+	}
+
+	Disarm()
+	fr = NewReader(strings.NewReader("payload"))
+	got, err := io.ReadAll(fr)
+	if err != nil || string(got) != "payload" || fr.Err() != nil {
+		t.Fatalf("disarmed reader: %q, %v, pinned %v", got, err, fr.Err())
+	}
+}

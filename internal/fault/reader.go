@@ -1,0 +1,31 @@
+package fault
+
+import "io"
+
+// Reader wraps an archive payload reader with the ArchiveRead
+// injection point. The first injected fault is recorded and returned
+// from every subsequent Read, so a consumer that swallows read errors
+// (a guest seeing EIO, say) still leaves the host-side cause
+// inspectable via Err.
+type Reader struct {
+	r   io.Reader
+	err error
+}
+
+// NewReader wraps r. Callers typically gate on Armed() and skip the
+// wrapper entirely when injection is off.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	if err := Inject(ArchiveRead); err != nil {
+		f.err = err
+		return 0, err
+	}
+	return f.r.Read(p)
+}
+
+// Err returns the first injected read fault, if any.
+func (f *Reader) Err() error { return f.err }

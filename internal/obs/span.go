@@ -18,10 +18,11 @@ type Stage int
 
 // Span stages, in timeline order.
 const (
-	// StageQueue: admission-queue wait (the load shedder's slot wait).
+	// StageQueue: backpressure wait — the admission queue's slot wait
+	// plus any blocked wait for a MaxLive VM-pool slot.
 	StageQueue Stage = iota
-	// StageLease: VM-pool lease wait — parked-VM pickup, MaxLive slot
-	// wait, or fresh materialization from the pristine snapshot.
+	// StageLease: VM-pool lease work — parked-VM pickup, pristine
+	// reset, or fresh materialization from the snapshot.
 	StageLease
 	// StageSnapshot: pristine decoder snapshot build (ELF fetch + parse
 	// + image capture) — the cold path a content-addressed cache hit

@@ -13,13 +13,21 @@ import (
 // context deadline are shed without ever starting work — a late decode
 // is worthless, so the queue never does work the client gave up on.
 //
+// Degradation is tiered: cold requests — those that would have to build
+// a decoder snapshot before streaming — are shed once the queue is half
+// full, before warm requests feel any pressure. Under overload the
+// expensive cold path is the first thing to go, and the cheap
+// resume-a-warm-snapshot path keeps absorbing traffic.
+//
 // The zero value is not usable; use NewAdmission.
 type Admission struct {
-	slots chan struct{} // in-flight capacity; holding a token = running
-	queue chan struct{} // waiting capacity; holding a token = queued
+	slots     chan struct{} // in-flight capacity; holding a token = running
+	queue     chan struct{} // waiting capacity; holding a token = queued
+	coldLimit int           // queue depth at which cold requests shed
 
 	admitted atomic.Uint64
 	shed     atomic.Uint64 // rejected: queue full
+	shedCold atomic.Uint64 // rejected: cold request over the cold watermark
 	expired  atomic.Uint64 // rejected: deadline passed while queued
 }
 
@@ -27,6 +35,10 @@ type Admission struct {
 var (
 	// ErrOverloaded: the wait queue is full; shed immediately (HTTP 503).
 	ErrOverloaded = errors.New("server: overloaded, queue full")
+	// ErrColdShed: the queue passed the cold watermark and the request
+	// needs a cold snapshot build; shed immediately (HTTP 503) so the
+	// warm path keeps its remaining headroom.
+	ErrColdShed = errors.New("server: overloaded, shedding cold (snapshot-miss) requests")
 	// ErrExpired: the request deadline passed while queued (HTTP 504).
 	ErrExpired = errors.New("server: deadline expired while queued")
 )
@@ -41,17 +53,35 @@ func NewAdmission(inFlight, queue int) *Admission {
 	if queue < 1 {
 		queue = 1
 	}
+	coldLimit := queue / 2
+	if coldLimit < 1 {
+		coldLimit = 1
+	}
 	return &Admission{
-		slots: make(chan struct{}, inFlight),
-		queue: make(chan struct{}, queue),
+		slots:     make(chan struct{}, inFlight),
+		queue:     make(chan struct{}, queue),
+		coldLimit: coldLimit,
 	}
 }
 
 // Acquire admits the caller or sheds it. On success it returns a
 // release function the caller must invoke exactly once when the stream
 // is finished. On failure it returns ErrOverloaded (queue full) or
-// ErrExpired (ctx done while waiting).
+// ErrExpired (ctx done while waiting). Equivalent to AcquireTier with
+// cold=false.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	return a.AcquireTier(ctx, false)
+}
+
+// AcquireTier is Acquire with the degradation tier made explicit: a
+// cold request (one that must build a decoder snapshot before it can
+// stream) is additionally shed with ErrColdShed whenever the queue sits
+// at or past the cold watermark (half the queue bound).
+func (a *Admission) AcquireTier(ctx context.Context, cold bool) (release func(), err error) {
+	if cold && len(a.queue) >= a.coldLimit {
+		a.shedCold.Add(1)
+		return nil, ErrColdShed
+	}
 	// Join the queue, or shed: a full queue means the backlog already
 	// exceeds what we are willing to ever serve.
 	select {
@@ -91,6 +121,7 @@ type AdmissionStats struct {
 	QueueCap   int    `json:"queue_cap"`
 	Admitted   uint64 `json:"admitted"`
 	Shed       uint64 `json:"shed"`
+	ShedCold   uint64 `json:"shed_cold"`
 	Expired    uint64 `json:"expired"`
 }
 
@@ -103,6 +134,7 @@ func (a *Admission) Stats() AdmissionStats {
 		QueueCap:   cap(a.queue),
 		Admitted:   a.admitted.Load(),
 		Shed:       a.shed.Load(),
+		ShedCold:   a.shedCold.Load(),
 		Expired:    a.expired.Load(),
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"testing"
+	"time"
 
 	"vxa/internal/codec"
 	"vxa/internal/core"
 	"vxa/internal/vm"
+	"vxa/internal/vmpool"
 )
 
 // TestErrorKindStatusRoundTrip pins the v2 error taxonomy end to end:
@@ -34,10 +36,19 @@ func TestErrorKindStatusRoundTrip(t *testing.T) {
 			http.StatusUnprocessableEntity},
 		{core.KindOutputLimit, core.ErrOutputLimit, nil, http.StatusRequestEntityTooLarge},
 		{core.KindCanceled, core.ErrCanceled, context.Canceled, StatusClientClosedRequest},
+		{core.KindIO, core.ErrIO, fmt.Errorf("read: connection reset"), http.StatusInternalServerError},
+		{core.KindUnavailable, core.ErrUnavailable, nil, http.StatusServiceUnavailable},
+		{core.KindQuarantined, core.ErrQuarantined,
+			&vmpool.QuarantineError{RetryAfter: time.Second},
+			StatusDecoderQuarantined},
+		{core.KindDeadline, core.ErrDeadline,
+			&vm.WatchdogError{Budget: time.Second},
+			http.StatusUnprocessableEntity},
 	}
 	sentinels := []*core.Error{
 		core.ErrBadArchive, core.ErrUnknownCodec, core.ErrDecoderTrap,
 		core.ErrFuelExhausted, core.ErrOutputLimit, core.ErrCanceled,
+		core.ErrIO, core.ErrUnavailable, core.ErrQuarantined, core.ErrDeadline,
 	}
 	for _, tc := range cases {
 		t.Run(tc.kind.String(), func(t *testing.T) {
@@ -72,5 +83,27 @@ func TestErrorKindStatusRoundTrip(t *testing.T) {
 	// Non-taxonomy errors fall through to 500.
 	if got := StatusFor(errors.New("disk on fire")); got != http.StatusInternalServerError {
 		t.Fatalf("unknown error mapped to %d, want 500", got)
+	}
+
+	// Every kind the taxonomy defines must have a status row — a new
+	// kind that reaches HTTP without a mapping would silently 500.
+	for _, k := range errorKinds {
+		if _, ok := kindStatus[k]; !ok {
+			t.Errorf("kind %v has no kindStatus row", k)
+		}
+	}
+
+	// A raw quarantine error (before core classification) must still
+	// map to the quarantine status.
+	qerr := fmt.Errorf("get: %w", &vmpool.QuarantineError{RetryAfter: time.Second})
+	if got := StatusFor(qerr); got != StatusDecoderQuarantined {
+		t.Fatalf("raw quarantine error mapped to %d, want %d", got, StatusDecoderQuarantined)
+	}
+	// Bare context errors map to their nginx-convention codes.
+	if got := StatusFor(fmt.Errorf("x: %w", context.Canceled)); got != StatusClientClosedRequest {
+		t.Fatalf("bare context.Canceled mapped to %d, want 499", got)
+	}
+	if got := StatusFor(fmt.Errorf("x: %w", context.DeadlineExceeded)); got != http.StatusGatewayTimeout {
+		t.Fatalf("bare DeadlineExceeded mapped to %d, want 504", got)
 	}
 }

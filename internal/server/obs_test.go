@@ -164,6 +164,16 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 			`vxad_stage_duration_seconds{stage="execute"`,
 			`vxad_responses_total{class="4xx"}`,
 			"vxad_snapcache_hits_total",
+			"vxad_ready 1",
+			"vxad_draining 0",
+			"vxad_admission_shed_cold_total",
+			"vxad_snapcache_quarantined_total",
+			"vxad_snapcache_shrinks_total",
+			"vxad_breaker_open",
+			"vxad_breaker_trips_total",
+			"vxad_breaker_probes_total",
+			`vxad_decoder_failures_total{class="trap"}`,
+			`vxad_decoder_failures_total{class="watchdog"}`,
 		} {
 			if !strings.Contains(text, want) {
 				t.Errorf("%s: missing %q in exposition", mode.name, want)

@@ -11,7 +11,9 @@
 //
 // Endpoints (see the README for the wire details):
 //
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness (process is up)
+//	GET  /readyz                   readiness (degrades under drain,
+//	                               open breakers or sustained shedding)
 //	GET  /metrics                  counters (JSON, snake_case)
 //	POST /v1/entries               archive -> entry listing (JSON)
 //	POST /v1/extract?entry=NAME    archive -> one entry's decoded bytes
@@ -38,6 +40,7 @@ import (
 
 	"vxa/internal/codec"
 	"vxa/internal/core"
+	"vxa/internal/fault"
 	"vxa/internal/obs"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
@@ -75,6 +78,28 @@ type Config struct {
 	// SlowThreshold, when positive, logs any request whose total wall
 	// time meets it at Warn level with the full per-stage breakdown.
 	SlowThreshold time.Duration
+	// StreamTimeout is the wall-clock watchdog budget per decode stream:
+	// a guest still running after this much real time is killed at its
+	// next block boundary (422, ErrDeadline) no matter how much
+	// instruction fuel remains. Defaults to DefaultStreamTimeout;
+	// negative disables the watchdog.
+	StreamTimeout time.Duration
+	// Health configures the per-decoder circuit breaker (failure
+	// threshold, probe backoff). The zero value selects the vmpool
+	// defaults; Threshold < 0 disables quarantine.
+	Health vmpool.HealthConfig
+	// MemWatermark, when positive, arms the memory janitor: whenever the
+	// process heap exceeds it, the snapshot cache is shrunk to half its
+	// resident bytes (idle VMs dropped, LRU snapshots evicted) so the
+	// daemon sheds memory instead of dying.
+	MemWatermark int64
+	// ReadyShedRate is the shed fraction (shed+expired over all
+	// admission outcomes, sampled over ReadyWindow) past which /readyz
+	// reports degraded. Defaults to DefaultReadyShedRate.
+	ReadyShedRate float64
+	// ReadyWindow is the minimum interval between readiness shed-rate
+	// samples. Defaults to DefaultReadyWindow.
+	ReadyWindow time.Duration
 }
 
 // Server defaults.
@@ -82,6 +107,12 @@ const (
 	DefaultMaxFuel         = int64(1) << 36
 	DefaultQueueTimeout    = 10 * time.Second
 	DefaultMaxRequestBytes = int64(256) << 20
+	DefaultStreamTimeout   = 30 * time.Second
+	DefaultReadyShedRate   = 0.5
+	DefaultReadyWindow     = time.Second
+	// memJanitorInterval is how often the memory janitor samples the
+	// heap when MemWatermark is armed.
+	memJanitorInterval = 2 * time.Second
 )
 
 // Server is the extraction daemon. Create with New; serve its Handler
@@ -105,7 +136,15 @@ type Server struct {
 	statusClass [6]atomic.Uint64
 	// errKinds counts typed archive failures by core.ErrorKind (indexed
 	// by the kind's own value), however the status maps out.
-	errKinds [8]atomic.Uint64
+	errKinds [16]atomic.Uint64
+
+	// draining is set by StartDrain: new decode requests are shed with
+	// 503 + Retry-After while in-flight streams finish.
+	draining atomic.Bool
+	// janitorStop/janitorDone bound the memory janitor's lifetime.
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
 
 	// Latency histograms: endpoint and stage families are fixed at
 	// construction (lock-free observe); the per-codec family grows on
@@ -116,12 +155,21 @@ type Server struct {
 	mu        sync.Mutex
 	codecHist map[string]*obs.Histogram
 	codecHash map[string][32]byte // built-in codec name -> ELF content hash
+
+	// Readiness shed-rate sampling state (under readyMu): the previous
+	// window's admission counters and the verdict computed from them.
+	readyMu      sync.Mutex
+	readySampled time.Time
+	readyPrev    AdmissionStats
+	readyRate    float64
 }
 
 // errorKinds enumerates the taxonomy for the metrics surfaces.
 var errorKinds = []core.ErrorKind{
 	core.KindBadArchive, core.KindUnknownCodec, core.KindDecoderTrap,
 	core.KindFuelExhausted, core.KindOutputLimit, core.KindCanceled,
+	core.KindIO, core.KindUnavailable, core.KindQuarantined,
+	core.KindDeadline,
 }
 
 // New creates a Server with its own snapshot cache and admission
@@ -145,11 +193,25 @@ func New(cfg Config) *Server {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = DefaultMaxRequestBytes
 	}
+	if cfg.StreamTimeout == 0 {
+		cfg.StreamTimeout = DefaultStreamTimeout
+	}
+	wallBudget := cfg.StreamTimeout
+	if wallBudget < 0 {
+		wallBudget = 0 // watchdog explicitly disabled
+	}
+	if cfg.ReadyShedRate <= 0 {
+		cfg.ReadyShedRate = DefaultReadyShedRate
+	}
+	if cfg.ReadyWindow <= 0 {
+		cfg.ReadyWindow = DefaultReadyWindow
+	}
 	s := &Server{
 		cfg: cfg,
 		cache: vmpool.NewSnapCache(vmpool.SnapCacheConfig{
-			VM:       vm.Config{MemSize: cfg.MemSize},
+			VM:       vm.Config{MemSize: cfg.MemSize, WallBudget: wallBudget},
 			MaxBytes: cfg.CacheBytes,
+			Health:   cfg.Health,
 		}),
 		adm:       NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		mux:       http.NewServeMux(),
@@ -167,12 +229,72 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc(pattern, s.instrument(endpoint, h))
 	}
 	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	route("POST /v1/entries", "entries", s.handleEntries)
 	route("POST /v1/extract", "extract", s.handleExtract)
 	route("POST /v1/verify", "verify", s.handleVerify)
 	route("POST /v1/decode", "decode", s.handleDecode)
+	if cfg.MemWatermark > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.memJanitor()
+	}
 	return s
+}
+
+// memJanitor watches the heap against the configured watermark and
+// shrinks the snapshot cache to half its resident bytes when crossed:
+// idle decoder VMs are dropped and LRU snapshot lines evicted, trading
+// warm-path latency for staying alive. Lines rebuild on demand once
+// pressure subsides.
+func (s *Server) memJanitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(memJanitorInterval)
+	defer t.Stop()
+	var ms runtime.MemStats
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+		}
+		runtime.ReadMemStats(&ms)
+		if int64(ms.HeapAlloc) <= s.cfg.MemWatermark {
+			continue
+		}
+		st := s.cache.Stats()
+		freed := s.cache.Shrink(st.Bytes / 2)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("memory watermark exceeded, shrank snapshot cache",
+				"heap_bytes", ms.HeapAlloc, "watermark", s.cfg.MemWatermark,
+				"cache_bytes_freed", freed)
+		}
+	}
+}
+
+// StartDrain begins graceful shutdown: /readyz flips to draining (so
+// load balancers stop routing here) and new decode requests are shed
+// with 503 + Retry-After while streams already admitted run to
+// completion. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the server's background work (the memory janitor) and
+// drops the snapshot cache's idle VMs. It does not wait for in-flight
+// requests — pair it with StartDrain plus http.Server.Shutdown, which
+// do. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+			<-s.janitorDone
+		}
+		s.cache.Drain()
+	})
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -346,6 +468,8 @@ func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapse
 // hangups appear under StatusClasses and Admission instead.
 type Metrics struct {
 	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Ready            bool                     `json:"ready"`
+	Draining         bool                     `json:"draining"`
 	Requests         uint64                   `json:"requests"`
 	Errors           uint64                   `json:"errors"`
 	BytesIn          uint64                   `json:"bytes_in"`
@@ -362,8 +486,11 @@ type Metrics struct {
 
 // MetricsSnapshot returns the current counters and latency summaries.
 func (s *Server) MetricsSnapshot() Metrics {
+	ready, _ := s.Readiness()
 	m := Metrics{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Ready:            ready,
+		Draining:         s.draining.Load(),
 		Requests:         s.requests.Load(),
 		Errors:           s.errors.Load(),
 		BytesIn:          s.bytesIn.Load(),
@@ -414,9 +541,74 @@ func (s *Server) MetricsSnapshot() Metrics {
 	return m
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// Operational degradation never shows here — a draining or quarantine-
+// heavy daemon is still alive; restarting it would only make things
+// worse. Orchestrators should restart on /healthz and route on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// Readiness reports whether the daemon should receive new traffic,
+// with the reasons it should not. Degraded when draining, when any
+// decoder circuit breaker is open (the fleet has healthier members to
+// route to), or when the recent shed rate — shed + expired admissions
+// over all admission outcomes, sampled at most once per ReadyWindow —
+// exceeds ReadyShedRate.
+func (s *Server) Readiness() (ready bool, reasons []string) {
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	h := s.cache.Health()
+	if h.Open > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d decoder breaker(s) open", h.Open))
+	}
+	if rate := s.shedRate(); rate > s.cfg.ReadyShedRate {
+		reasons = append(reasons, fmt.Sprintf("shed rate %.2f over the last window", rate))
+	}
+	return len(reasons) == 0, reasons
+}
+
+// shedRate returns the shed fraction over the last completed sampling
+// window. Windows rotate lazily: the first call past ReadyWindow since
+// the previous rotation computes the rate from the counter deltas and
+// starts the next window.
+func (s *Server) shedRate() float64 {
+	now := time.Now()
+	cur := s.adm.Stats()
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	if s.readySampled.IsZero() {
+		s.readySampled, s.readyPrev = now, cur
+		return 0
+	}
+	if now.Sub(s.readySampled) >= s.cfg.ReadyWindow {
+		shed := float64(cur.Shed - s.readyPrev.Shed + cur.ShedCold - s.readyPrev.ShedCold + cur.Expired - s.readyPrev.Expired)
+		total := shed + float64(cur.Admitted-s.readyPrev.Admitted)
+		if total > 0 {
+			s.readyRate = shed / total
+		} else {
+			s.readyRate = 0
+		}
+		s.readySampled, s.readyPrev = now, cur
+	}
+	return s.readyRate
+}
+
+// handleReadyz is the routing signal: 200 while the daemon wants
+// traffic, 503 (with the reasons) while it should be avoided.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reasons := s.Readiness()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons,omitempty"`
+	}{ready, reasons})
 }
 
 // wantsPrometheus reports whether the scrape asked for text exposition:
@@ -473,20 +665,47 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 			map[string]string{"kind": k.String()}, float64(s.errKinds[k].Load()))
 	}
 
+	ready, _ := s.Readiness()
+	p.Gauge("vxad_ready", "1 while the daemon should receive traffic, else 0.", nil, boolGauge(ready))
+	p.Gauge("vxad_draining", "1 while the daemon is draining for shutdown.", nil, boolGauge(s.draining.Load()))
+
 	adm := s.adm.Stats()
 	p.Gauge("vxad_admission_in_flight", "Decode streams currently running.", nil, float64(adm.InFlight))
 	p.Gauge("vxad_admission_capacity", "Concurrent stream capacity.", nil, float64(adm.Capacity))
 	p.Gauge("vxad_admission_queue_depth", "Requests waiting for a slot.", nil, float64(adm.QueueDepth))
 	p.Counter("vxad_admission_admitted_total", "Requests granted a stream slot.", nil, float64(adm.Admitted))
 	p.Counter("vxad_admission_shed_total", "Requests shed with 503 (queue full).", nil, float64(adm.Shed))
+	p.Counter("vxad_admission_shed_cold_total", "Cold (snapshot-miss) requests shed at the cold watermark.", nil, float64(adm.ShedCold))
 	p.Counter("vxad_admission_expired_total", "Requests expired with 504 (queue timeout).", nil, float64(adm.Expired))
 
 	cache := s.cache.Stats()
 	p.Counter("vxad_snapcache_hits_total", "Snapshot cache hits.", nil, float64(cache.Hits))
 	p.Counter("vxad_snapcache_misses_total", "Snapshot cache misses (builds).", nil, float64(cache.Misses))
 	p.Counter("vxad_snapcache_evictions_total", "Snapshot cache evictions.", nil, float64(cache.Evictions))
+	p.Counter("vxad_snapcache_quarantined_total", "Snapshot lines evicted by decoder quarantine.", nil, float64(cache.Quarantined))
+	p.Counter("vxad_snapcache_shrinks_total", "Emergency cache shrinks (memory watermark).", nil, float64(cache.Shrinks))
 	p.Gauge("vxad_snapcache_entries", "Resident snapshot cache entries.", nil, float64(cache.Entries))
 	p.Gauge("vxad_snapcache_bytes", "Resident snapshot cache bytes.", nil, float64(cache.Bytes))
+
+	health := cache.Health
+	p.Gauge("vxad_breaker_open", "Decoder circuit breakers currently open.", nil, float64(health.Open))
+	p.Gauge("vxad_breaker_half_open", "Decoder circuit breakers currently half-open (probing).", nil, float64(health.HalfOpen))
+	p.Gauge("vxad_breaker_tracked", "Decoders with a live failure record.", nil, float64(health.Tracked))
+	p.Counter("vxad_breaker_trips_total", "Breaker transitions to open.", nil, float64(health.Trips))
+	p.Counter("vxad_breaker_probes_total", "Half-open probe admissions.", nil, float64(health.Probes))
+	p.Counter("vxad_breaker_probe_successes_total", "Probes that closed a breaker.", nil, float64(health.ProbeSuccesses))
+	for _, c := range []struct {
+		class string
+		n     uint64
+	}{
+		{"trap", health.Failures.Traps},
+		{"fuel", health.Failures.Fuel},
+		{"watchdog", health.Failures.Watchdog},
+		{"build", health.Failures.Builds},
+	} {
+		p.Counter("vxad_decoder_failures_total", "Counted decoder failures by class.",
+			map[string]string{"class": c.class}, float64(c.n))
+	}
 
 	for _, name := range sortedKeys(s.epHist) {
 		p.Summary("vxad_request_duration_seconds", "Request latency by endpoint.",
@@ -513,6 +732,14 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	return p.Err()
 }
 
+// boolGauge renders a boolean as a 0/1 gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // sortedKeys returns m's keys sorted, for deterministic exposition.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
@@ -530,6 +757,14 @@ func sortedKeys[V any](m map[string]V) []string {
 // client is gone, so the code is for logs and metrics, not the wire.
 const StatusClientClosedRequest = 499
 
+// StatusDecoderQuarantined is the status for requests failed fast
+// because the entry's decoder is under circuit-breaker quarantine. A
+// dedicated non-standard code (the 52x range is conventional for
+// origin-side trouble) so clients and dashboards can tell "your decoder
+// is quarantined, retry after the probe window" apart from both 422
+// (your decoder just crashed) and 503 (the whole daemon is overloaded).
+const StatusDecoderQuarantined = 521
+
 // kindStatus maps the library's error taxonomy onto HTTP statuses — the
 // v2 replacement for classifying failures by error-string shape. Every
 // core.ErrorKind has a row; the round-trip test pins that.
@@ -540,6 +775,10 @@ var kindStatus = map[core.ErrorKind]int{
 	core.KindFuelExhausted: http.StatusUnprocessableEntity, // decoder exceeded its instruction budget
 	core.KindOutputLimit:   http.StatusRequestEntityTooLarge,
 	core.KindCanceled:      StatusClientClosedRequest,
+	core.KindIO:            http.StatusInternalServerError, // host-side fault, not the client's
+	core.KindUnavailable:   http.StatusServiceUnavailable,  // lease machinery failed or load shed
+	core.KindQuarantined:   StatusDecoderQuarantined,
+	core.KindDeadline:      http.StatusUnprocessableEntity, // decoder blew its wall-clock budget
 }
 
 // StatusFor resolves any error the serving paths produce to its HTTP
@@ -549,10 +788,12 @@ var kindStatus = map[core.ErrorKind]int{
 func StatusFor(err error) int {
 	var ve *core.Error
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrColdShed), errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrExpired):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, vmpool.ErrDecoderQuarantined):
+		return StatusDecoderQuarantined
 	case errors.As(err, &ve):
 		if status, ok := kindStatus[ve.Kind]; ok {
 			return status
@@ -567,8 +808,24 @@ func StatusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.As(err, new(*http.MaxBytesError)):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+// retryAfter derives the Retry-After hint for a fail-fast response:
+// quarantine errors carry the exact time until the next half-open
+// probe; overload and drain responses use a flat second.
+func retryAfter(err error) string {
+	var qe *vmpool.QuarantineError
+	if errors.As(err, &qe) {
+		secs := int(qe.RetryAfter/time.Second) + 1
+		return strconv.Itoa(secs)
+	}
+	return "1"
 }
 
 // fail writes an error response with the status implied by err. The
@@ -577,8 +834,8 @@ func StatusFor(err error) int {
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	s.noteErrorKind(err)
 	status := StatusFor(err)
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if status == http.StatusServiceUnavailable || status == StatusDecoderQuarantined {
+		w.Header().Set("Retry-After", retryAfter(err))
 	}
 	http.Error(w, err.Error(), status)
 }
@@ -594,6 +851,9 @@ func (s *Server) noteErrorKind(err error) {
 var (
 	errBadRequest = errors.New("server: bad request")
 	errNotFound   = errors.New("server: not found")
+	// ErrDraining: the daemon is draining for shutdown; new decode work
+	// is shed with 503 + Retry-After so clients re-resolve elsewhere.
+	ErrDraining = errors.New("server: draining, not accepting new work")
 )
 
 // readBody reads the full request body under the size cap.
@@ -609,13 +869,27 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 // admit runs the admission controller for one decode stream. The wait
 // context is the request's own (a client disconnect counts as expiry)
 // bounded by the configured queue timeout. Time spent waiting — slot
-// granted or not — is the request's queue stage.
-func (s *Server) admit(r *http.Request) (release func(), err error) {
+// granted or not — is the request's queue stage. cold marks requests
+// that would have to build a decoder snapshot before streaming; those
+// are the first tier shed under pressure.
+//
+// A wait that ends because the client itself went away is reported as a
+// cancellation (499), not as a queue expiry: the admission machinery
+// did nothing wrong, and filing client hangups under 504 would make the
+// shed-rate readiness signal lie.
+func (s *Server) admit(r *http.Request, cold bool) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
 	waitStart := time.Now()
 	defer func() { obs.SpanFrom(r.Context()).Add(obs.StageQueue, time.Since(waitStart)) }()
-	return s.adm.Acquire(ctx)
+	release, err = s.adm.AcquireTier(ctx, cold)
+	if errors.Is(err, ErrExpired) && errors.Is(r.Context().Err(), context.Canceled) {
+		return nil, &core.Error{Kind: core.KindCanceled, Trap: r.Context().Err()}
+	}
+	return release, err
 }
 
 // fuel computes the per-stream budget: the standard payload-scaled
@@ -654,18 +928,27 @@ func (s *Server) reader(w http.ResponseWriter, r *http.Request) (*core.Reader, e
 	return cr, nil
 }
 
-// countWriter tracks decoded bytes streamed to the client. With sp set
-// it also attributes write time to the span's write stage — only the
-// raw-stream decode path sets it; archive extraction is timed by the
-// core layer's own writer, and double counting would overstate the
-// stage.
+// countWriter tracks decoded bytes streamed to the client and pins the
+// first write error (a severed client connection — or, under chaos
+// testing, an injected response-write fault, which simulates exactly
+// that). With sp set it also attributes write time to the span's write
+// stage — only the raw-stream decode path sets it; archive extraction
+// is timed by the core layer's own writer, and double counting would
+// overstate the stage.
 type countWriter struct {
-	w  http.ResponseWriter
-	sp *obs.Span
-	n  int64
+	w   http.ResponseWriter
+	sp  *obs.Span
+	n   int64
+	err error
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
+	if err := fault.Inject(fault.ResponseWrite); err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return 0, err
+	}
 	var start time.Time
 	if c.sp != nil {
 		start = time.Now()
@@ -675,6 +958,9 @@ func (c *countWriter) Write(p []byte) (int, error) {
 		c.sp.Add(obs.StageWrite, time.Since(start))
 	}
 	c.n += int64(n)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
 	return n, err
 }
 
@@ -754,7 +1040,23 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, err := s.admit(r)
+	// Resolve the entry's decoder content hash before admission: a
+	// quarantined decoder fails fast right here — no queue wait, no VM
+	// lease — and a snapshot miss marks the request cold, the first
+	// tier shed under load.
+	cold := false
+	if hash, ok, herr := cr.DecoderHash(entry); herr != nil {
+		s.fail(w, herr)
+		return
+	} else if ok {
+		if qerr := s.cache.CheckQuarantine(hash); qerr != nil {
+			s.fail(w, &core.Error{Kind: core.KindQuarantined, Entry: entry.Name, Trap: qerr})
+			return
+		}
+		cold = !s.cache.Contains(hash, entry.Mode)
+	}
+
+	release, err := s.admit(r, cold)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -798,7 +1100,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	release, err := s.admit(r)
+	release, err := s.admit(r, false)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -884,7 +1186,14 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, err := s.admit(r)
+	// Built-in decoders get the same containment as archived ones: a
+	// quarantined codec fails fast pre-admission, and a snapshot miss
+	// rides the cold tier.
+	if qerr := s.cache.CheckQuarantine(hash); qerr != nil {
+		s.fail(w, &core.Error{Kind: core.KindQuarantined, Entry: name, Trap: qerr})
+		return
+	}
+	release, err := s.admit(r, !s.cache.Contains(hash, decodeMode))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -897,7 +1206,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	// endpoint at warm-cache latency.
 	lease, err := s.cache.Get(r.Context(), hash, decodeMode, 0, func() ([]byte, error) { return c.DecoderELF() })
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, core.ClassifyDecode(name, err, r.Context().Err()))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -911,11 +1220,33 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	sp.Add(obs.StageExecute, time.Duration(st1.ExecuteNS-st0.ExecuteNS))
 	s.bytesOut.Add(uint64(cw.n))
 	if err != nil {
-		if vm.IsCanceled(err) {
+		switch {
+		case vm.IsCanceled(err):
 			// The client is gone; reset the VM to pristine and park it.
 			lease.ReleaseReset()
 			panic(http.ErrAbortHandler)
+		case vm.IsWatchdog(err):
+			// Wall-clock kill: the VM rewinds clean; the kill counts
+			// against the codec's breaker.
+			s.cache.Report(hash, vmpool.OutcomeWatchdog)
+			lease.ReleaseReset()
+			if cw.n == 0 {
+				s.fail(w, &core.Error{Kind: core.KindDeadline, Entry: name, Trap: err})
+				return
+			}
+			panic(http.ErrAbortHandler)
+		case cw.err != nil && errors.Is(cw.err, fault.ErrInjected):
+			// An injected response-write fault severed the stream from
+			// the host side — the guest only saw EIO. Not the decoder's
+			// fault; same containment as a vanished client.
+			lease.ReleaseReset()
+			if cw.n == 0 {
+				s.fail(w, &core.Error{Kind: core.KindCanceled, Entry: name, Trap: cw.err})
+				return
+			}
+			panic(http.ErrAbortHandler)
 		}
+		s.cache.Report(hash, vmpool.OutcomeFor(err))
 		de := codec.ClassifyDecodeError(name, err, lease.VM().ExitCode(), diag.String())
 		lease.Release(false)
 		if cw.n == 0 {
@@ -924,5 +1255,6 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		}
 		panic(http.ErrAbortHandler)
 	}
+	s.cache.Report(hash, vmpool.OutcomeOK)
 	lease.Release(reusable)
 }

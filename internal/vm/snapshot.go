@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"sync"
+	"time"
 	"unsafe"
 
 	"vxa/internal/vm/uop"
@@ -38,6 +39,7 @@ type Snapshot struct {
 	noCache                 bool
 	noSB                    bool
 	optCfg                  uop.OptConfig
+	wallBudget              time.Duration
 
 	mu     sync.Mutex
 	blocks map[uint32]*block
@@ -56,14 +58,15 @@ func (v *VM) Snapshot() *Snapshot {
 		regs:    [8]uint32(v.regs[:8]),
 		eip:     v.eip,
 		cf:      v.cf, zf: v.zf, sf: v.sf, of: v.of, pf: v.pf,
-		brk:       v.brk,
-		roLimit:   v.roLimit,
-		stackBase: v.stackBase,
-		fuel:      v.fuel,
-		noCache:   v.noCache,
-		noSB:      v.noSB,
-		optCfg:    v.optCfg,
-		blocks:    make(map[uint32]*block, len(v.blocks)),
+		brk:        v.brk,
+		roLimit:    v.roLimit,
+		stackBase:  v.stackBase,
+		fuel:       v.fuel,
+		noCache:    v.noCache,
+		noSB:       v.noSB,
+		optCfg:     v.optCfg,
+		wallBudget: v.wallBudget,
+		blocks:     make(map[uint32]*block, len(v.blocks)),
 	}
 	for addr, br := range v.blocks {
 		s.blocks[addr] = br.b
@@ -129,6 +132,8 @@ func (s *Snapshot) restore(v *VM) {
 	v.noCache = s.noCache
 	v.noSB = s.noSB
 	v.optCfg = s.optCfg
+	v.wallBudget = s.wallBudget
+	v.wallDeadline = 0
 	v.blocks = s.blockMap()
 	v.exitCode = 0
 	v.Stdin, v.Stdout, v.Stderr = nil, nil, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 )
 
 // RunStream drives one stream of the VXA decoder protocol on v: attach
@@ -21,6 +22,17 @@ import (
 func (v *VM) RunStream(ctx context.Context, stdin io.Reader, stdout, stderr io.Writer, fuel int64) (reusable bool, err error) {
 	v.Stdin, v.Stdout, v.Stderr = stdin, stdout, stderr
 	v.SetFuel(fuel)
+	if v.wallBudget > 0 {
+		// Arm the wall-clock watchdog for this stream. The deadline
+		// shares the cancellation countdown, which RunContext only
+		// initializes for cancelable contexts; seed it here so the
+		// watchdog fires even under context.Background().
+		v.wallDeadline = time.Now().Add(v.wallBudget).UnixNano()
+		if v.cancelCredit <= 0 {
+			v.cancelCredit = cancelQuantum
+		}
+		defer func() { v.wallDeadline = 0 }()
+	}
 	st, err := v.RunContext(ctx)
 	if err != nil {
 		return false, err

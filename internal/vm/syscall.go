@@ -3,6 +3,7 @@ package vm
 import (
 	"io"
 
+	"vxa/internal/fault"
 	"vxa/internal/x86"
 )
 
@@ -16,6 +17,13 @@ const maxIOChunk = 1 << 20
 // address space; no data is copied across a protection domain.
 func (v *VM) syscall() error {
 	v.stats.Syscalls++
+	// Chaos hook: an injected guest-syscall fault traps exactly as a
+	// hostile or buggy decoder would, exercising the trap-containment
+	// path (classification, breaker accounting, VM discard). Disarmed
+	// cost is one atomic load per syscall — never on the per-uop path.
+	if err := fault.Inject(fault.GuestSyscall); err != nil {
+		return &Trap{Kind: TrapSyscall, EIP: v.eip, Msg: err.Error()}
+	}
 	nr := v.regs[x86.EAX]
 	switch nr {
 	case SysExit:

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"math/bits"
+	"time"
 
 	"vxa/internal/vm/uop"
 	"vxa/internal/x86"
@@ -648,18 +649,25 @@ func (v *VM) execUops(br *bref) error {
 
 blocks:
 	for {
-		// Cancellation poll (RunContext): one nil check per block when
-		// the run is uncancellable; otherwise a countdown decrement, with
-		// the channel select only every cancelQuantum guest instructions.
-		// Nothing here touches the per-uop dispatch loop below.
-		if v.cancel != nil {
+		// Cancellation + watchdog poll (RunContext, Config.WallBudget):
+		// two cheap compares per block when the run is uncancellable and
+		// unwatched; otherwise a countdown decrement, with the channel
+		// select and the clock read only every cancelQuantum guest
+		// instructions. Nothing here touches the per-uop dispatch loop
+		// below.
+		if v.cancel != nil || v.wallDeadline != 0 {
 			v.cancelCredit -= br.b.cost
 			if v.cancelCredit <= 0 {
 				v.cancelCredit = cancelQuantum
-				select {
-				case <-v.cancel:
-					return &CanceledError{Cause: v.cancelCause()}
-				default:
+				if v.cancel != nil {
+					select {
+					case <-v.cancel:
+						return &CanceledError{Cause: v.cancelCause()}
+					default:
+					}
+				}
+				if v.wallDeadline != 0 && time.Now().UnixNano() > v.wallDeadline {
+					return &WatchdogError{Budget: v.wallBudget}
 				}
 			}
 		}

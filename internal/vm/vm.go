@@ -155,6 +155,15 @@ type Config struct {
 	// NoSuperblocks disables hot-path superblock formation (per-pass
 	// ablation; see superblock.go).
 	NoSuperblocks bool
+
+	// WallBudget is the wall-clock watchdog: the maximum real time one
+	// RunStream may take, enforced at block-chain boundaries on the
+	// cancellation-poll cadence. Unlike fuel (a deterministic
+	// instruction budget), the watchdog catches guests that are
+	// fuel-cheap but wall-expensive — tight syscall loops, pathological
+	// I/O patterns. Zero disables it. The budget survives snapshot
+	// materialization and Reset, so pooled VMs keep their watchdog.
+	WallBudget time.Duration
 }
 
 // Stats are execution counters exposed for the evaluation harness and,
@@ -215,6 +224,14 @@ type VM struct {
 	cancel       <-chan struct{}
 	cancelCause  func() error
 	cancelCredit int64
+
+	// Wall-clock watchdog (Config.WallBudget). wallDeadline is the
+	// absolute deadline (unix nanos) of the in-flight stream, armed by
+	// RunStream and zero otherwise; it shares the cancelCredit
+	// countdown with cancellation so the clock is read at most once per
+	// cancelQuantum guest instructions.
+	wallBudget   time.Duration
+	wallDeadline int64
 
 	// Stdin is the encoded input stream (virtual fd 0).
 	Stdin io.Reader
@@ -302,15 +319,16 @@ func New(cfg Config) (*VM, error) {
 		return nil, fmt.Errorf("vm: bad StackSize %d", cfg.StackSize)
 	}
 	v := &VM{
-		mem:       make([]byte, cfg.MemSize),
-		brk:       PageSize,
-		roLimit:   PageSize,
-		stackBase: cfg.MemSize - cfg.StackSize,
-		fuel:      cfg.Fuel,
-		noCache:   cfg.NoBlockCache,
-		noSB:      cfg.NoSuperblocks,
-		optCfg:    uop.OptConfig{NoFuse: cfg.NoFusion, NoFlagElide: cfg.NoFlagElision},
-		blocks:    make(map[uint32]*bref),
+		mem:        make([]byte, cfg.MemSize),
+		brk:        PageSize,
+		roLimit:    PageSize,
+		stackBase:  cfg.MemSize - cfg.StackSize,
+		fuel:       cfg.Fuel,
+		noCache:    cfg.NoBlockCache,
+		noSB:       cfg.NoSuperblocks,
+		wallBudget: cfg.WallBudget,
+		optCfg:     uop.OptConfig{NoFuse: cfg.NoFusion, NoFlagElide: cfg.NoFlagElision},
+		blocks:     make(map[uint32]*bref),
 	}
 	v.regs[x86.ESP] = cfg.MemSize - 16 // a little headroom at the very top
 	return v, nil
@@ -432,6 +450,27 @@ func (e *CanceledError) Unwrap() error { return e.Cause }
 func IsCanceled(err error) bool {
 	var ce *CanceledError
 	return errors.As(err, &ce)
+}
+
+// WatchdogError reports that the wall-clock watchdog killed a stream:
+// the guest exceeded Config.WallBudget of real time regardless of how
+// little fuel it burned. Like cancellation, the kill lands at a block
+// boundary and leaves mid-stream garbage in the VM — pool it back only
+// through a pristine reset.
+type WatchdogError struct {
+	Budget time.Duration
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("vm: wall-clock watchdog: stream exceeded %v", e.Budget)
+}
+
+// IsWatchdog reports whether err (anywhere in its chain) is a
+// *WatchdogError.
+func IsWatchdog(err error) bool {
+	var we *WatchdogError
+	return errors.As(err, &we)
 }
 
 // cancelQuantum is how many guest instructions may execute between

@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"vxa/internal/x86"
+	"vxa/internal/x86/asm"
+)
+
+// spinProgram is a guest that loops forever: fuel-hungry but, more to
+// the point here, wall-expensive. The watchdog must kill it regardless
+// of how much fuel remains.
+func spinProgram(u *asm.Unit) {
+	u.Label("start")
+	u.Label("loop")
+	u.Op2(x86.ADD, x86.R(x86.EAX), x86.I(1))
+	u.Jmp("loop")
+}
+
+func TestWatchdogKillsSpinningGuest(t *testing.T) {
+	const budget = 30 * time.Millisecond
+	v, _ := buildVM(t, Config{WallBudget: budget}, nil, spinProgram)
+	start := time.Now()
+	_, err := v.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel)
+	elapsed := time.Since(start)
+	if !IsWatchdog(err) {
+		t.Fatalf("err = %v, want watchdog kill", err)
+	}
+	if IsCanceled(err) {
+		t.Fatalf("watchdog kill %v must not read as a cancellation", err)
+	}
+	// Generous bound: the kill lands on the cancel-quantum cadence, so
+	// it should arrive soon after the budget, never minutes after.
+	if elapsed > budget+2*time.Second {
+		t.Fatalf("watchdog took %v to fire on a %v budget", elapsed, budget)
+	}
+	if v.FuelRemaining() <= 0 {
+		t.Fatal("guest exhausted fuel; the test did not exercise the wall path")
+	}
+}
+
+// A watchdog kill leaves mid-stream garbage; Reset must hand back a
+// pristine, runnable VM with the budget still armed for the next
+// stream.
+func TestWatchdogSurvivesReset(t *testing.T) {
+	const budget = 20 * time.Millisecond
+	v, _ := buildVM(t, Config{WallBudget: budget}, nil, spinProgram)
+	snap := v.Snapshot()
+
+	if _, err := v.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel); !IsWatchdog(err) {
+		t.Fatalf("first stream: err = %v, want watchdog kill", err)
+	}
+	if err := v.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel); !IsWatchdog(err) {
+		t.Fatalf("stream after reset: err = %v, want watchdog kill again", err)
+	}
+
+	// A VM materialized fresh from the snapshot inherits the budget too.
+	v2 := snap.NewVM()
+	if _, err := v2.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel); !IsWatchdog(err) {
+		t.Fatalf("snapshot-materialized VM: err = %v, want watchdog kill", err)
+	}
+}
+
+// With no WallBudget the watchdog must stay disarmed: a well-behaved
+// guest under Background context runs to completion.
+func TestWatchdogDisarmedByDefault(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, func(u *asm.Unit) {
+		u.Label("start")
+		sysExit(u, 0)
+	})
+	if _, err := v.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel); err != nil {
+		t.Fatalf("disarmed run: %v", err)
+	}
+}
+
+// A guest that finishes within budget is untouched, and the deadline
+// must not leak into the next stream (each RunStream re-arms afresh).
+func TestWatchdogWithinBudget(t *testing.T) {
+	v, _ := buildVM(t, Config{WallBudget: time.Minute}, nil, func(u *asm.Unit) {
+		u.Label("start")
+		sysExit(u, 0)
+	})
+	if _, err := v.RunStream(context.Background(), bytes.NewReader(nil), &bytes.Buffer{}, nil, DefaultFuel); err != nil {
+		t.Fatalf("within-budget run: %v", err)
+	}
+	if v.wallDeadline != 0 {
+		t.Fatal("deadline still armed after RunStream returned")
+	}
+}

@@ -1,0 +1,380 @@
+package vmpool
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vxa/internal/vm"
+)
+
+// Decoder health tracking: a per-decoder-content-hash circuit breaker.
+//
+// An archive carries arbitrary decoder code, so a single poisoned or
+// pathological decoder ELF can otherwise burn a VM lease (and a
+// snapshot rebuild) on every request that references it. The breaker
+// accounts the failure classes that indict the decoder itself — traps,
+// fuel exhaustion, watchdog kills, snapshot-build failures — and after
+// Threshold consecutive failures opens: requests for that content hash
+// fail fast with ErrDecoderQuarantined, no VM leased, until a
+// half-open probe admits one request per backoff interval. A probe
+// that succeeds closes the breaker; one that fails reopens it with the
+// backoff doubled (capped at MaxBackoff).
+//
+// Deliberately NOT counted: nonzero decoder exits and stream protocol
+// violations (routinely caused by corrupt *payloads*, and quarantining
+// a shared codec because one client uploads garbage would be a denial
+// of service), cancellations, and host-side I/O errors. Accounting is
+// keyed by content hash alone — a decoder that fails under one
+// security mode is quarantined under all of them, since the code is
+// identical.
+
+// BreakerState is one decoder's circuit-breaker state.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed: healthy; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: quarantined; requests fail fast until the backoff
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a probe request is in flight (or admitted); the
+	// next report decides reopen vs close.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// HealthConfig configures decoder health tracking.
+type HealthConfig struct {
+	// Threshold is the consecutive-failure count that opens a decoder's
+	// breaker. 0 selects DefaultBreakerThreshold; negative disables
+	// health tracking entirely.
+	Threshold int
+	// Backoff is the initial open → half-open probe delay. Each failed
+	// probe doubles it, up to MaxBackoff. 0 selects
+	// DefaultBreakerBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff. 0 selects
+	// DefaultBreakerMaxBackoff.
+	MaxBackoff time.Duration
+
+	// now is the clock, swappable by tests. nil means time.Now.
+	now func() time.Time
+}
+
+// Health-tracking defaults.
+const (
+	DefaultBreakerThreshold  = 5
+	DefaultBreakerBackoff    = 500 * time.Millisecond
+	DefaultBreakerMaxBackoff = 30 * time.Second
+)
+
+// ErrDecoderQuarantined is the sentinel matched (via errors.Is) by the
+// fail-fast error returned while a decoder's breaker is open.
+var ErrDecoderQuarantined = errors.New("vmpool: decoder quarantined")
+
+// QuarantineError is the concrete fail-fast error: it names the
+// quarantined decoder and how long until the next half-open probe is
+// admitted (the serving layer's Retry-After).
+type QuarantineError struct {
+	Hash       [32]byte
+	RetryAfter time.Duration
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("vmpool: decoder %s quarantined (next probe in %v)",
+		hex.EncodeToString(e.Hash[:8]), e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrDecoderQuarantined) match.
+func (e *QuarantineError) Is(target error) bool { return target == ErrDecoderQuarantined }
+
+// Outcome classifies one finished decoder stream (or failed snapshot
+// build) for health accounting.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeIgnore says the event carries no signal about the
+	// decoder's health (cancellation, host I/O failure, payload-driven
+	// nonzero exit) and must not move the breaker either way.
+	OutcomeIgnore Outcome = iota
+	// OutcomeOK is a successfully decoded stream.
+	OutcomeOK
+	// OutcomeTrap is a guest trap (memory, illegal instruction, bad
+	// syscall, divide, read-only write).
+	OutcomeTrap
+	// OutcomeFuel is instruction-budget exhaustion.
+	OutcomeFuel
+	// OutcomeWatchdog is a wall-clock watchdog kill.
+	OutcomeWatchdog
+	// OutcomeBuildFail is a failed decoder snapshot build.
+	OutcomeBuildFail
+)
+
+// OutcomeFor maps a stream error to its health outcome. The error is
+// the raw stream error (before core-level classification): traps and
+// watchdog kills indict the decoder; fuel exhaustion surfaces as a
+// fuel trap; everything else — cancellations, nonzero exits, write
+// failures — is noise the breaker must not act on.
+func OutcomeFor(err error) Outcome {
+	if err == nil {
+		return OutcomeOK
+	}
+	if vm.IsWatchdog(err) {
+		return OutcomeWatchdog
+	}
+	if vm.IsCanceled(err) {
+		return OutcomeIgnore
+	}
+	var trap *vm.Trap
+	if errors.As(err, &trap) {
+		if trap.Kind == vm.TrapFuel {
+			return OutcomeFuel
+		}
+		return OutcomeTrap
+	}
+	return OutcomeIgnore
+}
+
+// FailureCounts tallies counted decoder failures by class.
+type FailureCounts struct {
+	Traps    uint64 `json:"traps"`
+	Fuel     uint64 `json:"fuel"`
+	Watchdog uint64 `json:"watchdog"`
+	Builds   uint64 `json:"builds"`
+}
+
+// HealthStats is a point-in-time view of decoder health tracking.
+type HealthStats struct {
+	// Tracked is the number of decoders with a live failure record
+	// (healthy decoders are dropped on their next success).
+	Tracked int `json:"tracked"`
+	// Open and HalfOpen count breakers currently in those states.
+	Open     int `json:"open"`
+	HalfOpen int `json:"half_open"`
+	// Trips counts closed/half-open → open transitions.
+	Trips uint64 `json:"trips"`
+	// Probes counts half-open probe admissions; ProbeSuccesses counts
+	// the ones that closed the breaker.
+	Probes         uint64 `json:"probes"`
+	ProbeSuccesses uint64 `json:"probe_successes"`
+	// Failures tallies counted decoder failures by class.
+	Failures FailureCounts `json:"failures"`
+}
+
+// decoderHealth is one content hash's breaker.
+type decoderHealth struct {
+	state       BreakerState
+	consecutive int
+	backoff     time.Duration
+	retryAt     time.Time
+}
+
+// Health tracks per-decoder failure accounting and breakers. A nil
+// *Health is valid and tracks nothing.
+type Health struct {
+	cfg HealthConfig
+
+	mu       sync.Mutex
+	m        map[[32]byte]*decoderHealth
+	trips    uint64
+	probes   uint64
+	probeOKs uint64
+	fails    FailureCounts
+}
+
+// NewHealth creates a health tracker. A negative Threshold returns a
+// tracker that is permanently disabled.
+func NewHealth(cfg HealthConfig) *Health {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBreakerBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultBreakerMaxBackoff
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Health{cfg: cfg, m: make(map[[32]byte]*decoderHealth)}
+}
+
+func (h *Health) disabled() bool { return h == nil || h.cfg.Threshold < 0 }
+
+// Allow gates a request for the decoder: nil means proceed (including
+// the admission of a half-open probe once per backoff interval); a
+// *QuarantineError means fail fast without leasing anything. When a
+// probe is admitted its retry time advances immediately, so a probe
+// whose outcome is never reported (caller crashed, request canceled)
+// just means the next probe fires one backoff later — the breaker can
+// never wedge waiting for a report.
+func (h *Health) Allow(hash [32]byte) error {
+	if h.disabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.m[hash]
+	if d == nil || d.state == BreakerClosed {
+		return nil
+	}
+	now := h.cfg.now()
+	if now.Before(d.retryAt) {
+		return &QuarantineError{Hash: hash, RetryAfter: d.retryAt.Sub(now)}
+	}
+	d.state = BreakerHalfOpen
+	d.retryAt = now.Add(d.backoff)
+	h.probes++
+	return nil
+}
+
+// Report feeds one outcome into the hash's breaker and reports whether
+// this report tripped it open (the caller then quarantine-evicts the
+// decoder's cached snapshot, so a poisoned line is rebuilt rather than
+// reshared when the breaker eventually closes).
+func (h *Health) Report(hash [32]byte, o Outcome) (opened bool) {
+	if h.disabled() || o == OutcomeIgnore {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if o == OutcomeOK {
+		d := h.m[hash]
+		if d == nil {
+			return false
+		}
+		if d.state == BreakerHalfOpen {
+			h.probeOKs++
+		}
+		// Healthy again: drop the record entirely, which resets the
+		// consecutive count and the backoff and keeps the map bounded
+		// by the number of currently-unhealthy decoders.
+		delete(h.m, hash)
+		return false
+	}
+
+	switch o {
+	case OutcomeTrap:
+		h.fails.Traps++
+	case OutcomeFuel:
+		h.fails.Fuel++
+	case OutcomeWatchdog:
+		h.fails.Watchdog++
+	case OutcomeBuildFail:
+		h.fails.Builds++
+	}
+
+	d := h.m[hash]
+	if d == nil {
+		d = &decoderHealth{backoff: h.cfg.Backoff}
+		h.m[hash] = d
+	}
+	d.consecutive++
+	now := h.cfg.now()
+	switch d.state {
+	case BreakerHalfOpen:
+		// Failed probe: reopen with the backoff doubled.
+		d.backoff = min(2*d.backoff, h.cfg.MaxBackoff)
+		d.state = BreakerOpen
+		d.retryAt = now.Add(d.backoff)
+		h.trips++
+		return true
+	case BreakerOpen:
+		// A straggler from before the trip; the breaker is already
+		// doing its job.
+		return false
+	default:
+		if d.consecutive >= h.cfg.Threshold {
+			d.state = BreakerOpen
+			d.retryAt = now.Add(d.backoff)
+			h.trips++
+			return true
+		}
+		return false
+	}
+}
+
+// Quarantined reports whether Allow would currently fail the hash
+// fast. Unlike Allow it never admits a probe, so it is safe to poll:
+// an open breaker whose retry time has passed is due for a probe and
+// no longer counts as fail-fast quarantined.
+func (h *Health) Quarantined(hash [32]byte) bool {
+	return h.Check(hash) != nil
+}
+
+// Check returns the fail-fast *QuarantineError Allow would return, or
+// nil when a request for the hash may proceed. Unlike Allow it never
+// admits a probe, so serving layers can fail quarantined requests
+// before paying for admission without stealing the probe slot from the
+// request that will actually run.
+func (h *Health) Check(hash [32]byte) error {
+	if h.disabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.m[hash]
+	if d == nil || d.state != BreakerOpen {
+		return nil
+	}
+	now := h.cfg.now()
+	if !now.Before(d.retryAt) {
+		return nil // a probe is due; let the request through to Allow
+	}
+	return &QuarantineError{Hash: hash, RetryAfter: d.retryAt.Sub(now)}
+}
+
+// State returns the hash's current breaker state (for tests and
+// monitoring).
+func (h *Health) State(hash [32]byte) BreakerState {
+	if h.disabled() {
+		return BreakerClosed
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d := h.m[hash]; d != nil {
+		return d.state
+	}
+	return BreakerClosed
+}
+
+// Stats returns a point-in-time view.
+func (h *Health) Stats() HealthStats {
+	if h.disabled() {
+		return HealthStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HealthStats{
+		Tracked: len(h.m), Trips: h.trips,
+		Probes: h.probes, ProbeSuccesses: h.probeOKs,
+		Failures: h.fails,
+	}
+	for _, d := range h.m {
+		switch d.state {
+		case BreakerOpen:
+			s.Open++
+		case BreakerHalfOpen:
+			s.HalfOpen++
+		}
+	}
+	return s
+}

@@ -1,0 +1,364 @@
+package vmpool
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vxa/internal/obs"
+	"vxa/internal/vm"
+)
+
+// fakeClock is a hand-advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testHash(b byte) [32]byte {
+	var h [32]byte
+	h[0] = b
+	return h
+}
+
+// The full breaker walk: closed → open after Threshold consecutive
+// failures, fail-fast while open, half-open probe after the backoff,
+// reopen with doubled backoff on a failed probe, closed again on a
+// successful one.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(HealthConfig{Threshold: 3, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second, now: clk.now})
+	hash := testHash(1)
+
+	// A success wipes the consecutive count: two traps + OK + two traps
+	// never reaches the threshold of 3.
+	h.Report(hash, OutcomeTrap)
+	h.Report(hash, OutcomeTrap)
+	h.Report(hash, OutcomeOK)
+	h.Report(hash, OutcomeTrap)
+	if opened := h.Report(hash, OutcomeTrap); opened {
+		t.Fatal("breaker opened below threshold")
+	}
+	if st := h.State(hash); st != BreakerClosed {
+		t.Fatalf("state %v, want closed", st)
+	}
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("closed breaker denied a request: %v", err)
+	}
+
+	// Third consecutive failure trips it.
+	if opened := h.Report(hash, OutcomeFuel); !opened {
+		t.Fatal("threshold-reaching report did not open the breaker")
+	}
+	if st := h.State(hash); st != BreakerOpen {
+		t.Fatalf("state %v, want open", st)
+	}
+	err := h.Allow(hash)
+	if !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatalf("open breaker allowed a request (err=%v)", err)
+	}
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || qe.RetryAfter <= 0 || qe.RetryAfter > 100*time.Millisecond {
+		t.Fatalf("quarantine error %v: want a positive RetryAfter within the backoff", err)
+	}
+	if !h.Quarantined(hash) {
+		t.Fatal("Quarantined() false while open before the backoff")
+	}
+
+	// After the backoff: exactly one probe is admitted per interval.
+	clk.advance(150 * time.Millisecond)
+	if h.Quarantined(hash) {
+		t.Fatal("Quarantined() true when a probe is due")
+	}
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("probe not admitted after backoff: %v", err)
+	}
+	if st := h.State(hash); st != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", st)
+	}
+	if err := h.Allow(hash); !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatalf("second request rode the probe window: %v", err)
+	}
+
+	// Failed probe: reopen, backoff doubled to 200ms.
+	if opened := h.Report(hash, OutcomeTrap); !opened {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	clk.advance(150 * time.Millisecond)
+	if err := h.Allow(hash); !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatal("reopened breaker must honour the doubled backoff")
+	}
+	clk.advance(100 * time.Millisecond)
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("probe not admitted after doubled backoff: %v", err)
+	}
+
+	// Successful probe closes the breaker and drops the record.
+	h.Report(hash, OutcomeOK)
+	if st := h.State(hash); st != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", st)
+	}
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("closed breaker denied a request: %v", err)
+	}
+
+	st := h.Stats()
+	if st.Trips != 2 || st.Probes != 2 || st.ProbeSuccesses != 1 {
+		t.Fatalf("stats %+v: want trips=2 probes=2 probe_successes=1", st)
+	}
+	if st.Failures.Traps != 5 || st.Failures.Fuel != 1 {
+		t.Fatalf("failure counts %+v: want traps=5 fuel=1", st.Failures)
+	}
+	if st.Tracked != 0 || st.Open != 0 || st.HalfOpen != 0 {
+		t.Fatalf("stats %+v: healthy decoder should be untracked", st)
+	}
+}
+
+// The backoff must saturate at MaxBackoff, and an unreported probe must
+// not wedge the breaker: the next probe is due one backoff later.
+func TestBreakerBackoffCapAndUnreportedProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(HealthConfig{Threshold: 1, Backoff: 100 * time.Millisecond, MaxBackoff: 250 * time.Millisecond, now: clk.now})
+	hash := testHash(2)
+
+	h.Report(hash, OutcomeTrap) // open, backoff 100ms
+	for i := 0; i < 5; i++ {    // fail probes: 200ms, 250ms, 250ms, ...
+		clk.advance(time.Second)
+		if err := h.Allow(hash); err != nil {
+			t.Fatalf("probe %d not admitted: %v", i, err)
+		}
+		h.Report(hash, OutcomeTrap)
+	}
+	// Backoff is now pinned at the cap.
+	clk.advance(200 * time.Millisecond)
+	if err := h.Allow(hash); !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatal("breaker must still be within the capped backoff")
+	}
+	clk.advance(100 * time.Millisecond)
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("probe not admitted after capped backoff: %v", err)
+	}
+
+	// Never report the probe's outcome: the breaker stays half-open and
+	// admits the next probe one backoff later, no wedge.
+	if err := h.Allow(hash); !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatal("second probe admitted inside the same window")
+	}
+	clk.advance(300 * time.Millisecond)
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("breaker wedged after an unreported probe: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	h := NewHealth(HealthConfig{Threshold: -1})
+	hash := testHash(3)
+	for i := 0; i < 100; i++ {
+		h.Report(hash, OutcomeTrap)
+	}
+	if err := h.Allow(hash); err != nil {
+		t.Fatalf("disabled tracker denied a request: %v", err)
+	}
+	var nilH *Health
+	if err := nilH.Allow(hash); err != nil {
+		t.Fatalf("nil tracker denied a request: %v", err)
+	}
+	nilH.Report(hash, OutcomeTrap)
+}
+
+// OutcomeFor must indict the decoder only for traps, fuel and watchdog
+// kills — never for cancellations or payload-style errors.
+func TestOutcomeFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OutcomeOK},
+		{&vm.Trap{Kind: vm.TrapMemory}, OutcomeTrap},
+		{&vm.Trap{Kind: vm.TrapSyscall}, OutcomeTrap},
+		{fmt.Errorf("wrapped: %w", &vm.Trap{Kind: vm.TrapIllegal}), OutcomeTrap},
+		{&vm.Trap{Kind: vm.TrapFuel}, OutcomeFuel},
+		{&vm.WatchdogError{Budget: time.Second}, OutcomeWatchdog},
+		{&vm.CanceledError{Cause: context.Canceled}, OutcomeIgnore},
+		{errors.New("decoder exit status 1"), OutcomeIgnore},
+	}
+	for _, c := range cases {
+		if got := OutcomeFor(c.err); got != c.want {
+			t.Errorf("OutcomeFor(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// Tripping a decoder's breaker quarantine-evicts its SnapCache lines
+// (all modes), the fail-fast path leases nothing, and the half-open
+// probe rebuilds the snapshot from the decoder bytes.
+func TestSnapCacheQuarantine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewSnapCache(SnapCacheConfig{
+		VM:     vm.Config{MemSize: 4 << 20},
+		Health: HealthConfig{Threshold: 2, Backoff: 100 * time.Millisecond, now: clk.now},
+	})
+	elf := compile(t, echoSrc)
+	elfBytes, _ := elf()
+	hash := HashELF(elfBytes)
+	builds := 0
+	src := func() ([]byte, error) { builds++; return elfBytes, nil }
+
+	// Healthy line under two modes.
+	for _, mode := range []uint32{0600, 0644} {
+		l, err := c.Get(context.Background(), hash, mode, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Release(false)
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+
+	// Two counted failures trip the breaker; both mode lines must go.
+	c.Report(hash, OutcomeTrap)
+	c.Report(hash, OutcomeTrap)
+	if st := c.BreakerState(hash); st != BreakerOpen {
+		t.Fatalf("breaker %v, want open", st)
+	}
+	if c.Contains(hash, 0600) || c.Contains(hash, 0644) {
+		t.Fatal("quarantined lines still resident")
+	}
+
+	// Fail fast: no lease, no rebuild.
+	if _, err := c.Get(context.Background(), hash, 0600, 0, src); !errors.Is(err, ErrDecoderQuarantined) {
+		t.Fatalf("quarantined Get returned %v", err)
+	}
+	if builds != 2 {
+		t.Fatalf("fail-fast path rebuilt the snapshot (builds=%d)", builds)
+	}
+	if n := c.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding = %d during quarantine, want 0", n)
+	}
+
+	// Probe after backoff: the line is rebuilt, and a success closes.
+	clk.advance(150 * time.Millisecond)
+	l, err := c.Get(context.Background(), hash, 0600, 0, src)
+	if err != nil {
+		t.Fatalf("probe Get: %v", err)
+	}
+	var out bytes.Buffer
+	reusable, err := l.VM().RunStream(context.Background(), bytes.NewReader([]byte("hi")), &out, nil, vm.StreamFuel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release(reusable)
+	c.Report(hash, OutcomeOK)
+	if builds != 3 {
+		t.Fatalf("probe did not rebuild the quarantined snapshot (builds=%d)", builds)
+	}
+	if st := c.BreakerState(hash); st != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+	st := c.Stats()
+	if st.Quarantined != 2 {
+		t.Fatalf("quarantined evictions = %d, want 2 (both modes)", st.Quarantined)
+	}
+	if st.Health.Trips != 1 || st.Health.ProbeSuccesses != 1 {
+		t.Fatalf("health stats %+v: want one trip, one probe success", st.Health)
+	}
+}
+
+// Shrink must cut resident snapshot bytes to the target (evicting even
+// recently used lines) and drop idle VMs, while in-flight leases drain
+// through the orphan path.
+func TestSnapCacheShrink(t *testing.T) {
+	c := NewSnapCache(SnapCacheConfig{VM: vm.Config{MemSize: 4 << 20}})
+	elfs := []func() ([]byte, error){
+		compile(t, echoSrc),
+		compile(t, leakySrc),
+	}
+	var hashes [][32]byte
+	for _, elf := range elfs {
+		b, _ := elf()
+		hashes = append(hashes, HashELF(b))
+		l, err := c.Get(context.Background(), HashELF(b), 0644, 0, elf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Release(false)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("resident lines = %d, want 2", got)
+	}
+	before := c.Stats().Bytes
+	if before <= 0 {
+		t.Fatal("no resident bytes to shrink")
+	}
+	freed := c.Shrink(0)
+	if freed != before {
+		t.Fatalf("Shrink(0) freed %d of %d bytes", freed, before)
+	}
+	if c.Len() != 0 || c.Stats().Bytes != 0 {
+		t.Fatalf("lines=%d bytes=%d after Shrink(0), want empty", c.Len(), c.Stats().Bytes)
+	}
+	if c.Stats().Shrinks != 1 {
+		t.Fatalf("shrinks = %d, want 1", c.Stats().Shrinks)
+	}
+	// The cache still serves: lines rebuild on demand.
+	l, err := c.Get(context.Background(), hashes[0], 0644, 0, elfs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release(false)
+}
+
+// Satellite pin: a request canceled while blocked in the MaxLive
+// lease-wait reports its wait in the queue span stage (not lease) and
+// surfaces the context error so the serving layer can file it in the
+// 499 cell — never as a pool failure.
+func TestLeaseWaitCancelAccounting(t *testing.T) {
+	elf := compile(t, echoSrc)
+	p := New(Options{MaxLive: 1})
+
+	l1, err := p.Get(context.Background(), "echo", 0644, elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, sp := obs.WithSpan(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx, "echo", 0644, elf)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the waiter block on the slot
+	cancel()
+	err = <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled lease wait returned %v, want a context.Canceled chain", err)
+	}
+	if q := sp.Get(obs.StageQueue); q < 20*time.Millisecond {
+		t.Fatalf("queue stage = %v, want the blocked slot wait (>=20ms)", q)
+	}
+	if lease := sp.Get(obs.StageLease); lease > 5*time.Millisecond {
+		t.Fatalf("lease stage = %v: the canceled slot wait leaked into lease", lease)
+	}
+	l1.Release(false)
+	if n := p.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding = %d, want 0", n)
+	}
+}

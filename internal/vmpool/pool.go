@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vxa/internal/elf32"
+	"vxa/internal/fault"
 	"vxa/internal/obs"
 	"vxa/internal/vm"
 )
@@ -233,23 +234,37 @@ func (p *Pool) GetScoped(ctx context.Context, codec string, mode uint32, scope u
 		return nil, fmt.Errorf("vmpool: decoder %s: %w", codec, cs.err)
 	}
 	sp.Add(obs.StageSnapshot, time.Since(snapStart))
-	leaseStart := time.Now()
-	defer func() { sp.Add(obs.StageLease, time.Since(leaseStart)) }()
 
 	// Lease-slot admission (MaxLive): block here, not under the pool
 	// lock, until a slot frees or the caller gives up. The slot is
-	// released by Release/ReleaseReset.
+	// released by Release/ReleaseReset. A blocked slot wait is
+	// backpressure queueing, so it lands in the span's queue stage
+	// (only the VM pickup below is lease work) — in particular, a
+	// request canceled while parked here reports queue time and a
+	// context error (wrapping ctx.Err(), so errors.Is sees the
+	// client's cancellation), never a pool failure.
 	if p.sem != nil {
 		select {
 		case p.sem <- struct{}{}:
 		default:
+			waitStart := time.Now()
 			select {
 			case p.sem <- struct{}{}:
+				sp.Add(obs.StageQueue, time.Since(waitStart))
 			case <-ctx.Done():
+				sp.Add(obs.StageQueue, time.Since(waitStart))
 				return nil, fmt.Errorf("vmpool: waiting for a VM: %w", ctx.Err())
 			}
 		}
 	}
+	// Chaos hook: an injected lease fault models transient pool
+	// unavailability after admission.
+	if err := fault.Inject(fault.LeaseAcquire); err != nil {
+		p.releaseSlot()
+		return nil, err
+	}
+	leaseStart := time.Now()
+	defer func() { sp.Add(obs.StageLease, time.Since(leaseStart)) }()
 
 	p.mu.Lock()
 	// Same key: resume the parked VM without touching its state.

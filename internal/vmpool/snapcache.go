@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vxa/internal/elf32"
+	"vxa/internal/fault"
 	"vxa/internal/obs"
 	"vxa/internal/vm"
 )
@@ -34,7 +35,8 @@ import (
 //
 // A SnapCache is safe for concurrent use.
 type SnapCache struct {
-	cfg SnapCacheConfig
+	cfg    SnapCacheConfig
+	health *Health
 
 	mu      sync.Mutex
 	entries map[CacheKey]*cacheEntry
@@ -42,6 +44,7 @@ type SnapCache struct {
 	used    int64
 
 	hits, misses, evictions uint64
+	quarantined, shrinks    uint64
 	retired                 Stats    // pool counters of fully drained evicted entries
 	retiredVM               vm.Stats // engine counters of fully drained evicted entries
 	orphans                 []*Pool  // evicted pools with leases still in flight
@@ -61,6 +64,10 @@ type SnapCacheConfig struct {
 	// MaxIdlePerKey bounds idle VMs retained by each entry's pool;
 	// 0 selects GOMAXPROCS.
 	MaxIdlePerKey int
+	// Health configures the per-decoder circuit breaker (see health.go).
+	// The zero value selects the defaults; Threshold < 0 disables
+	// health tracking.
+	Health HealthConfig
 }
 
 // DefaultSnapCacheBytes is the default resident-snapshot byte budget.
@@ -97,6 +104,12 @@ type SnapCacheStats struct {
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
+	// Quarantined counts lines evicted because their decoder's breaker
+	// tripped; Shrinks counts emergency Shrink passes.
+	Quarantined uint64 `json:"quarantined"`
+	Shrinks     uint64 `json:"shrinks"`
+	// Health is the decoder circuit-breaker view.
+	Health HealthStats `json:"health"`
 	// Pool and VM aggregate the per-entry pool and engine counters,
 	// including those of evicted entries. An evicted entry's pool is
 	// retired only after its last in-flight lease is released (orphan
@@ -116,6 +129,7 @@ func NewSnapCache(cfg SnapCacheConfig) *SnapCache {
 	}
 	return &SnapCache{
 		cfg:     cfg,
+		health:  NewHealth(cfg.Health),
 		entries: make(map[CacheKey]*cacheEntry),
 		lru:     list.New(),
 	}
@@ -144,6 +158,12 @@ func poolKey(hash [32]byte) string { return hex.EncodeToString(hash[:]) }
 // in-flight leases (see Options.MaxLive); canceling it while waiting
 // returns the context error.
 func (c *SnapCache) Get(ctx context.Context, hash [32]byte, mode uint32, scope uint64, elf func() ([]byte, error)) (*Lease, error) {
+	// Quarantine gate: an open breaker fails the request here, before
+	// any cache or pool work — the fail-fast path costs one mutex
+	// acquisition and leases nothing. A half-open probe passes through.
+	if err := c.health.Allow(hash); err != nil {
+		return nil, err
+	}
 	key := CacheKey{Hash: hash, Mode: mode}
 	c.mu.Lock()
 	e := c.entries[key]
@@ -192,14 +212,25 @@ func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
 		e.err = fmt.Errorf("vmpool: snapcache miss for %s with no elf source", poolKey(e.key.Hash))
 		return
 	}
+	// Chaos hook: an injected build failure exercises the retry path
+	// (the failed entry is dropped, so a later Get rebuilds) and the
+	// breaker's build-failure accounting.
+	if err := fault.Inject(fault.SnapshotBuild); err != nil {
+		e.err = fmt.Errorf("vmpool: snapshot build: %w", err)
+		c.Report(e.key.Hash, OutcomeBuildFail)
+		return
+	}
 	elfBytes, err := elf()
 	if err != nil {
+		// A failed decoder *fetch* is archive/backend I/O, not evidence
+		// against the decoder: no health report.
 		e.err = err
 		return
 	}
 	v, err := elf32.NewVM(elfBytes, c.cfg.VM)
 	if err != nil {
 		e.err = err
+		c.Report(e.key.Hash, OutcomeBuildFail)
 		return
 	}
 	snap := v.Snapshot()
@@ -297,6 +328,115 @@ func addPoolStats(dst *Stats, s Stats) {
 	dst.Discards += s.Discards
 }
 
+// Report feeds one stream (or build) outcome into the decoder's health
+// record. When the report trips the breaker open, every resident line
+// for that content hash is quarantine-evicted: the snapshot may have
+// been poisoned by whatever broke the decoder, so the eventual
+// half-open probe rebuilds it from the decoder bytes rather than
+// resharing it.
+func (c *SnapCache) Report(hash [32]byte, o Outcome) {
+	if c.health.Report(hash, o) {
+		c.Quarantine(hash)
+	}
+}
+
+// Health returns the decoder circuit-breaker view.
+func (c *SnapCache) Health() HealthStats { return c.health.Stats() }
+
+// BreakerState returns the breaker state for one decoder content hash.
+func (c *SnapCache) BreakerState(hash [32]byte) BreakerState { return c.health.State(hash) }
+
+// Quarantined reports whether requests for the decoder would currently
+// fail fast (breaker open and the next probe not yet due). Unlike
+// Allow, it never admits a probe, so it is safe to poll.
+func (c *SnapCache) Quarantined(hash [32]byte) bool { return c.health.Quarantined(hash) }
+
+// CheckQuarantine returns the fail-fast *QuarantineError Get would
+// return for the decoder, or nil when requests may proceed. It never
+// admits a probe — serving layers use it to reject quarantined work
+// before paying for admission, without stealing the probe slot.
+func (c *SnapCache) CheckQuarantine(hash [32]byte) error { return c.health.Check(hash) }
+
+// Quarantine evicts every resident line for the content hash (all
+// security modes — the decoder bytes are the same) and reports how
+// many lines were dropped. Idle VMs are freed; in-flight leases drain
+// through the orphan list exactly as with budget evictions.
+func (c *SnapCache) Quarantine(hash [32]byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		if key.Hash != hash || e.elem == nil {
+			continue
+		}
+		c.lru.Remove(e.elem)
+		e.elem = nil
+		delete(c.entries, key)
+		c.used -= e.bytes
+		c.quarantined++
+		e.pool.Drain()
+		c.orphans = append(c.orphans, e.pool)
+		n++
+	}
+	c.compactOrphansLocked()
+	return n
+}
+
+// Outstanding reports leases checked out and not yet released across
+// every resident and orphaned pool — the serving layer's leak
+// detector: it must return to zero when the request stream drains.
+func (c *SnapCache) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*cacheEntry).pool.Outstanding()
+	}
+	for _, p := range c.orphans {
+		n += p.Outstanding()
+	}
+	return n
+}
+
+// Shrink is the memory-pressure emergency valve: it evicts
+// least-recently-used lines until resident snapshot bytes are at most
+// target (unlike budget eviction, even the most recently used line may
+// go — snapshots rebuild on demand), then drops every surviving line's
+// idle VMs. It returns the snapshot bytes freed.
+func (c *SnapCache) Shrink(target int64) int64 {
+	if target < 0 {
+		target = 0
+	}
+	c.mu.Lock()
+	freed := int64(0)
+	for c.used > target {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		victim.elem = nil
+		delete(c.entries, victim.key)
+		c.used -= victim.bytes
+		freed += victim.bytes
+		c.evictions++
+		victim.pool.Drain()
+		c.orphans = append(c.orphans, victim.pool)
+	}
+	c.compactOrphansLocked()
+	c.shrinks++
+	pools := make([]*Pool, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		pools = append(pools, el.Value.(*cacheEntry).pool)
+	}
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.Drain()
+	}
+	return freed
+}
+
 // Stats returns a point-in-time view of the cache counters. Evicted
 // pools whose last lease has been released are compacted into the
 // retired totals; the rest are aggregated live, so no released
@@ -308,7 +448,9 @@ func (c *SnapCache) Stats() SnapCacheStats {
 	s := SnapCacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Entries: c.lru.Len(), Bytes: c.used, MaxBytes: c.cfg.MaxBytes,
-		Pool: c.retired, VM: c.retiredVM,
+		Quarantined: c.quarantined, Shrinks: c.shrinks,
+		Health: c.health.Stats(),
+		Pool:   c.retired, VM: c.retiredVM,
 	}
 	for _, p := range c.orphans {
 		addPoolStats(&s.Pool, p.Stats())

@@ -54,6 +54,7 @@ package vxa
 
 import (
 	"io"
+	"time"
 
 	"vxa/internal/codec"
 	"vxa/internal/core"
@@ -129,6 +130,10 @@ const (
 	KindFuelExhausted = core.KindFuelExhausted
 	KindOutputLimit   = core.KindOutputLimit
 	KindCanceled      = core.KindCanceled
+	KindIO            = core.KindIO
+	KindUnavailable   = core.KindUnavailable
+	KindQuarantined   = core.KindQuarantined
+	KindDeadline      = core.KindDeadline
 )
 
 // Error sentinels for errors.Is; each matches every *Error of its kind.
@@ -148,6 +153,19 @@ var (
 	// ErrCanceled: the caller's context canceled the operation; also
 	// matches context.Canceled / context.DeadlineExceeded via Unwrap.
 	ErrCanceled = core.ErrCanceled
+	// ErrIO: a host-side I/O failure (backing store, snapshot build) —
+	// a server fault, not the archive's; retryable.
+	ErrIO = core.ErrIO
+	// ErrUnavailable: the service could not take the request (lease
+	// machinery failed or load was shed); retryable after backoff.
+	ErrUnavailable = core.ErrUnavailable
+	// ErrQuarantined: the entry's decoder is under circuit-breaker
+	// quarantine after repeated sandbox failures; requests fail fast
+	// until a half-open probe succeeds.
+	ErrQuarantined = core.ErrQuarantined
+	// ErrDeadline: the wall-clock watchdog killed the stream — the
+	// decoder exceeded its real-time budget with instruction fuel left.
+	ErrDeadline = core.ErrDeadline
 )
 
 // Extraction options.
@@ -178,6 +196,12 @@ func WithReuseVM(on bool) Option { return core.WithReuseVM(on) }
 
 // WithVerbose streams decoder stderr diagnostics to w.
 func WithVerbose(w io.Writer) Option { return core.WithVerbose(w) }
+
+// WithWallBudget arms the per-stream wall-clock watchdog: a stream
+// still running after d of real time is killed at its next block
+// boundary and surfaces as ErrDeadline, independent of remaining
+// instruction fuel. 0 (default) disarms it.
+func WithWallBudget(d time.Duration) Option { return core.WithWallBudget(d) }
 
 // WithMemSize sets the guest address space per decoder VM in bytes
 // (default 64 MiB, capped at the paper's 1 GiB sandbox limit) — for
