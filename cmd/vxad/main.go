@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"vxa"
+	"vxa/internal/artifact"
 	"vxa/internal/fault"
 	"vxa/internal/server"
 	"vxa/internal/vm"
@@ -42,6 +43,7 @@ func main() {
 	streamTimeout := flag.Duration("stream-timeout", server.DefaultStreamTimeout, "wall-clock watchdog budget per decode stream (negative = no watchdog)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight streams on shutdown before cutting them")
 	memWatermark := flag.Int64("mem-watermark", 0, "heap bytes past which the snapshot cache is emergency-shrunk (0 = off)")
+	artifactDir := flag.String("artifact-dir", "", "directory for persistent content-addressed snapshot artifacts (empty = disabled)")
 	faultSpec := flag.String("fault", "", `arm deterministic fault injection, e.g. "rate=0.05,seed=1,points=all" (also via VXA_FAULT; testing only)`)
 	flag.Parse()
 	_ = vxa.Codecs() // register the built-in codec set for /v1/decode
@@ -76,6 +78,19 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	// The persistent artifact tier: decoder snapshots (image + warm uop
+	// block cache) survive restarts and are shared across processes on
+	// the host. Opening must succeed or the operator's pre-warming
+	// intent is silently lost — fail loudly at startup instead.
+	var store *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		if store, err = artifact.Open(*artifactDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vxad: persistent artifacts at %s\n", *artifactDir)
+	}
+
 	srv := server.New(server.Config{
 		MemSize:         uint32(*memSize),
 		MaxFuel:         *maxFuel,
@@ -88,7 +103,19 @@ func main() {
 		SlowThreshold:   time.Duration(*slowMS) * time.Millisecond,
 		StreamTimeout:   *streamTimeout,
 		MemWatermark:    *memWatermark,
+		Artifacts:       store,
 	})
+	// With a store armed, rebuild decoder lines from persisted artifacts
+	// before accepting traffic: the first request after a restart should
+	// run warm, not pay the load inline. Bounded by the index — codecs
+	// with no recorded history are not compiled speculatively.
+	if store != nil {
+		start := time.Now()
+		if n := srv.PrewarmArtifacts(context.Background()); n > 0 {
+			fmt.Fprintf(os.Stderr, "vxad: prewarmed %d decoder line(s) from artifacts in %s\n", n, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
 	// baseCtx parents every request context: canceling it cooperatively
 	// stops every in-flight decode stream (guests halt at their next
 	// block boundary, VMs rewind to pristine and return to the pool) —

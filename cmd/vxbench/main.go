@@ -35,7 +35,11 @@ type report struct {
 	Pool       []bench.PoolRow     `json:"pool,omitempty"`
 	Parallel   *bench.ParallelRow  `json:"parallel,omitempty"`
 	Server     []bench.ServerRow   `json:"server,omitempty"`
-	ServerLoad []bench.LoadRow     `json:"server_load,omitempty"`
+	// ServerArtifact is the persistent-store restart measurement: a
+	// fresh server's first request served disk-warm from a populated
+	// artifact store, vs true cold and in-process warm.
+	ServerArtifact []bench.ServerArtifactRow `json:"server_artifact,omitempty"`
+	ServerLoad     []bench.LoadRow           `json:"server_load,omitempty"`
 	// ServerChaos is populated by -chaos only: the pass arms the
 	// process-global fault registry, so it never rides the default run
 	// (the clean figures must stay clean).
@@ -177,6 +181,25 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("  %-8s %6.0fKB %14v %14v %8.1fx\n",
 				r.Codec, kb(r.InputBytes), r.ColdNS.Round(10e3), r.WarmNS.Round(10e3), r.Speedup)
+		}
+		fmt.Println()
+
+		arows, err := bench.ServerArtifactBench(*warm)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ServerArtifact = arows
+		fmt.Println("Server artifacts: restart latency with a populated persistent store")
+		fmt.Println("  (cold = compile + storeless miss, inline on the first request; prewarm =")
+		fmt.Println("   the store-restored daemon's per-codec startup cost, off the request path;")
+		fmt.Println("   disk-warm = that daemon's first request)")
+		fmt.Printf("  %-8s %8s %12s %12s %12s %12s %12s %9s %9s %6s\n",
+			"decoder", "input", "cold", "compile", "prewarm", "disk-warm", "warm", "vs-cold", "vs-warm", "hits")
+		for _, r := range arows {
+			fmt.Printf("  %-8s %6.0fKB %12v %12v %12v %12v %12v %8.1fx %8.2fx %6d\n",
+				r.Codec, kb(r.InputBytes), r.ColdNS.Round(10e3), r.CompileNS.Round(10e3),
+				r.PrewarmNS.Round(10e3), r.DiskWarmNS.Round(10e3), r.WarmNS.Round(10e3),
+				r.SpeedupVsCold, r.RatioVsWarm, r.StoreHits)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,288 @@
+// Command vxwarm manages persistent decoder-snapshot artifact stores
+// (the -artifact-dir tier of vxad): it pre-warms a store by pushing
+// representative streams through the real serving stack, exports and
+// imports stores as tarballs for fleet distribution, and prints a
+// machine-readable inventory.
+//
+// Typical fleet flow:
+//
+//	vxwarm prime -dir /var/cache/vxa      # build + translate once
+//	vxwarm pack -dir /var/cache/vxa -o warm.tar
+//	# ship warm.tar to every host, then on each:
+//	vxwarm unpack -dir /var/cache/vxa -i warm.tar
+//	vxad -artifact-dir /var/cache/vxa     # first request is disk-warm
+//
+// Artifacts are keyed by decoder hash, engine version and VM
+// configuration, so prime must run with the same -mem and
+// -stream-timeout the daemon will use (the defaults match vxad's).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vxa"
+	"vxa/internal/artifact"
+	"vxa/internal/bench"
+	"vxa/internal/server"
+	"vxa/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "prime":
+		err = prime(os.Args[2:])
+	case "pack":
+		err = pack(os.Args[2:])
+	case "unpack":
+		err = unpack(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	case "sample":
+		err = sample(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "vxwarm: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxwarm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: vxwarm <subcommand> [flags]
+
+  prime  -dir DIR [-mem N] [-stream-timeout D] [-streams N]
+         build, translate and persist every built-in decoder's snapshot
+         artifact by decoding sample streams through the serving stack
+  pack   -dir DIR [-o FILE]
+         export the store as a tar archive (stdout by default)
+  unpack -dir DIR [-i FILE]
+         import artifacts from a tar archive (stdin by default)
+  stats  -dir DIR
+         print a JSON inventory of the store
+  sample -codec NAME
+         write one codec's encoded sample stream to stdout
+`)
+}
+
+// prime pushes each built-in codec's sample stream through an
+// in-process server wired to the store. Going through server.New —
+// rather than building snapshots by hand — guarantees the artifacts
+// are keyed under exactly the vm.Config a vxad with the same flags
+// will probe for. The second pass per codec runs against the resident
+// snapshot so its absorbed (post-translation) block cache has settled
+// before the close-time flush persists it.
+func prime(args []string) error {
+	fs := flag.NewFlagSet("prime", flag.ExitOnError)
+	dir := fs.String("dir", "", "artifact store directory (required)")
+	mem := fs.Uint64("mem", 0, "guest address space per decoder VM in bytes (0 = vxad default)")
+	streamTimeout := fs.Duration("stream-timeout", server.DefaultStreamTimeout, "wall-clock watchdog budget per stream (must match vxad's)")
+	streams := fs.Int("streams", 2, "priming streams per decoder")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("prime: -dir is required")
+	}
+	if *mem > vm.MaxMemSize {
+		return fmt.Errorf("prime: -mem %d exceeds the %d-byte sandbox limit", *mem, vm.MaxMemSize)
+	}
+	if *streams < 1 {
+		return fmt.Errorf("prime: -streams must be >= 1")
+	}
+	_ = vxa.Codecs()
+
+	store, err := artifact.Open(*dir)
+	if err != nil {
+		return err
+	}
+	ws, err := bench.ServerWorkloads()
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		MemSize:       uint32(*mem),
+		StreamTimeout: *streamTimeout,
+		Artifacts:     store,
+	})
+	h := srv.Handler()
+	start := time.Now()
+	for _, w := range ws {
+		for i := 0; i < *streams; i++ {
+			req := httptest.NewRequest("POST", "/v1/decode?codec="+w.Codec.Name, bytes.NewReader(w.Encoded))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				srv.Close()
+				return fmt.Errorf("prime: %s: decode status %d: %s", w.Codec.Name, rec.Code, rec.Body.String())
+			}
+			if rec.Body.Len() != len(w.Raw) {
+				srv.Close()
+				return fmt.Errorf("prime: %s: decoded %d bytes, want %d", w.Codec.Name, rec.Body.Len(), len(w.Raw))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "vxwarm: primed %s (%d streams)\n", w.Codec.Name, *streams)
+	}
+	// Close flushes every grown block cache to the store.
+	srv.Close()
+	st := store.Stats()
+	if st.Saves == 0 {
+		return fmt.Errorf("prime: no artifacts written (store stats %+v)", st)
+	}
+	fmt.Fprintf(os.Stderr, "vxwarm: %d decoders primed in %v: %d saves (%d bytes), %d loads served from prior artifacts\n",
+		len(ws), time.Since(start).Round(time.Millisecond), st.Saves, st.BytesSaved, st.Hits)
+	return nil
+}
+
+func pack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	dir := fs.String("dir", "", "artifact store directory (required)")
+	out := fs.String("o", "", "output tar file (default stdout)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("pack: -dir is required")
+	}
+	store, err := artifact.Open(*dir)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := store.Pack(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "vxwarm: packed %d artifacts\n", n)
+	return nil
+}
+
+func unpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	dir := fs.String("dir", "", "artifact store directory (required)")
+	in := fs.String("i", "", "input tar file (default stdin)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("unpack: -dir is required")
+	}
+	store, err := artifact.Open(*dir)
+	if err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := store.Unpack(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "vxwarm: unpacked %d artifacts\n", n)
+	return nil
+}
+
+// storeInventory is the stats subcommand's JSON document.
+type storeInventory struct {
+	Dir        string          `json:"dir"`
+	Count      int             `json:"count"`
+	TotalBytes int64           `json:"total_bytes"`
+	Artifacts  []inventoryItem `json:"artifacts"`
+}
+
+type inventoryItem struct {
+	Path    string    `json:"path"` // store-relative
+	Bytes   int64     `json:"bytes"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+func stats(args []string) error {
+	fset := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fset.String("dir", "", "artifact store directory (required)")
+	fset.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("stats: -dir is required")
+	}
+	inv := storeInventory{Dir: *dir, Artifacts: []inventoryItem{}}
+	err := filepath.WalkDir(*dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, artifact.Suffix) ||
+			strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			return err
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(*dir, path)
+		if err != nil {
+			return err
+		}
+		inv.Artifacts = append(inv.Artifacts, inventoryItem{
+			Path: filepath.ToSlash(rel), Bytes: fi.Size(), ModTime: fi.ModTime().UTC(),
+		})
+		inv.Count++
+		inv.TotalBytes += fi.Size()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(inv)
+}
+
+// sample writes one codec's encoded priming stream to stdout, so shell
+// smoke tests (CI) can drive a running vxad with the same payloads
+// prime used, e.g.:
+//
+//	vxwarm sample -codec deflate | curl --data-binary @- \
+//	    'http://127.0.0.1:7788/v1/decode?codec=deflate'
+func sample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	name := fs.String("codec", "", "codec name (required)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("sample: -codec is required")
+	}
+	_ = vxa.Codecs()
+	ws, err := bench.ServerWorkloads()
+	if err != nil {
+		return err
+	}
+	for _, w := range ws {
+		if w.Codec.Name == *name {
+			_, err := os.Stdout.Write(w.Encoded)
+			return err
+		}
+	}
+	return fmt.Errorf("sample: unknown codec %q", *name)
+}

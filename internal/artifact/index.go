@@ -1,0 +1,107 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The ELF-hash index: a second, tiny map the store keeps next to the
+// snapshot artifacts, from a decoder's *source* key (codec sources +
+// vxcc.Version, see codec.SourceKey) to the SHA-256 of its compiled
+// ELF. The snapshot artifacts are content-addressed, which is exactly
+// right for integrity but leaves a bootstrap problem: a restarted
+// daemon must compile the decoder just to learn the address to probe —
+// and that compile IS the cold start the store exists to kill. The
+// index closes the loop: source key -> ELF hash without running the
+// compiler, so a restart's first request goes straight to the mmap'd
+// artifact.
+//
+// Trust model. Index entries are advisory, never load-bearing for
+// integrity: the artifact named by the looked-up hash still passes the
+// full header/checksum verification, and the serving layer verifies
+// any freshly compiled ELF against the indexed hash, dropping the
+// entry on mismatch (the backstop for a codegen change that forgot to
+// bump vxcc.Version). A corrupt or stale index entry can cost one
+// compile; it cannot alter output.
+
+const (
+	// IndexSuffix is the index entry file extension (also packed into
+	// vxwarm tarballs, so a shipped store carries its bootstrap map).
+	IndexSuffix = ".elfhash"
+
+	// indexMagic brands an index entry file and versions its layout.
+	indexMagic = "vxa-elf-index 1\n"
+)
+
+// indexPath returns the index entry file for a source key. Entries
+// live in one flat directory: there is one per codec, not per content
+// version, so the fanout the artifacts need is pointless here.
+func (s *Store) indexPath(key [32]byte) string {
+	return filepath.Join(s.dir, "index", fmt.Sprintf("%x%s", key, IndexSuffix))
+}
+
+// LookupELF returns the recorded ELF hash for a decoder source key.
+// Any defect — missing file, bad magic, short or non-hex payload — is
+// a miss; defective files (not plain absences) are removed so the next
+// RecordELF rewrites them cleanly.
+func (s *Store) LookupELF(key [32]byte) ([32]byte, bool) {
+	var h [32]byte
+	path := s.indexPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.indexMisses.Add(1)
+		return h, false
+	}
+	rest, ok := bytes.CutPrefix(data, []byte(indexMagic))
+	if !ok || len(bytes.TrimSuffix(rest, []byte("\n"))) != 64 {
+		os.Remove(path)
+		s.indexMisses.Add(1)
+		return h, false
+	}
+	if _, err := hex.Decode(h[:], rest[:64]); err != nil {
+		os.Remove(path)
+		s.indexMisses.Add(1)
+		return h, false
+	}
+	s.indexHits.Add(1)
+	return h, true
+}
+
+// RecordELF publishes source key -> ELF hash, atomically (temp file +
+// rename) like every other store write, so concurrent daemons racing
+// to record the same codec each leave a complete entry.
+func (s *Store) RecordELF(key, elfHash [32]byte) error {
+	path := s.indexPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("artifact: index: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*"+IndexSuffix)
+	if err != nil {
+		return fmt.Errorf("artifact: index: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, err = fmt.Fprintf(tmp, "%s%x\n", indexMagic, elfHash)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		return fmt.Errorf("artifact: index: %w", err)
+	}
+	return nil
+}
+
+// DropELF removes a source key's index entry. The serving layer calls
+// this when a compile proves the entry stale — the self-healing path
+// for an ELF-affecting compiler change that did not bump vxcc.Version.
+func (s *Store) DropELF(key [32]byte) {
+	os.Remove(s.indexPath(key))
+}

@@ -1,0 +1,79 @@
+package artifact
+
+import (
+	"os"
+	"testing"
+)
+
+// TestELFIndex: the source-key -> ELF-hash map round-trips across store
+// instances, counts its traffic, survives overwrites, and treats every
+// kind of damage as a clean miss that also scrubs the bad entry.
+func TestELFIndex(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := [32]byte{1, 2, 3}
+	elf := [32]byte{4, 5, 6}
+
+	if _, ok := st.LookupELF(key); ok {
+		t.Fatal("lookup hit on an empty index")
+	}
+	if err := st.RecordELF(key, elf); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := st.LookupELF(key); !ok || h != elf {
+		t.Fatalf("lookup = %x, %v; want %x", h, ok, elf)
+	}
+	if s := st.Stats(); s.IndexHits != 1 || s.IndexMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 index hit and 1 index miss", s)
+	}
+
+	// A fresh store over the same directory (a restart) sees the entry.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := st2.LookupELF(key); !ok || h != elf {
+		t.Fatalf("restart lookup = %x, %v; want %x", h, ok, elf)
+	}
+
+	// Re-recording overwrites in place.
+	elf2 := [32]byte{7, 8, 9}
+	if err := st.RecordELF(key, elf2); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := st.LookupELF(key); !ok || h != elf2 {
+		t.Fatalf("after overwrite: %x, %v; want %x", h, ok, elf2)
+	}
+
+	// Damage in every shape — truncation, bad magic, non-hex payload —
+	// reads as a miss and removes the defective file.
+	for _, bad := range [][]byte{
+		{},
+		[]byte("not an index entry"),
+		[]byte(indexMagic + "zz"),
+		[]byte(indexMagic + "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\n"),
+	} {
+		if err := os.WriteFile(st.indexPath(key), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.LookupELF(key); ok {
+			t.Fatalf("lookup hit on damaged entry %q", bad)
+		}
+		if _, err := os.Stat(st.indexPath(key)); !os.IsNotExist(err) {
+			t.Fatalf("damaged entry %q not scrubbed: %v", bad, err)
+		}
+	}
+
+	// DropELF removes an entry; dropping a missing one is a no-op.
+	if err := st.RecordELF(key, elf); err != nil {
+		t.Fatal(err)
+	}
+	st.DropELF(key)
+	if _, ok := st.LookupELF(key); ok {
+		t.Fatal("lookup hit after drop")
+	}
+	st.DropELF(key)
+}

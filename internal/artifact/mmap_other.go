@@ -1,0 +1,11 @@
+//go:build !linux
+
+package artifact
+
+import "os"
+
+// mapFile falls back to a plain read where mmap sharing is not wired
+// up; the store stays correct, processes just don't share pages.
+func mapFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func unmapFile([]byte) {}

@@ -1,0 +1,126 @@
+package artifact
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// packable reports whether a store file belongs in a Pack tarball:
+// snapshot artifacts and ELF-hash index entries, never temp files.
+func packable(path string) bool {
+	if strings.HasPrefix(filepath.Base(path), ".tmp-") {
+		return false
+	}
+	return strings.HasSuffix(path, Suffix) || strings.HasSuffix(path, IndexSuffix)
+}
+
+// Pack streams every artifact in the store into a tar archive — the
+// fleet pre-warming export: build artifacts once (vxwarm prime or a
+// warmed vxad), pack, push to a registry, unpack on every new host.
+// ELF-hash index entries ride along, so an unpacked store also answers
+// the "which artifact is this codec?" bootstrap question without a
+// compile. Entries are store-relative paths
+// ("ab/abcdef...-e1-c....vxart", "index/....elfhash"). Returns the
+// number of files written.
+func (s *Store) Pack(w io.Writer) (int, error) {
+	tw := tar.NewWriter(w)
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !packable(path) {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return err
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		hdr := &tar.Header{
+			Name:    filepath.ToSlash(rel),
+			Mode:    0o644,
+			Size:    fi.Size(),
+			ModTime: fi.ModTime(),
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(tw, f)
+		f.Close()
+		if err == nil {
+			n++
+		}
+		return err
+	})
+	if err != nil {
+		return n, fmt.Errorf("artifact: pack: %w", err)
+	}
+	if err := tw.Close(); err != nil {
+		return n, fmt.Errorf("artifact: pack: %w", err)
+	}
+	return n, nil
+}
+
+// Unpack imports artifacts from a tar archive produced by Pack.
+// Defensive on hostile input: entry names are confined to the store
+// directory (no absolute paths, no ".." escapes), only regular files
+// with the artifact or index suffix are taken, and each file is extracted via
+// the same temp-file + rename dance as Save, so a truncated tarball
+// never leaves a partial artifact under a live name. File contents are
+// NOT trusted here — every Load re-verifies the checksum and keys, so
+// a malicious tarball can at worst waste disk. Returns the number of
+// artifacts imported.
+func (s *Store) Unpack(r io.Reader) (int, error) {
+	tr := tar.NewReader(r)
+	n := 0
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("artifact: unpack: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg ||
+			!(strings.HasSuffix(hdr.Name, Suffix) || strings.HasSuffix(hdr.Name, IndexSuffix)) {
+			continue
+		}
+		rel := filepath.Clean(filepath.FromSlash(hdr.Name))
+		if filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return n, fmt.Errorf("artifact: unpack: entry %q escapes the store", hdr.Name)
+		}
+		dst := filepath.Join(s.dir, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return n, fmt.Errorf("artifact: unpack: %w", err)
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*"+Suffix)
+		if err != nil {
+			return n, fmt.Errorf("artifact: unpack: %w", err)
+		}
+		_, err = io.Copy(tmp, tr)
+		if err == nil {
+			err = tmp.Sync()
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), dst)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			return n, fmt.Errorf("artifact: unpack %q: %w", hdr.Name, err)
+		}
+		n++
+	}
+}

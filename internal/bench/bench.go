@@ -12,9 +12,11 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"time"
 
+	"vxa/internal/artifact"
 	"vxa/internal/bmp"
 	"vxa/internal/codec"
 	"vxa/internal/core"
@@ -22,6 +24,7 @@ import (
 	"vxa/internal/server"
 	"vxa/internal/vm"
 	"vxa/internal/vmpool"
+	"vxa/internal/vxcc"
 	"vxa/internal/wav"
 )
 
@@ -539,10 +542,38 @@ func serverWorkloads() ([]Workload, error) {
 	return out, nil
 }
 
+// ServerWorkloads exposes the serving-regime corpus: the same
+// per-codec streams the server benchmarks measure, so cmd/vxwarm
+// primes artifact stores with representative traffic.
+func ServerWorkloads() ([]Workload, error) { return serverWorkloads() }
+
 // serverColdRounds is how many fresh-server miss-path samples the cold
 // figure averages over (snapshot build cost is noisy at the
 // millisecond scale).
 const serverColdRounds = 5
+
+// postDecode sends one workload through a server's /v1/decode and
+// returns the request's wall time, verifying status and output length.
+func postDecode(url string, w Workload) (time.Duration, error) {
+	start := time.Now()
+	resp, err := http.Post(url+"/v1/decode?codec="+w.Codec.Name, "application/octet-stream", bytes.NewReader(w.Encoded))
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	dur := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != 200 {
+		return 0, fmt.Errorf("bench: %s: status %d", w.Codec.Name, resp.StatusCode)
+	}
+	if int(n) != len(w.Raw) {
+		return 0, fmt.Errorf("bench: %s: decoded %d bytes, want %d", w.Codec.Name, n, len(w.Raw))
+	}
+	return dur, nil
+}
 
 // ServerBench measures the extraction service end to end over HTTP
 // loopback: every Table 1 codec's stream is decoded through vxad's
@@ -564,27 +595,7 @@ func ServerBench(warmReqs int) ([]ServerRow, error) {
 			return nil, err
 		}
 	}
-
-	post := func(url string, w Workload) (time.Duration, error) {
-		start := time.Now()
-		resp, err := http.Post(url+"/v1/decode?codec="+w.Codec.Name, "application/octet-stream", bytes.NewReader(w.Encoded))
-		if err != nil {
-			return 0, err
-		}
-		n, err := io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		dur := time.Since(start)
-		if err != nil {
-			return 0, err
-		}
-		if resp.StatusCode != 200 {
-			return 0, fmt.Errorf("bench: %s: status %d", w.Codec.Name, resp.StatusCode)
-		}
-		if int(n) != len(w.Raw) {
-			return 0, fmt.Errorf("bench: %s: decoded %d bytes, want %d", w.Codec.Name, n, len(w.Raw))
-		}
-		return dur, nil
-	}
+	post := postDecode
 
 	// Cold: every request on a fresh server is that decoder line's miss.
 	cold := make(map[string]time.Duration, len(ws))
@@ -632,6 +643,273 @@ func ServerBench(warmReqs int) ([]ServerRow, error) {
 			Speedup:      float64(coldAvg) / float64(warm),
 			CacheHits:    after.Hits - before.Hits,
 			CacheMisses:  after.Misses - before.Misses,
+		})
+	}
+	return rows, nil
+}
+
+// serverArtifactWorkloads builds the restart-benchmark corpus. The
+// restart benchmark is a time-to-first-byte figure — how quickly a
+// freshly exec'd daemon answers its first request — so the requests are
+// serving-scale probes sized so setup cost (compile, image build,
+// translation) is what the columns compare rather than bulk decode
+// throughput; the image codecs get a single 8x8 block for the same
+// reason. This regime only became honest once the VM stopped paying a
+// fixed multi-megabyte heap re-zero on every fresh first stream (see
+// vm.sysSetPerm's dirty high-water mark); before that fix the fixed
+// warm-up drowned the store's effect at this scale.
+func serverArtifactWorkloads() ([]Workload, error) {
+	text4k := corpus.Text(1<<12, 1)
+	text1k := corpus.Text(1<<10, 1)
+	img := bmp.Encode(corpus.Image(8, 8, 2))
+	aud := wav.Encode(corpus.Audio(220, 2, 3))
+
+	inputs := map[string][]byte{
+		"deflate": text4k, "bwt": text1k,
+		"dct": img, "haar": img,
+		"lpc": aud, "adpcm": aud,
+	}
+	var out []Workload
+	for _, name := range paperCodecs {
+		c, ok := codec.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: codec %s not registered", name)
+		}
+		raw := inputs[name]
+		var enc bytes.Buffer
+		if err := c.Encode(&enc, raw); err != nil {
+			return nil, fmt.Errorf("bench: %s encode: %w", name, err)
+		}
+		out = append(out, Workload{Codec: c, Raw: raw, Encoded: enc.Bytes()})
+	}
+	return out, nil
+}
+
+// serverArtifactRounds is how many fresh-restart samples the artifact
+// benchmark averages: first-request latencies sit at single-digit
+// milliseconds where scheduler and allocator jitter is visible, so the
+// restart ratios need the larger sample.
+const serverArtifactRounds = 5
+
+// touchServer performs one untimed /healthz round trip so a fresh
+// test server's TCP connection setup and first-request allocations are
+// not misattributed to the first timed decode. Both the cold and the
+// disk-warm servers get the same treatment — the benchmark compares
+// decode paths, not socket setup.
+func touchServer(url string) error {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// ServerArtifactRow is one codec's persistent-artifact measurement:
+// first-request latency on a fresh server restored from a pre-populated
+// artifact store (disk-warm), against the same server's true cold start
+// (compile the decoder, then serve the miss with no store) and its
+// in-process steady state (warm cache hits).
+type ServerArtifactRow struct {
+	Codec      string        `json:"codec"`
+	InputBytes int           `json:"input_bytes"`
+	ColdNS     time.Duration `json:"cold_ns"` // compile + miss request, no store
+	// CompileNS is the decoder-compile share of ColdNS — the part a
+	// restart skips via the store's ELF-hash index.
+	CompileNS time.Duration `json:"compile_ns"`
+	// PrewarmNS is this codec's share of the daemon's startup prewarm —
+	// index lookup, artifact load, spare VM materialization — paid once
+	// per restart before traffic, never on the request path (vxad does
+	// the same at boot). The storeless daemon has no equivalent: with no
+	// index it cannot know what to rebuild, so its first request eats
+	// the whole ColdNS inline.
+	PrewarmNS    time.Duration `json:"prewarm_ns"`
+	DiskWarmNS   time.Duration `json:"disk_warm_ns"` // first request, prewarmed fresh server
+	WarmNS       time.Duration `json:"warm_ns"`      // steady state, per request
+	WarmRequests int           `json:"warm_requests"`
+	// SpeedupVsCold is Cold / DiskWarm — what the store saves a restart.
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	// RatioVsWarm is DiskWarm / Warm — how close a disk-warm first
+	// request comes to a resident cache hit (1.0 = indistinguishable).
+	RatioVsWarm float64 `json:"ratio_vs_warm"`
+	// StoreHits / StoreFallbacks / IndexHits are the store's counters
+	// attributed to this codec across the disk-warm rounds.
+	StoreHits      int64 `json:"store_hits"`
+	StoreFallbacks int64 `json:"store_fallbacks"`
+	IndexHits      int64 `json:"index_hits"`
+}
+
+// ServerArtifactBench measures the restart story the artifact store
+// exists for: a populated store is carried across fresh server
+// processes-worth of state (new Server, new SnapCache, new Store handle
+// over the same directory), and the first request per codec is timed
+// against the true cold start and the in-process warm path.
+//
+// Cold here is what a storeless restart actually pays before its first
+// byte of output: compiling the decoder (timed as a fresh, uncached
+// vxcc.Compile — in-process the registry caches builds, but a new
+// process has no such cache) plus the serving stack's own miss path
+// (ELF parse, image build, translation), all inline on the request. The
+// disk-warm side restarts the way vxad restarts: the store's ELF-hash
+// index says which decoder lines have history, each is prewarmed off
+// the request path (PrewarmNS — artifact load plus spare-VM
+// materialization, no compiler, no ELF), and then the first request is
+// timed. The warm figure is measured on the final disk-warm server, so
+// it is the steady state a disk-warm line converges to.
+func ServerArtifactBench(warmReqs int) ([]ServerArtifactRow, error) {
+	if warmReqs < 1 {
+		return nil, fmt.Errorf("bench: warm requests must be >= 1 (got %d)", warmReqs)
+	}
+	ws, err := serverArtifactWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if _, err := w.Codec.DecoderELF(); err != nil {
+			return nil, err
+		}
+	}
+	dir, err := os.MkdirTemp("", "vxa-bench-artifacts-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Populate: one server takes real decode traffic over the store,
+	// then shuts down cleanly — the close-time flush persists the
+	// absorbed (post-translation) block caches, which is exactly what a
+	// drained production vxad leaves behind.
+	store, err := artifact.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{MemSize: 64 << 20, Artifacts: store})
+	ts := httptest.NewServer(srv.Handler())
+	for _, w := range ws {
+		if _, err := postDecode(ts.URL, w); err != nil {
+			ts.Close()
+			return nil, err
+		}
+	}
+	ts.Close()
+	srv.Close()
+	if st := store.Stats(); st.Saves == 0 {
+		return nil, fmt.Errorf("bench: populate pass wrote no artifacts (store stats %+v)", st)
+	}
+
+	// Cold: fresh server, no store — every request pays a decoder
+	// compile (timed directly: the in-process registry cache would
+	// otherwise hide what a new process must do) plus the full miss.
+	cold := make(map[string]time.Duration, len(ws))
+	compile := make(map[string]time.Duration, len(ws))
+	for round := 0; round < serverArtifactRounds; round++ {
+		csrv := server.New(server.Config{MemSize: 64 << 20})
+		cts := httptest.NewServer(csrv.Handler())
+		if err := touchServer(cts.URL); err != nil {
+			cts.Close()
+			return nil, err
+		}
+		for _, w := range ws {
+			start := time.Now()
+			if _, err := vxcc.Compile(vxcc.Options{}, w.Codec.Sources...); err != nil {
+				cts.Close()
+				return nil, err
+			}
+			comp := time.Since(start)
+			d, err := postDecode(cts.URL, w)
+			if err != nil {
+				cts.Close()
+				return nil, err
+			}
+			compile[w.Codec.Name] += comp
+			cold[w.Codec.Name] += comp + d
+		}
+		cts.Close()
+	}
+
+	// Disk-warm: fresh server and store handle per round over the
+	// populated directory. Each codec's line is prewarmed the way a
+	// restarted vxad prewarms at startup — artifact load, spare VM
+	// materialized, off the request path — with the prewarm timed as its
+	// own column, then the first request is the restart path the serving
+	// fleet sees. Operations are serial, so per-codec store counters
+	// fall out of Stats() deltas spanning each prewarm+request pair.
+	disk := make(map[string]time.Duration, len(ws))
+	prewarm := make(map[string]time.Duration, len(ws))
+	hits := make(map[string]int64, len(ws))
+	fallbacks := make(map[string]int64, len(ws))
+	indexHits := make(map[string]int64, len(ws))
+	warm := make(map[string]time.Duration, len(ws))
+	for round := 0; round < serverArtifactRounds; round++ {
+		rstore, err := artifact.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		rsrv := server.New(server.Config{MemSize: 64 << 20, Artifacts: rstore})
+		rts := httptest.NewServer(rsrv.Handler())
+		fail := func(err error) ([]ServerArtifactRow, error) {
+			rts.Close()
+			rsrv.Close()
+			return nil, err
+		}
+		if err := touchServer(rts.URL); err != nil {
+			return fail(err)
+		}
+		for _, w := range ws {
+			before := rstore.Stats()
+			pw := time.Now()
+			if !rsrv.PrewarmCodec(context.Background(), w.Codec.Name) {
+				return fail(fmt.Errorf("bench: %s: prewarm found no indexed artifact", w.Codec.Name))
+			}
+			prewarm[w.Codec.Name] += time.Since(pw)
+			d, err := postDecode(rts.URL, w)
+			if err != nil {
+				return fail(err)
+			}
+			after := rstore.Stats()
+			disk[w.Codec.Name] += d
+			hits[w.Codec.Name] += after.Hits - before.Hits
+			fallbacks[w.Codec.Name] += after.Fallbacks - before.Fallbacks
+			indexHits[w.Codec.Name] += after.IndexHits - before.IndexHits
+		}
+		if round == serverArtifactRounds-1 {
+			// Steady state on the same (now resident) server.
+			for _, w := range ws {
+				var total time.Duration
+				for i := 0; i < warmReqs; i++ {
+					d, err := postDecode(rts.URL, w)
+					if err != nil {
+						return fail(err)
+					}
+					total += d
+				}
+				warm[w.Codec.Name] = total / time.Duration(warmReqs)
+			}
+		}
+		rts.Close()
+		rsrv.Close()
+	}
+
+	var rows []ServerArtifactRow
+	for _, w := range ws {
+		name := w.Codec.Name
+		coldAvg := cold[name] / serverArtifactRounds
+		diskAvg := disk[name] / serverArtifactRounds
+		rows = append(rows, ServerArtifactRow{
+			Codec:          name,
+			InputBytes:     len(w.Raw),
+			ColdNS:         coldAvg,
+			CompileNS:      compile[name] / serverArtifactRounds,
+			PrewarmNS:      prewarm[name] / serverArtifactRounds,
+			DiskWarmNS:     diskAvg,
+			WarmNS:         warm[name],
+			WarmRequests:   warmReqs,
+			SpeedupVsCold:  float64(coldAvg) / float64(diskAvg),
+			RatioVsWarm:    float64(diskAvg) / float64(warm[name]),
+			StoreHits:      hits[name],
+			StoreFallbacks: fallbacks[name],
+			IndexHits:      indexHits[name],
 		})
 	}
 	return rows, nil

@@ -8,6 +8,7 @@
 package codec
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"sort"
@@ -92,6 +93,26 @@ func (c *Codec) DecoderELF() ([]byte, error) {
 		return nil, err
 	}
 	return b.ELF, nil
+}
+
+// SourceKey returns a stable content key for the codec's decoder: a
+// SHA-256 over the codec name, every VXC source file, and the compiler
+// version. Because vxcc compilation is deterministic per vxcc.Version,
+// the key fully determines the decoder ELF, which is what lets the
+// artifact store's ELF-hash index answer "what is this codec's content
+// address?" across restarts without compiling anything. Field lengths
+// are mixed into the stream so no concatenation of names and texts can
+// collide with another.
+func (c *Codec) SourceKey() [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "vxcc %d\ncodec %d %s\n", vxcc.Version, len(c.Name), c.Name)
+	for _, s := range c.Sources {
+		fmt.Fprintf(h, "src %d %s %d\n", len(s.Name), s.Name, len(s.Text))
+		io.WriteString(h, s.Text)
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 var (

@@ -28,6 +28,10 @@ const (
 	// + image capture) — the cold path a content-addressed cache hit
 	// skips entirely.
 	StageSnapshot
+	// StageArtifact: persistent artifact-store probe on the cold path —
+	// mmap, verification and snapshot reconstruction on a disk-warm hit,
+	// or the (cheap) failed probe preceding an ELF build.
+	StageArtifact
 	// StageTranslate: guest fragment decode + lowering + optimization
 	// (the translation half of vm.Stats' translate/execute split).
 	StageTranslate
@@ -42,7 +46,7 @@ const (
 
 // stageNames index by Stage; these are also the metric label values.
 var stageNames = [numStages]string{
-	"queue", "lease", "snapshot", "translate", "execute", "write",
+	"queue", "lease", "snapshot", "artifact", "translate", "execute", "write",
 }
 
 // String names the stage (also its metric label value).

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vxa/internal/artifact"
+	"vxa/internal/codec"
+)
+
+// artifactFiles lists the artifact files under the store directory.
+func artifactFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == artifact.Suffix {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestServerArtifactRestart is the restart story end to end: a server
+// populates the store through real decode traffic, a second server
+// over the same directory serves its first request disk-warm — the
+// store reports hits, the artifact stage appears in the metrics, and
+// the decoded bytes are identical.
+func TestServerArtifactRestart(t *testing.T) {
+	dir := t.TempDir()
+	text := testText(1 << 14)
+	stream := encodeDeflate(t, text)
+
+	store1, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{MemSize: 16 << 20, Artifacts: store1})
+	ts1 := httptest.NewServer(s1.Handler())
+	resp, body := post(t, ts1.URL+"/v1/decode?codec=deflate", stream)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, text) {
+		t.Fatalf("populate decode: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	golden := body
+	ts1.Close()
+	// Close flushes grown block caches to the store.
+	s1.Close()
+	if s := store1.Stats(); s.Saves == 0 {
+		t.Fatalf("store stats after populate = %+v, want saves", s)
+	}
+	if len(artifactFiles(t, dir)) == 0 {
+		t.Fatal("no artifact files on disk after populate")
+	}
+
+	store2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{MemSize: 16 << 20, Artifacts: store2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Close()
+	resp, body = post(t, ts2.URL+"/v1/decode?codec=deflate", stream)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disk-warm decode: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("disk-warm decode differs: %d bytes, want %d", len(body), len(golden))
+	}
+	if s := store2.Stats(); s.Hits == 0 || s.Fallbacks != 0 {
+		t.Fatalf("store stats after restart = %+v, want a hit and no fallbacks", s)
+	}
+	// The restarted server learned the codec's content address from the
+	// persistent ELF-hash index (recorded when s1 compiled), not by
+	// running the compiler again — the other half of the cold start.
+	if s := store2.Stats(); s.IndexHits == 0 {
+		t.Fatalf("store stats after restart = %+v, want an index hit", s)
+	}
+
+	// The metrics document carries the store section and the artifact
+	// stage latency.
+	mresp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	err = json.NewDecoder(mresp.Body).Decode(&m)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ArtifactStore == nil || m.ArtifactStore.Hits == 0 {
+		t.Fatalf("metrics artifact_store = %+v, want hits recorded", m.ArtifactStore)
+	}
+	if _, ok := m.Stages["artifact"]; !ok {
+		t.Fatalf("metrics stages = %v, want an artifact stage", m.Stages)
+	}
+}
+
+// TestServerArtifactCorruptionFallback: a server pointed at a damaged
+// store must serve every request correctly from the ELF build path and
+// surface the damage only as a fallback metric.
+func TestServerArtifactCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	text := testText(1 << 14)
+	stream := encodeDeflate(t, text)
+
+	seedStore, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := New(Config{MemSize: 16 << 20, Artifacts: seedStore})
+	tsSeed := httptest.NewServer(seed.Handler())
+	if resp, body := post(t, tsSeed.URL+"/v1/decode?codec=deflate", stream); resp.StatusCode != http.StatusOK || !bytes.Equal(body, text) {
+		t.Fatalf("seed decode failed: status %d", resp.StatusCode)
+	}
+	tsSeed.Close()
+	seed.Close()
+
+	for _, f := range artifactFiles(t, dir) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{MemSize: 16 << 20, Artifacts: store})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	resp, body := post(t, ts.URL+"/v1/decode?codec=deflate", stream)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode over corrupt store: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, text) {
+		t.Fatalf("decode over corrupt store returned %d bytes, want %d (output must be unchanged)", len(body), len(text))
+	}
+	st := store.Stats()
+	if st.Fallbacks == 0 {
+		t.Fatalf("store stats = %+v, want the corruption surfaced as a fallback", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("store stats = %+v, want no hits from a corrupt store", st)
+	}
+}
+
+// TestServerPrewarmArtifacts: a restarted server prewarmed from the
+// store must pay the artifact load at startup, not on the request
+// path — after PrewarmArtifacts the first decode is a pure snapshot
+// cache hit with no further store traffic.
+func TestServerPrewarmArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	text := testText(1 << 14)
+	stream := encodeDeflate(t, text)
+
+	store1, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{MemSize: 16 << 20, Artifacts: store1})
+	ts1 := httptest.NewServer(s1.Handler())
+	if resp, body := post(t, ts1.URL+"/v1/decode?codec=deflate", stream); resp.StatusCode != http.StatusOK || !bytes.Equal(body, text) {
+		t.Fatalf("populate decode: status %d", resp.StatusCode)
+	}
+	ts1.Close()
+	s1.Close()
+
+	store2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{MemSize: 16 << 20, Artifacts: store2})
+	defer s2.Close()
+	if n := s2.PrewarmArtifacts(context.Background()); n != 1 {
+		t.Fatalf("PrewarmArtifacts = %d, want 1 (only deflate has index history)", n)
+	}
+	after := store2.Stats()
+	if after.Hits != 1 || after.Fallbacks != 0 {
+		t.Fatalf("store stats after prewarm = %+v, want exactly one hit", after)
+	}
+
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, body := post(t, ts2.URL+"/v1/decode?codec=deflate", stream)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, text) {
+		t.Fatalf("decode after prewarm: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if st := store2.Stats(); st.Hits != after.Hits || st.Misses != after.Misses {
+		t.Fatalf("store stats moved during the request (%+v -> %+v): the load was not absorbed at startup", after, st)
+	}
+
+	// A codec with no recorded history must not trigger a speculative
+	// compile: prewarm skips it and the store records an index miss.
+	if s2.PrewarmCodec(context.Background(), "bwt") {
+		t.Fatal("PrewarmCodec compiled a codec with no index history")
+	}
+}
+
+// TestServerStaleIndexSelfHeals: an ELF-hash index entry that no longer
+// matches what the compiler produces (the unbumped-vxcc.Version hazard)
+// must never be served around silently — the first request that would
+// build under the stale address fails loudly, the entry is scrubbed,
+// and the next request resolves cleanly from a fresh compile.
+func TestServerStaleIndexSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	text := testText(1 << 12)
+	stream := encodeDeflate(t, text)
+
+	store, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := codec.ByName("deflate")
+	if !ok {
+		t.Fatal("deflate not registered")
+	}
+	stale := [32]byte{0xde, 0xad, 0xbe, 0xef}
+	if err := store.RecordELF(c.SourceKey(), stale); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{MemSize: 16 << 20, Artifacts: store})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	// No artifact exists under the stale address, so the snapshot miss
+	// compiles — and the hash check catches the lie before anything is
+	// filed under the wrong address.
+	if resp, body := post(t, ts.URL+"/v1/decode?codec=deflate", stream); resp.StatusCode == http.StatusOK {
+		t.Fatalf("request under a stale index entry succeeded: %d bytes", len(body))
+	}
+	if _, ok := store.LookupELF(c.SourceKey()); ok {
+		t.Fatal("stale index entry survived the failed build")
+	}
+
+	// The retry re-resolves: compile, correct hash, correct output.
+	resp, body := post(t, ts.URL+"/v1/decode?codec=deflate", stream)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, text) {
+		t.Fatalf("retry after self-heal: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if h, ok := store.LookupELF(c.SourceKey()); !ok || h == stale {
+		t.Fatalf("index after self-heal = %x, %v; want the fresh hash", h, ok)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vxa/internal/artifact"
 	"vxa/internal/codec"
 	"vxa/internal/core"
 	"vxa/internal/fault"
@@ -100,6 +101,17 @@ type Config struct {
 	// ReadyWindow is the minimum interval between readiness shed-rate
 	// samples. Defaults to DefaultReadyWindow.
 	ReadyWindow time.Duration
+	// Artifacts, when non-nil, arms the persistent snapshot-artifact
+	// tier: snapshot-cache misses probe the store before building from
+	// the decoder ELF, builds are written back, and a background loop
+	// re-persists entries whose absorbed block caches have grown (so
+	// translation work done by live traffic survives a restart). The
+	// caller owns the store (vxad opens it from -artifact-dir).
+	Artifacts *artifact.Store
+	// ArtifactFlushInterval is how often grown block caches are
+	// re-persisted. Defaults to DefaultArtifactFlushInterval; only
+	// meaningful with Artifacts set.
+	ArtifactFlushInterval time.Duration
 }
 
 // Server defaults.
@@ -110,6 +122,9 @@ const (
 	DefaultStreamTimeout   = 30 * time.Second
 	DefaultReadyShedRate   = 0.5
 	DefaultReadyWindow     = time.Second
+	// DefaultArtifactFlushInterval is how often the artifact flush loop
+	// re-persists snapshot lines whose block caches have grown.
+	DefaultArtifactFlushInterval = 30 * time.Second
 	// memJanitorInterval is how often the memory janitor samples the
 	// heap when MemWatermark is armed.
 	memJanitorInterval = 2 * time.Second
@@ -141,9 +156,12 @@ type Server struct {
 	// draining is set by StartDrain: new decode requests are shed with
 	// 503 + Retry-After while in-flight streams finish.
 	draining atomic.Bool
-	// janitorStop/janitorDone bound the memory janitor's lifetime.
+	// janitorStop/janitorDone bound the memory janitor's lifetime;
+	// flushStop/flushDone bound the artifact flush loop's.
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+	flushStop   chan struct{}
+	flushDone   chan struct{}
 	closeOnce   sync.Once
 
 	// Latency histograms: endpoint and stage families are fixed at
@@ -206,12 +224,16 @@ func New(cfg Config) *Server {
 	if cfg.ReadyWindow <= 0 {
 		cfg.ReadyWindow = DefaultReadyWindow
 	}
+	if cfg.ArtifactFlushInterval <= 0 {
+		cfg.ArtifactFlushInterval = DefaultArtifactFlushInterval
+	}
 	s := &Server{
 		cfg: cfg,
 		cache: vmpool.NewSnapCache(vmpool.SnapCacheConfig{
-			VM:       vm.Config{MemSize: cfg.MemSize, WallBudget: wallBudget},
-			MaxBytes: cfg.CacheBytes,
-			Health:   cfg.Health,
+			VM:        vm.Config{MemSize: cfg.MemSize, WallBudget: wallBudget},
+			MaxBytes:  cfg.CacheBytes,
+			Health:    cfg.Health,
+			Artifacts: cfg.Artifacts,
 		}),
 		adm:       NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		mux:       http.NewServeMux(),
@@ -240,7 +262,33 @@ func New(cfg Config) *Server {
 		s.janitorDone = make(chan struct{})
 		go s.memJanitor()
 	}
+	if cfg.Artifacts != nil {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.artifactFlusher()
+	}
 	return s
+}
+
+// artifactFlusher periodically re-persists snapshot lines whose
+// absorbed uop block caches have grown since their artifact was
+// written, so the translation work live streams pay for reaches disk
+// (and through vxwarm pack, the rest of the fleet) without waiting for
+// a clean shutdown.
+func (s *Server) artifactFlusher() {
+	defer close(s.flushDone)
+	t := time.NewTicker(s.cfg.ArtifactFlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-t.C:
+		}
+		if n := s.cache.FlushArtifacts(); n > 0 && s.cfg.Logger != nil {
+			s.cfg.Logger.Info("persisted grown snapshot artifacts", "artifacts", n)
+		}
+	}
 }
 
 // memJanitor watches the heap against the configured watermark and
@@ -263,12 +311,20 @@ func (s *Server) memJanitor() {
 		if int64(ms.HeapAlloc) <= s.cfg.MemWatermark {
 			continue
 		}
+		// Aim to halve total snapshot residency. Orphan-pinned bytes
+		// (evicted lines with leases still in flight) can't be evicted
+		// again, so the evictable target absorbs their share — without
+		// this the janitor under-shrinks by exactly the orphaned amount.
 		st := s.cache.Stats()
-		freed := s.cache.Shrink(st.Bytes / 2)
+		target := (st.Bytes+st.OrphanBytes)/2 - st.OrphanBytes
+		if target < 0 {
+			target = 0
+		}
+		freed := s.cache.Shrink(target)
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("memory watermark exceeded, shrank snapshot cache",
 				"heap_bytes", ms.HeapAlloc, "watermark", s.cfg.MemWatermark,
-				"cache_bytes_freed", freed)
+				"cache_bytes_freed", freed, "orphan_bytes", st.OrphanBytes)
 		}
 	}
 }
@@ -292,6 +348,13 @@ func (s *Server) Close() {
 		if s.janitorStop != nil {
 			close(s.janitorStop)
 			<-s.janitorDone
+		}
+		if s.flushStop != nil {
+			close(s.flushStop)
+			<-s.flushDone
+			// Final flush: block caches grown since the last tick reach
+			// disk before the process goes away.
+			s.cache.FlushArtifacts()
 		}
 		s.cache.Drain()
 	})
@@ -482,6 +545,9 @@ type Metrics struct {
 	Stages           map[string]obs.HistStats `json:"stage_latency,omitempty"`
 	Admission        AdmissionStats           `json:"admission"`
 	Cache            vmpool.SnapCacheStats    `json:"cache"`
+	// ArtifactStore is present only when the persistent artifact tier
+	// is armed (-artifact-dir).
+	ArtifactStore *artifact.Stats `json:"artifact_store,omitempty"`
 }
 
 // MetricsSnapshot returns the current counters and latency summaries.
@@ -500,6 +566,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Endpoints:        make(map[string]obs.HistStats),
 		Admission:        s.adm.Stats(),
 		Cache:            s.cache.Stats(),
+	}
+	if s.cfg.Artifacts != nil {
+		st := s.cfg.Artifacts.Stats()
+		m.ArtifactStore = &st
 	}
 	for class := 1; class < len(s.statusClass); class++ {
 		if n := s.statusClass[class].Load(); n > 0 {
@@ -685,7 +755,20 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Counter("vxad_snapcache_quarantined_total", "Snapshot lines evicted by decoder quarantine.", nil, float64(cache.Quarantined))
 	p.Counter("vxad_snapcache_shrinks_total", "Emergency cache shrinks (memory watermark).", nil, float64(cache.Shrinks))
 	p.Gauge("vxad_snapcache_entries", "Resident snapshot cache entries.", nil, float64(cache.Entries))
-	p.Gauge("vxad_snapcache_bytes", "Resident snapshot cache bytes.", nil, float64(cache.Bytes))
+	p.Gauge("vxad_snapcache_bytes", "Resident snapshot cache bytes (live footprint).", nil, float64(cache.Bytes))
+	p.Gauge("vxad_snapcache_orphan_bytes", "Snapshot bytes pinned by evicted lines with in-flight leases.", nil, float64(cache.OrphanBytes))
+
+	if s.cfg.Artifacts != nil {
+		st := s.cfg.Artifacts.Stats()
+		p.Counter("vxad_artifact_hits_total", "Persistent artifact store hits (disk-warm builds).", nil, float64(st.Hits))
+		p.Counter("vxad_artifact_misses_total", "Persistent artifact store misses.", nil, float64(st.Misses))
+		p.Counter("vxad_artifact_fallbacks_total", "Artifact loads that failed verification and fell back to the ELF build.", nil, float64(st.Fallbacks))
+		p.Counter("vxad_artifact_saves_total", "Artifacts written (builds plus flushes).", nil, float64(st.Saves))
+		p.Counter("vxad_artifact_save_errors_total", "Artifact writes that failed.", nil, float64(st.SaveErrors))
+		p.Counter("vxad_artifact_bytes_loaded_total", "Artifact bytes loaded from the store.", nil, float64(st.BytesLoaded))
+		p.Counter("vxad_artifact_bytes_saved_total", "Artifact bytes written to the store.", nil, float64(st.BytesSaved))
+		p.Counter("vxad_artifact_load_seconds_total", "Wall time spent in successful artifact loads.", nil, float64(st.LoadNanos)/1e9)
+	}
 
 	health := cache.Health
 	p.Gauge("vxad_breaker_open", "Decoder circuit breakers currently open.", nil, float64(health.Open))
@@ -1140,7 +1223,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 const decodeMode = 0644
 
 // builtinCodec resolves a registered codec and the content hash of its
-// decoder ELF (hashed once per server).
+// decoder ELF (learned once per server). With an artifact store armed,
+// the hash comes from the store's persistent ELF-hash index when
+// possible: that is what lets a restarted daemon address a codec's
+// snapshot artifact without first spending hundreds of milliseconds in
+// the VXC compiler just to hash its output — the compile was the cold
+// start. Only when the index misses is the decoder compiled, and the
+// resulting hash is recorded for the next restart.
 func (s *Server) builtinCodec(name string) (*codec.Codec, [32]byte, error) {
 	c, ok := codec.ByName(name)
 	if !ok {
@@ -1152,15 +1241,111 @@ func (s *Server) builtinCodec(name string) (*codec.Codec, [32]byte, error) {
 	if ok {
 		return c, h, nil
 	}
+	if st := s.cfg.Artifacts; st != nil {
+		if h, ok := st.LookupELF(c.SourceKey()); ok {
+			s.mu.Lock()
+			s.codecHash[name] = h
+			s.mu.Unlock()
+			return c, h, nil
+		}
+	}
 	elf, err := c.DecoderELF()
 	if err != nil {
 		return nil, [32]byte{}, err
 	}
 	h = vmpool.HashELF(elf)
+	if st := s.cfg.Artifacts; st != nil {
+		// Best-effort: a failed record costs the next restart one
+		// compile, nothing else.
+		_ = st.RecordELF(c.SourceKey(), h)
+	}
 	s.mu.Lock()
 	s.codecHash[name] = h
 	s.mu.Unlock()
 	return c, h, nil
+}
+
+// builtinELF returns the snapshot-miss build callback for a built-in
+// codec whose content hash was resolved by builtinCodec. When the hash
+// may have come from the ELF-hash index, the freshly compiled bytes
+// are checked against it: a mismatch means the index entry predates an
+// ELF-affecting compiler change that did not bump vxcc.Version, so the
+// stale entry and the server's cached hash are dropped and the request
+// fails loudly rather than filing the new decoder under the old
+// address (a retry re-resolves cleanly). Mismatch is impossible when
+// the hash was computed from this process's own compile — the build is
+// cached per codec — so the check only ever fires on the index path.
+func (s *Server) builtinELF(c *codec.Codec, hash [32]byte) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		elf, err := c.DecoderELF()
+		if err != nil {
+			return nil, err
+		}
+		if vmpool.HashELF(elf) != hash {
+			if st := s.cfg.Artifacts; st != nil {
+				st.DropELF(c.SourceKey())
+			}
+			s.mu.Lock()
+			delete(s.codecHash, c.Name)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("server: codec %s: compiled decoder does not match indexed hash %x (stale ELF index entry dropped; was vxcc.Version bumped?)", c.Name, hash)
+		}
+		return elf, nil
+	}
+}
+
+// PrewarmCodec restores one registered codec's decoder line from the
+// persistent artifact store, if the store's ELF-hash index knows its
+// content address: the snapshot line is built now — artifact load,
+// pool seeded with a materialized (page-faulted) spare VM — so the
+// codec's first request after a daemon restart runs at warm-cache
+// latency instead of paying the probe, image load and VM
+// materialization inline. An indexed-but-lost artifact self-heals
+// through the normal miss path (compile fallback) here rather than on
+// the first request. Reports whether the line was warmed; false when
+// there is no store, the codec is unknown or unindexed, or the build
+// failed (the first request will then retry the full path).
+func (s *Server) PrewarmCodec(ctx context.Context, name string) bool {
+	st := s.cfg.Artifacts
+	if st == nil {
+		return false
+	}
+	c, ok := codec.ByName(name)
+	if !ok {
+		return false
+	}
+	h, ok := st.LookupELF(c.SourceKey())
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	s.codecHash[c.Name] = h
+	s.mu.Unlock()
+	lease, err := s.cache.Get(ctx, h, decodeMode, 0, s.builtinELF(c, h))
+	if err != nil {
+		return false
+	}
+	lease.Release(true)
+	return true
+}
+
+// PrewarmArtifacts prewarms every registered codec the artifact store's
+// index has history for (see PrewarmCodec) and returns how many decoder
+// lines were warmed. Codecs with no recorded history are skipped —
+// prewarming never compiles speculatively, so daemon readiness is never
+// delayed for a codec that may never be asked for. No-op without a
+// store.
+func (s *Server) PrewarmArtifacts(ctx context.Context) int {
+	if s.cfg.Artifacts == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range codec.All() {
+		if s.PrewarmCodec(ctx, c.Name) {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
@@ -1204,7 +1389,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	// registry's own compiled decoders, which carry no per-client
 	// secrets, so resume-in-place across requests is safe and keeps the
 	// endpoint at warm-cache latency.
-	lease, err := s.cache.Get(r.Context(), hash, decodeMode, 0, func() ([]byte, error) { return c.DecoderELF() })
+	lease, err := s.cache.Get(r.Context(), hash, decodeMode, 0, s.builtinELF(c, hash))
 	if err != nil {
 		s.fail(w, core.ClassifyDecode(name, err, r.Context().Err()))
 		return

@@ -43,6 +43,22 @@ type Snapshot struct {
 
 	mu     sync.Mutex
 	blocks map[uint32]*block
+	// sbs carries absorbed superblocks by entry address. A superblock is
+	// profile-driven but deterministic re-translation of read-only guest
+	// code, so one VM's formation work is valid for every sibling — and
+	// re-forming them (uop lowering plus a full optimizer pass per hot
+	// trace) is the dominant first-stream cost once images and blocks are
+	// already cached. Each record keeps the guard/return slot counts so
+	// materialization can size the per-VM chain arrays without rescanning.
+	sbs map[uint32]*sbRecord
+}
+
+// sbRecord is one absorbed superblock: the shared immutable fragment
+// plus the chain-slot geometry every per-VM wrapper needs.
+type sbRecord struct {
+	b      *block
+	guards int
+	rets   int
 }
 
 // Snapshot captures the VM's current state. The usual call site is right
@@ -67,6 +83,7 @@ func (v *VM) Snapshot() *Snapshot {
 		optCfg:     v.optCfg,
 		wallBudget: v.wallBudget,
 		blocks:     make(map[uint32]*block, len(v.blocks)),
+		sbs:        make(map[uint32]*sbRecord),
 	}
 	for addr, br := range v.blocks {
 		s.blocks[addr] = br.b
@@ -82,12 +99,29 @@ func (s *Snapshot) MemSize() uint32 { return s.memSize }
 // in a fresh per-VM bref, since chain links and cache growth are private
 // to the receiving VM. Handing out fresh wrappers is also what
 // invalidates chained successor links across Reset.
+//
+// Absorbed superblocks are re-attached through fresh wrappers too, with
+// empty guard chains and a clean entry/exit profile: the receiving VM
+// starts on the optimized traces immediately but still re-validates the
+// profile with its own counters, so a stale trace tears down and
+// re-forms exactly as if this VM had built it.
 func (s *Snapshot) blockMap() map[uint32]*bref {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := make(map[uint32]*bref, len(s.blocks))
 	for addr, b := range s.blocks {
-		m[addr] = &bref{b: b}
+		br := &bref{b: b}
+		if r, ok := s.sbs[addr]; ok && !s.noSB && !s.noCache {
+			br.sb = &bref{
+				b:        r.b,
+				owner:    br,
+				sbChains: make([]*bref, r.guards),
+				sbInd:    make([]sbIndEntry, r.rets),
+				sbTried:  true,
+			}
+			br.sbTried = true
+		}
+		m[addr] = br
 	}
 	return m
 }
@@ -96,7 +130,8 @@ func (s *Snapshot) blockMap() map[uint32]*bref {
 // predecoded block cache — the fast path for spinning up one more decoder
 // instance for parallel extraction.
 func (s *Snapshot) NewVM() *VM {
-	v := &VM{mem: make([]byte, s.memSize)}
+	owner, mem := allocGuestMem(s.memSize)
+	v := &VM{mem: mem, memOwner: owner}
 	s.restore(v)
 	return v
 }
@@ -117,8 +152,8 @@ func (v *VM) Reset(s *Snapshot) error {
 
 func (s *Snapshot) restore(v *VM) {
 	// Memory beyond the restored brk stays dirty but unreachable: the
-	// sandbox bounds make it inaccessible, and sysSetPerm re-zeroes any
-	// region before exposing it again.
+	// sandbox bounds make it inaccessible, and sysSetPerm re-zeroes the
+	// dirtied prefix (up to v.dirtyBrk) before exposing it again.
 	copy(v.mem[:s.brk], s.low)
 	copy(v.mem[s.stackBase:], s.high)
 	copy(v.regs[:], s.regs[:])
@@ -126,6 +161,9 @@ func (s *Snapshot) restore(v *VM) {
 	v.cf, v.zf, v.sf, v.of, v.pf = s.cf, s.zf, s.sf, s.of, s.pf
 	v.fl = uop.Flags{} // snapshots carry materialized flags
 	v.brk = s.brk
+	if s.brk > v.dirtyBrk {
+		v.dirtyBrk = s.brk
+	}
 	v.roLimit = s.roLimit
 	v.stackBase = s.stackBase
 	v.fuel = s.fuel
@@ -144,21 +182,55 @@ func (s *Snapshot) restore(v *VM) {
 // blocks that lie entirely inside the read-only region below the
 // snapshot's roLimit are taken: those bytes cannot have changed since the
 // snapshot, so the decoded fragments are valid for the pristine image.
+//
+// The VM's formed superblocks ride along under the same rule — every
+// instruction a trace re-translates must come from the pristine
+// read-only window — so sibling VMs (and, via Serialize, sibling
+// processes) skip the per-trace lowering and optimizer passes that
+// otherwise dominate a fresh VM's first stream.
 func (s *Snapshot) AbsorbBlocks(v *VM) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for addr, br := range v.blocks {
-		if _, ok := s.blocks[addr]; ok {
-			continue
-		}
-		b := br.b
-		if len(b.insts) == 0 {
-			continue
-		}
-		if addr >= PageSize && b.end <= s.roLimit {
-			s.blocks[addr] = b
+		if _, ok := s.blocks[addr]; !ok {
+			b := br.b
+			if len(b.insts) == 0 {
+				continue
+			}
+			if addr >= PageSize && b.end <= s.roLimit {
+				s.blocks[addr] = b
+			}
 		}
 	}
+	for addr, br := range v.blocks {
+		sb := br.sb
+		if sb == nil {
+			continue
+		}
+		if _, ok := s.sbs[addr]; ok {
+			continue
+		}
+		// The entry block must itself be absorbed, and the whole trace
+		// must execute read-only pristine bytes.
+		if _, ok := s.blocks[addr]; !ok || !sbInRO(sb.b, s.roLimit) {
+			continue
+		}
+		s.sbs[addr] = &sbRecord{b: sb.b, guards: len(sb.sbChains), rets: len(sb.sbInd)}
+	}
+}
+
+// sbInRO reports whether every micro-op of a superblock fragment was
+// re-translated from instruction bytes inside the pristine read-only
+// window [PageSize, roLimit). Guard exit targets may point anywhere —
+// exits resolve through the normal block lookup, which re-validates.
+func sbInRO(b *block, roLimit uint32) bool {
+	for i := range b.uops {
+		u := &b.uops[i]
+		if u.EIP < PageSize || u.EIP > roLimit || u.Next > roLimit {
+			return false
+		}
+	}
+	return true
 }
 
 // BlockCount reports how many decoded fragments the snapshot carries
@@ -167,6 +239,22 @@ func (s *Snapshot) BlockCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.blocks)
+}
+
+// SBCount reports how many absorbed superblocks the snapshot carries.
+func (s *Snapshot) SBCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sbs)
+}
+
+// DropSuperblocks discards the snapshot's absorbed superblocks, so
+// subsequent NewVM/Reset materializations profile and form their own —
+// the ablation hook for measuring what absorbed traces are worth.
+func (s *Snapshot) DropSuperblocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sbs = make(map[uint32]*sbRecord)
 }
 
 // Footprint estimates the resident bytes a snapshot pins: the stored
@@ -180,6 +268,9 @@ func (s *Snapshot) Footprint() int64 {
 	n := int64(len(s.low)) + int64(len(s.high))
 	for _, b := range s.blocks {
 		n += blockFootprint(b)
+	}
+	for _, r := range s.sbs {
+		n += blockFootprint(r.b)
 	}
 	return n
 }
@@ -197,11 +288,12 @@ func blockFootprint(b *block) int64 {
 // The blocks are immutable and shared, never copied.
 type BlockExport struct {
 	blocks  map[uint32]*block
+	sbs     map[uint32]*sbRecord
 	roLimit uint32
 }
 
-// ExportBlocks captures the snapshot's current block cache for import
-// into a sibling snapshot.
+// ExportBlocks captures the snapshot's current block cache (and its
+// absorbed superblocks) for import into a sibling snapshot.
 func (s *Snapshot) ExportBlocks() BlockExport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -209,7 +301,11 @@ func (s *Snapshot) ExportBlocks() BlockExport {
 	for addr, b := range s.blocks {
 		m[addr] = b
 	}
-	return BlockExport{blocks: m, roLimit: s.roLimit}
+	sbs := make(map[uint32]*sbRecord, len(s.sbs))
+	for addr, r := range s.sbs {
+		sbs[addr] = r
+	}
+	return BlockExport{blocks: m, sbs: sbs, roLimit: s.roLimit}
 }
 
 // ImportBlocks folds an exported block cache into the snapshot and
@@ -229,6 +325,15 @@ func (s *Snapshot) ImportBlocks(e BlockExport) int {
 		}
 		if addr >= PageSize && b.end <= s.roLimit && b.end <= e.roLimit {
 			s.blocks[addr] = b
+			n++
+		}
+	}
+	for addr, r := range e.sbs {
+		if _, ok := s.sbs[addr]; ok {
+			continue
+		}
+		if _, ok := s.blocks[addr]; ok && sbInRO(r.b, min(s.roLimit, e.roLimit)) {
+			s.sbs[addr] = r
 			n++
 		}
 	}

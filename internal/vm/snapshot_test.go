@@ -104,6 +104,59 @@ func TestSnapshotRestoresBounds(t *testing.T) {
 	}
 }
 
+// heapProbeProgram grows the heap by 1 MiB, writes the probe byte (well
+// above the program image) to stdout, then dirties it, once per stream.
+func heapProbeProgram(u *asm.Unit) {
+	const probe = 0x90000
+	u.Label("start")
+	u.Label("loop")
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysSetPerm))
+	u.Op2(x86.MOV, x86.R(x86.EBX), x86.I(PageSize))
+	u.Op2(x86.MOV, x86.R(x86.ECX), x86.I(1<<20))
+	u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysWrite))
+	u.Op2(x86.MOV, x86.R(x86.EBX), x86.I(1))
+	u.Op2(x86.MOV, x86.R(x86.ECX), x86.I(probe))
+	u.Op2(x86.MOV, x86.R(x86.EDX), x86.I(1))
+	u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	u.Op2(x86.MOV, x86.R(x86.ECX), x86.I(probe))
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(0xAB))
+	u.Op2(x86.MOV, x86.M(x86.ECX, 0), x86.R(x86.EAX))
+	u.Op2(x86.MOV, x86.R(x86.EAX), x86.I(SysDone))
+	u.Op1(x86.INT, x86.Arg{Kind: x86.KindImm, Imm: 0x80, Size: 1})
+	u.Jmp("loop")
+}
+
+// TestSetPermZeroesReusedHeap: heap bytes a previous stream dirtied must
+// read zero after Reset rolls brk back and setperm re-exposes them. This
+// pins the dirty-high-water-mark fast path: pristine pages are exposed
+// without clearing, but anything below the mark is scrubbed.
+func TestSetPermZeroesReusedHeap(t *testing.T) {
+	v, _ := buildVM(t, Config{}, nil, heapProbeProgram)
+	snap := v.Snapshot()
+
+	if got := runStream(t, v); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("fresh heap probe = %#v, want [0]", got)
+	}
+	// Without a reset the heap persists: the second setperm finds the
+	// region already accessible and the dirtied byte survives.
+	if got := runStream(t, v); len(got) != 1 || got[0] != 0xAB {
+		t.Fatalf("no-reset probe = %#v, want [0xAB]", got)
+	}
+	if err := v.Reset(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := runStream(t, v); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("post-reset probe = %#v, want [0] (dirty heap leaked through setperm)", got)
+	}
+	// A sibling materialized from the same snapshot starts pristine and
+	// exposes the pure skip path (nothing below its mark to scrub).
+	v2 := snap.NewVM()
+	if got := runStream(t, v2); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("sibling VM probe = %#v, want [0]", got)
+	}
+}
+
 // TestSnapshotNewVM: VMs materialized from one snapshot are independent.
 func TestSnapshotNewVM(t *testing.T) {
 	v1, _ := buildVM(t, Config{}, nil, counterProgram)

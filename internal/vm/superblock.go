@@ -38,6 +38,40 @@ const (
 	sbMaxReforms = 8
 )
 
+// sbGuardKind reports whether a micro-op kind is a conditional guard,
+// whose Aux field is a chain-slot index rather than a register. The
+// set must cover every guard variant the optimizer can fuse a
+// KindGuard into; formSuperblock and the snapshot deserializer both
+// number slots by scanning with this predicate, which is what keeps a
+// persisted superblock's slot geometry identical to a freshly formed
+// one's.
+func sbGuardKind(k uop.Kind) bool {
+	switch k {
+	case uop.KindGuard, uop.KindGuardCmpRR, uop.KindGuardCmpRI,
+		uop.KindGuardTestRR, uop.KindGuardTestRI,
+		uop.KindGuardCmpRRNF, uop.KindGuardCmpRINF,
+		uop.KindGuardTestRRNF, uop.KindGuardTestRINF:
+		return true
+	}
+	return false
+}
+
+// sbNumberSlots assigns each guard its exit-chain slot and each return
+// guard its inline-cache slot, in order, and returns the slot counts.
+func sbNumberSlots(us []uop.Uop) (guards, rets int) {
+	for i := range us {
+		switch {
+		case sbGuardKind(us[i].Kind):
+			us[i].Aux = uint8(guards)
+			guards++
+		case us[i].Kind == uop.KindRetGuard:
+			us[i].Aux = uint8(rets)
+			rets++
+		}
+	}
+	return guards, rets
+}
+
 // sbEndsTrace reports whether a terminator micro-op kind ends
 // superblock growth outright: indirect jumps and calls, syscall gates
 // and deliberate traps all stay block-final. Direct calls and returns
@@ -212,20 +246,7 @@ func (v *VM) formSuperblock(entry *bref) {
 
 	// Number the guards: each conditional guard gets its own exit chain
 	// slot, each return guard its own indirect inline cache.
-	guards, rets := 0, 0
-	for i := range us {
-		switch us[i].Kind {
-		case uop.KindGuard, uop.KindGuardCmpRR, uop.KindGuardCmpRI,
-			uop.KindGuardTestRR, uop.KindGuardTestRI,
-			uop.KindGuardCmpRRNF, uop.KindGuardCmpRINF,
-			uop.KindGuardTestRRNF, uop.KindGuardTestRINF:
-			us[i].Aux = uint8(guards)
-			guards++
-		case uop.KindRetGuard:
-			us[i].Aux = uint8(rets)
-			rets++
-		}
-	}
+	guards, rets := sbNumberSlots(us)
 
 	sb := &block{uops: us, end: lastEnd, cost: cost}
 	entry.sb = &bref{

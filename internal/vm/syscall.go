@@ -143,10 +143,18 @@ func (v *VM) sysSetPerm() int32 {
 	if addr > v.brk {
 		return -ErrnoINVAL // the heap must stay contiguous
 	}
-	// Newly exposed memory must be zero even after VM reuse.
-	for i := v.brk; i < end; i++ {
-		v.mem[i] = 0
+	// Newly exposed memory must be zero even after VM reuse. Bytes past
+	// the dirty high-water mark have never been guest-writable on this
+	// address space (allocGuestMem hands back zeroed pages and every
+	// write path is bounded by brk), so only the previously exposed
+	// prefix needs clearing — on a freshly materialized VM the first
+	// heap growth is free instead of a multi-megabyte memclr.
+	if top := min(end, v.dirtyBrk); top > v.brk {
+		clear(v.mem[v.brk:top])
 	}
 	v.brk = end
+	if end > v.dirtyBrk {
+		v.dirtyBrk = end
+	}
 	return 0
 }

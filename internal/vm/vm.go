@@ -186,6 +186,11 @@ type Stats struct {
 // VM is one sandboxed guest. It is not safe for concurrent use.
 type VM struct {
 	mem []byte
+	// memOwner keeps the guest address space's mapping alive: on Linux
+	// mem is anonymous-mmap memory outside the Go heap (see mem_linux.go)
+	// and is returned to the kernel when the owner is collected, so the
+	// VM must reference the owner for as long as mem is in use.
+	memOwner *guestMem
 	// regs holds the eight architectural registers plus a ninth slot
 	// (uop.RegZero) that is always zero: lowered memory operands index it
 	// for absent base/index registers, making effective-address
@@ -208,6 +213,13 @@ type VM struct {
 	brk       uint32
 	roLimit   uint32
 	stackBase uint32
+	// dirtyBrk is the high-water mark of heap exposure on this address
+	// space: the largest value brk has ever held since the memory was
+	// allocated. Every write path below stackBase is bounded by brk, so
+	// mem[dirtyBrk:stackBase) still holds the zeroed pages allocGuestMem
+	// returned and sysSetPerm need not re-clear them. It survives Reset
+	// (the old heap stays dirty) and only ever grows.
+	dirtyBrk uint32
 
 	fuel    int64
 	noCache bool
@@ -318,9 +330,12 @@ func New(cfg Config) (*VM, error) {
 	if cfg.StackSize%PageSize != 0 || cfg.StackSize >= cfg.MemSize/2 {
 		return nil, fmt.Errorf("vm: bad StackSize %d", cfg.StackSize)
 	}
+	owner, mem := allocGuestMem(cfg.MemSize)
 	v := &VM{
-		mem:        make([]byte, cfg.MemSize),
+		mem:        mem,
+		memOwner:   owner,
 		brk:        PageSize,
+		dirtyBrk:   PageSize,
 		roLimit:    PageSize,
 		stackBase:  cfg.MemSize - cfg.StackSize,
 		fuel:       cfg.Fuel,
@@ -349,6 +364,9 @@ func (v *VM) MapSegment(addr uint32, data []byte, memSize uint32, readOnly bool)
 	copy(v.mem[addr:], data)
 	if end > v.brk {
 		v.brk = end
+	}
+	if v.brk > v.dirtyBrk {
+		v.dirtyBrk = v.brk
 	}
 	if readOnly && end > v.roLimit {
 		v.roLimit = end

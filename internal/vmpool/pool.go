@@ -328,15 +328,19 @@ func (l *Lease) Release(reusable bool) {
 
 	p := l.p
 	defer p.releaseSlot()
-	// First return of a warmed-up VM: fold its translation cache into
-	// the snapshot so every future build/reset starts warm. Done once
-	// per codec, outside the pool lock, and before the VM re-enters the
-	// idle list (no other goroutine can be running it here).
+	// Returning a warmed-up VM: fold its translation cache into the
+	// snapshot so every future build/reset starts warm. Done on the
+	// first return and again whenever a stream translated fragments the
+	// snapshot has not seen (later streams reach code paths earlier ones
+	// did not), outside the pool lock, and before the VM re-enters the
+	// idle list (no other goroutine can be running it here). AbsorbBlocks
+	// itself dedups, so re-absorbing is cheap when nothing is new.
 	p.mu.Lock()
 	addVMStats(&p.vmAgg, v.Stats(), l.stats0)
 	p.outstanding--
 	cs := p.codec[l.key.Codec]
-	absorb := reusable && cs != nil && cs.snap != nil && !cs.warmed
+	absorb := reusable && cs != nil && cs.snap != nil &&
+		(!cs.warmed || v.Stats().BlocksBuilt > l.stats0.BlocksBuilt)
 	if absorb {
 		cs.warmed = true
 	}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vxa/internal/artifact"
 	"vxa/internal/elf32"
 	"vxa/internal/fault"
 	"vxa/internal/obs"
@@ -47,7 +48,21 @@ type SnapCache struct {
 	quarantined, shrinks    uint64
 	retired                 Stats    // pool counters of fully drained evicted entries
 	retiredVM               vm.Stats // engine counters of fully drained evicted entries
-	orphans                 []*Pool  // evicted pools with leases still in flight
+
+	// orphans are evicted pools with leases still in flight; each keeps
+	// pinning its snapshot (and that snapshot's footprint, recorded at
+	// eviction) until the last lease releases. orphanBytes is the sum of
+	// those pinned footprints — resident memory the LRU budget no longer
+	// covers but the process still holds.
+	orphans     []orphanPool
+	orphanBytes int64
+}
+
+// orphanPool pairs an evicted-but-not-yet-drained pool with the
+// snapshot footprint it pins.
+type orphanPool struct {
+	pool  *Pool
+	bytes int64
 }
 
 // SnapCacheConfig configures a SnapCache.
@@ -68,6 +83,13 @@ type SnapCacheConfig struct {
 	// The zero value selects the defaults; Threshold < 0 disables
 	// health tracking.
 	Health HealthConfig
+	// Artifacts, when non-nil, is the persistent tier: cache misses
+	// probe it before building from the decoder ELF, successful builds
+	// are written back, and FlushArtifacts re-persists entries whose
+	// absorbed block cache has grown. Every load failure falls back to
+	// the ELF build path — the store is an accelerator, never an
+	// authority.
+	Artifacts *artifact.Store
 }
 
 // DefaultSnapCacheBytes is the default resident-snapshot byte budget.
@@ -94,6 +116,14 @@ type cacheEntry struct {
 	pool  *Pool
 	bytes int64
 	elem  *list.Element
+
+	// artifactDur is how much of the build went to the persistent-store
+	// probe (zero when no store is configured); savedBlocks/savedSBs are
+	// the snapshot block and superblock counts at the last artifact save
+	// or load, the staleness signals FlushArtifacts re-saves on.
+	artifactDur time.Duration
+	savedBlocks int
+	savedSBs    int
 }
 
 // SnapCacheStats is a point-in-time view of the cache.
@@ -102,8 +132,15 @@ type SnapCacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	MaxBytes  int64  `json:"max_bytes"`
+	// Bytes is the live footprint of resident entries (memory image +
+	// absorbed block cache, refreshed at scrape time — not the stale
+	// build-time size); OrphanBytes is the additional footprint pinned
+	// by evicted lines whose leases are still in flight. Total process
+	// snapshot residency is the sum of the two; only Bytes is subject to
+	// the MaxBytes budget, since eviction cannot release orphan pins.
+	Bytes       int64 `json:"bytes"`
+	OrphanBytes int64 `json:"orphan_bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
 	// Quarantined counts lines evicted because their decoder's breaker
 	// tripped; Shrinks counts emergency Shrink passes.
 	Quarantined uint64 `json:"quarantined"`
@@ -181,11 +218,22 @@ func (c *SnapCache) Get(ctx context.Context, hash [32]byte, mode uint32, scope u
 
 	// The build (or the coalesced wait on another request's in-flight
 	// build) is the content-addressed cold path; attribute it to the
-	// request's snapshot stage. A resident hit passes through in
-	// nanoseconds and contributes nothing visible.
+	// request's snapshot stage, with the slice spent probing/loading the
+	// persistent artifact store broken out as the artifact stage. A
+	// resident hit passes through in nanoseconds and contributes nothing
+	// visible; coalesced waiters attribute the artifact share of however
+	// long they actually waited.
 	buildStart := time.Now()
 	e.once.Do(func() { c.build(e, elf) })
-	obs.SpanFrom(ctx).Add(obs.StageSnapshot, time.Since(buildStart))
+	elapsed := time.Since(buildStart)
+	if d := e.artifactDur; d > 0 {
+		if d > elapsed {
+			d = elapsed
+		}
+		obs.SpanFrom(ctx).Add(obs.StageArtifact, d)
+		elapsed -= d
+	}
+	obs.SpanFrom(ctx).Add(obs.StageSnapshot, elapsed)
 	if e.err != nil {
 		// Drop the failed entry so a later Get retries the build.
 		c.mu.Lock()
@@ -204,9 +252,21 @@ func NextScope() uint64 { return scopeCounter.Add(1) }
 
 var scopeCounter atomic.Uint64
 
+// resetSpare rewinds the freshly built spare VM onto its snapshot after
+// a sibling block import. A hook so tests can exercise the (otherwise
+// unreachable in-process) failure path.
+var resetSpare = func(v *vm.VM, s *vm.Snapshot) error { return v.Reset(s) }
+
 // build constructs the entry's snapshot and pool, then makes it
 // resident, evicting over-budget entries. Runs outside the cache lock:
-// ELF fetch + parse + image copy must not serialize unrelated decoders.
+// artifact load / ELF fetch + parse + image copy must not serialize
+// unrelated decoders.
+//
+// The persistent artifact store, when configured, is probed first: a
+// verified artifact yields the snapshot (pristine image + warm uop
+// block cache) without touching the decoder ELF at all. Any load
+// failure — absent, truncated, corrupt, foreign engine version — falls
+// through to the ELF build path, whose result is then written back.
 func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
 	if elf == nil {
 		e.err = fmt.Errorf("vmpool: snapcache miss for %s with no elf source", poolKey(e.key.Hash))
@@ -220,20 +280,36 @@ func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
 		c.Report(e.key.Hash, OutcomeBuildFail)
 		return
 	}
-	elfBytes, err := elf()
-	if err != nil {
-		// A failed decoder *fetch* is archive/backend I/O, not evidence
-		// against the decoder: no health report.
-		e.err = err
-		return
+
+	var snap *vm.Snapshot
+	var v *vm.VM
+	fromStore := false
+	if store := c.cfg.Artifacts; store != nil {
+		probeStart := time.Now()
+		if s, err := store.Load(e.key.Hash, c.cfg.VM); err == nil {
+			snap, fromStore = s, true
+			e.savedBlocks, e.savedSBs = s.BlockCount(), s.SBCount()
+		}
+		// The store keeps its own hit/miss/fallback counters; a failed
+		// load deliberately leaves no trace on the entry beyond them.
+		e.artifactDur = time.Since(probeStart)
 	}
-	v, err := elf32.NewVM(elfBytes, c.cfg.VM)
-	if err != nil {
-		e.err = err
-		c.Report(e.key.Hash, OutcomeBuildFail)
-		return
+	if snap == nil {
+		elfBytes, err := elf()
+		if err != nil {
+			// A failed decoder *fetch* is archive/backend I/O, not
+			// evidence against the decoder: no health report.
+			e.err = err
+			return
+		}
+		v, err = elf32.NewVM(elfBytes, c.cfg.VM)
+		if err != nil {
+			e.err = err
+			c.Report(e.key.Hash, OutcomeBuildFail)
+			return
+		}
+		snap = v.Snapshot()
 	}
-	snap := v.Snapshot()
 
 	// A resident sibling under another security mode already paid for
 	// translation: import its shared block cache. Safe because both
@@ -247,13 +323,19 @@ func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
 		}
 	}
 	c.mu.Unlock()
-	if sibling != nil && snap.ImportBlocks(sibling.snap.ExportBlocks()) > 0 {
+	if sibling != nil && snap.ImportBlocks(sibling.snap.ExportBlocks()) > 0 && v != nil {
 		// The spare VM was captured before the import; rewind it so its
 		// private block map picks up the imported fragments too.
-		if err := v.Reset(snap); err != nil {
+		if err := resetSpare(v, snap); err != nil {
 			e.err = err
+			c.Report(e.key.Hash, OutcomeBuildFail)
 			return
 		}
+	}
+	if v == nil {
+		// Artifact path: materialize the spare from the loaded snapshot
+		// (warm block cache included).
+		v = snap.NewVM()
 	}
 
 	pool := New(Options{VM: c.cfg.VM, MaxIdlePerKey: c.cfg.MaxIdlePerKey})
@@ -265,12 +347,47 @@ func (c *SnapCache) build(e *cacheEntry, elf func() ([]byte, error)) {
 	c.used += e.bytes
 	c.evictLocked(e)
 	c.mu.Unlock()
+
+	// Persist a fresh ELF build so the next process skips it. Best
+	// effort: a full disk or read-only store must never fail the build
+	// (the store's save-error counter records it).
+	if store := c.cfg.Artifacts; store != nil && !fromStore {
+		if store.Save(e.key.Hash, c.cfg.VM, snap) == nil {
+			c.mu.Lock()
+			e.savedBlocks, e.savedSBs = snap.BlockCount(), snap.SBCount()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// refreshFootprintLocked re-reads the entry's live Footprint — absorbed
+// blocks grow it after build — and folds the delta into the cache's
+// used total, so the LRU budget, Shrink and Stats all account for what
+// the snapshot actually pins rather than its size at build time.
+// Caller holds c.mu.
+func (c *SnapCache) refreshFootprintLocked(e *cacheEntry) {
+	if e.snap == nil {
+		return
+	}
+	nf := e.snap.Footprint()
+	c.used += nf - e.bytes
+	e.bytes = nf
+}
+
+// refreshAllFootprintsLocked refreshes every resident entry. Caller
+// holds c.mu. O(resident decoders × their blocks) — both small.
+func (c *SnapCache) refreshAllFootprintsLocked() {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		c.refreshFootprintLocked(el.Value.(*cacheEntry))
+	}
 }
 
 // evictLocked drops least-recently-used entries until the budget holds,
 // never evicting keep (the entry just touched): one oversized decoder
-// must still be servable.
+// must still be servable. Footprints are refreshed first so the budget
+// decision sees post-absorb residency, not build-time sizes.
 func (c *SnapCache) evictLocked(keep *cacheEntry) {
+	c.refreshAllFootprintsLocked()
 	for c.used > c.cfg.MaxBytes {
 		back := c.lru.Back()
 		if back == nil {
@@ -293,28 +410,31 @@ func (c *SnapCache) evictLocked(keep *cacheEntry) {
 		// the orphan list, which compactOrphansLocked drains here and
 		// in Stats(), so an orphaned pool (and the snapshot it pins)
 		// never outlives its last lease by more than one eviction or
-		// metrics scrape.
+		// metrics scrape. While parked, the snapshot footprint it pins
+		// stays visible as OrphanBytes.
 		victim.pool.Drain()
-		c.orphans = append(c.orphans, victim.pool)
+		c.orphans = append(c.orphans, orphanPool{victim.pool, victim.bytes})
+		c.orphanBytes += victim.bytes
 		c.compactOrphansLocked()
 	}
 }
 
 // compactOrphansLocked folds every fully drained orphan pool into the
-// retired totals and drops it, releasing the snapshot it pinned.
-// Caller holds c.mu.
+// retired totals and drops it, releasing the snapshot it pinned (and
+// its OrphanBytes share). Caller holds c.mu.
 func (c *SnapCache) compactOrphansLocked() {
 	keep := c.orphans[:0]
-	for _, p := range c.orphans {
-		if p.Outstanding() == 0 {
-			addPoolStats(&c.retired, p.Stats())
-			addVMStats(&c.retiredVM, p.VMStats(), vm.Stats{})
+	for _, o := range c.orphans {
+		if o.pool.Outstanding() == 0 {
+			addPoolStats(&c.retired, o.pool.Stats())
+			addVMStats(&c.retiredVM, o.pool.VMStats(), vm.Stats{})
+			c.orphanBytes -= o.bytes
 			continue
 		}
-		keep = append(keep, p)
+		keep = append(keep, o)
 	}
 	for i := len(keep); i < len(c.orphans); i++ {
-		c.orphans[i] = nil
+		c.orphans[i] = orphanPool{}
 	}
 	c.orphans = keep
 }
@@ -369,13 +489,15 @@ func (c *SnapCache) Quarantine(hash [32]byte) int {
 		if key.Hash != hash || e.elem == nil {
 			continue
 		}
+		c.refreshFootprintLocked(e)
 		c.lru.Remove(e.elem)
 		e.elem = nil
 		delete(c.entries, key)
 		c.used -= e.bytes
 		c.quarantined++
 		e.pool.Drain()
-		c.orphans = append(c.orphans, e.pool)
+		c.orphans = append(c.orphans, orphanPool{e.pool, e.bytes})
+		c.orphanBytes += e.bytes
 		n++
 	}
 	c.compactOrphansLocked()
@@ -392,8 +514,8 @@ func (c *SnapCache) Outstanding() int {
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		n += el.Value.(*cacheEntry).pool.Outstanding()
 	}
-	for _, p := range c.orphans {
-		n += p.Outstanding()
+	for _, o := range c.orphans {
+		n += o.pool.Outstanding()
 	}
 	return n
 }
@@ -408,6 +530,7 @@ func (c *SnapCache) Shrink(target int64) int64 {
 		target = 0
 	}
 	c.mu.Lock()
+	c.refreshAllFootprintsLocked()
 	freed := int64(0)
 	for c.used > target {
 		back := c.lru.Back()
@@ -422,7 +545,8 @@ func (c *SnapCache) Shrink(target int64) int64 {
 		freed += victim.bytes
 		c.evictions++
 		victim.pool.Drain()
-		c.orphans = append(c.orphans, victim.pool)
+		c.orphans = append(c.orphans, orphanPool{victim.pool, victim.bytes})
+		c.orphanBytes += victim.bytes
 	}
 	c.compactOrphansLocked()
 	c.shrinks++
@@ -445,16 +569,18 @@ func (c *SnapCache) Stats() SnapCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.compactOrphansLocked()
+	c.refreshAllFootprintsLocked()
 	s := SnapCacheStats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Entries: c.lru.Len(), Bytes: c.used, MaxBytes: c.cfg.MaxBytes,
+		OrphanBytes: c.orphanBytes,
 		Quarantined: c.quarantined, Shrinks: c.shrinks,
 		Health: c.health.Stats(),
 		Pool:   c.retired, VM: c.retiredVM,
 	}
-	for _, p := range c.orphans {
-		addPoolStats(&s.Pool, p.Stats())
-		addVMStats(&s.VM, p.VMStats(), vm.Stats{})
+	for _, o := range c.orphans {
+		addPoolStats(&s.Pool, o.pool.Stats())
+		addVMStats(&s.VM, o.pool.VMStats(), vm.Stats{})
 	}
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
@@ -462,6 +588,59 @@ func (c *SnapCache) Stats() SnapCacheStats {
 		addVMStats(&s.VM, e.pool.VMStats(), vm.Stats{})
 	}
 	return s
+}
+
+// FlushArtifacts re-persists every resident entry whose absorbed block
+// cache has grown since its artifact was last written, so translation
+// work done by live streams reaches the persistent tier (and through
+// vxwarm pack, the rest of the fleet). The serving layer calls it
+// periodically and once at shutdown. Serialization and fsync run
+// outside the cache lock. Returns the number of artifacts written.
+func (c *SnapCache) FlushArtifacts() int {
+	store := c.cfg.Artifacts
+	if store == nil {
+		return 0
+	}
+	// flushMinNewBlocks is the staleness threshold: rewriting a
+	// multi-megabyte artifact to persist one newly absorbed fragment is
+	// a bad trade, growing by a translation burst is worth an fsync.
+	// Superblocks are different: each one is the product of hot-path
+	// tracing across many streams, so even a single new superblock
+	// justifies the rewrite — losing it on restart re-pays the whole
+	// warm-up that produced it.
+	const flushMinNewBlocks = 8
+	type job struct {
+		e      *cacheEntry
+		snap   *vm.Snapshot
+		blocks int
+		sbs    int
+	}
+	c.mu.Lock()
+	var jobs []job
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		bc, sc := e.snap.BlockCount(), e.snap.SBCount()
+		if bc-e.savedBlocks >= flushMinNewBlocks || sc > e.savedSBs {
+			jobs = append(jobs, job{e, e.snap, bc, sc})
+		}
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		if store.Save(j.e.key.Hash, c.cfg.VM, j.snap) != nil {
+			continue
+		}
+		n++
+		c.mu.Lock()
+		if j.blocks > j.e.savedBlocks {
+			j.e.savedBlocks = j.blocks
+		}
+		if j.sbs > j.e.savedSBs {
+			j.e.savedSBs = j.sbs
+		}
+		c.mu.Unlock()
+	}
+	return n
 }
 
 // Len reports how many decoder lines are resident.

@@ -23,6 +23,16 @@ import (
 	"vxa/internal/x86/asm"
 )
 
+// Version identifies the compiler's code generation. It participates
+// in persistent caches keyed by decoder source text — the artifact
+// store's ELF-hash index, which lets a restarted daemon learn a
+// decoder's content address without recompiling it. The contract
+// mirrors vm.EngineVersion: compilation is deterministic for a given
+// Version, and any codegen, runtime-library or linking change that can
+// alter the emitted ELF for unchanged sources must bump it, so stale
+// index entries miss instead of aliasing a different executable.
+const Version = 1
+
 // Source is one VXC compilation unit.
 type Source struct {
 	Name string
