@@ -44,6 +44,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight streams on shutdown before cutting them")
 	memWatermark := flag.Int64("mem-watermark", 0, "heap bytes past which the snapshot cache is emergency-shrunk (0 = off)")
 	artifactDir := flag.String("artifact-dir", "", "directory for persistent content-addressed snapshot artifacts (empty = disabled)")
+	shardID := flag.String("shard-id", "", "fleet shard identity stamped into the X-Vxa-Shard response header (empty = the listen address)")
 	faultSpec := flag.String("fault", "", `arm deterministic fault injection, e.g. "rate=0.05,seed=1,points=all" (also via VXA_FAULT; testing only)`)
 	flag.Parse()
 	_ = vxa.Codecs() // register the built-in codec set for /v1/decode
@@ -91,6 +92,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vxad: persistent artifacts at %s\n", *artifactDir)
 	}
 
+	// Listeners are bound before the server is built so the default
+	// shard identity — the first listen address — is known up front and
+	// every response, including the very first, carries X-Vxa-Shard.
+	var httpLn, unixLn net.Listener
+	if *httpAddr != "" {
+		var err error
+		if httpLn, err = net.Listen("tcp", *httpAddr); err != nil {
+			fatal(err)
+		}
+	}
+	if *unixPath != "" {
+		// A stale socket from a previous run would refuse the bind.
+		os.Remove(*unixPath)
+		var err error
+		if unixLn, err = net.Listen("unix", *unixPath); err != nil {
+			fatal(err)
+		}
+	}
+	shard := *shardID
+	if shard == "" {
+		if httpLn != nil {
+			shard = httpLn.Addr().String()
+		} else {
+			shard = "unix:" + *unixPath
+		}
+	}
+
 	srv := server.New(server.Config{
 		MemSize:         uint32(*memSize),
 		MaxFuel:         *maxFuel,
@@ -104,6 +132,7 @@ func main() {
 		StreamTimeout:   *streamTimeout,
 		MemWatermark:    *memWatermark,
 		Artifacts:       store,
+		ShardID:         shard,
 	})
 	// With a store armed, rebuild decoder lines from persisted artifacts
 	// before accepting traffic: the first request after a restart should
@@ -128,23 +157,16 @@ func main() {
 	}
 
 	errc := make(chan error, 2)
-	if *httpAddr != "" {
-		ln, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "vxad: listening on http://%s\n", ln.Addr())
-		go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "vxad: shard %s\n", shard)
+	if httpLn != nil {
+		// CI's smoke jobs scrape this exact line for the bound address;
+		// keep it to the bare URL.
+		fmt.Fprintf(os.Stderr, "vxad: listening on http://%s\n", httpLn.Addr())
+		go func() { errc <- hs.Serve(httpLn) }()
 	}
-	if *unixPath != "" {
-		// A stale socket from a previous run would refuse the bind.
-		os.Remove(*unixPath)
-		ln, err := net.Listen("unix", *unixPath)
-		if err != nil {
-			fatal(err)
-		}
+	if unixLn != nil {
 		fmt.Fprintf(os.Stderr, "vxad: listening on unix:%s\n", *unixPath)
-		go func() { errc <- hs.Serve(ln) }()
+		go func() { errc <- hs.Serve(unixLn) }()
 	}
 	if *debugAddr != "" {
 		// The admin surface is its own listener, never the service one:

@@ -40,6 +40,10 @@ type report struct {
 	// artifact store, vs true cold and in-process warm.
 	ServerArtifact []bench.ServerArtifactRow `json:"server_artifact,omitempty"`
 	ServerLoad     []bench.LoadRow           `json:"server_load,omitempty"`
+	// ServerFleet is the vxrouter overhead measurement: the same
+	// open-loop schedule direct to one shard vs through the router
+	// fronting a small fleet, on the warm loopback path.
+	ServerFleet []bench.FleetRow `json:"server_fleet,omitempty"`
 	// ServerChaos is populated by -chaos only: the pass arms the
 	// process-global fault registry, so it never rides the default run
 	// (the clean figures must stay clean).
@@ -55,6 +59,9 @@ func main() {
 	par := flag.Bool("parallel", false, "measure serial vs parallel ExtractAll throughput")
 	sv := flag.Bool("server", false, "measure vxad cold vs warm snapshot-cache request latency")
 	load := flag.Bool("load", false, "drive vxad with open-loop Poisson load and report latency percentiles")
+	fleet := flag.Bool("fleet", false, "measure vxrouter proxy overhead: open-loop load direct vs through a router-fronted fleet")
+	target := flag.String("target", "", "drive an already-running vxad/vxrouter at this URL for -load instead of an in-process server")
+	fleetShards := flag.Int("shards", 3, "fleet size for -fleet")
 	chaos := flag.Bool("chaos", false, "drive vxad with fault injection armed and report containment/recovery figures")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
 	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks)")
@@ -100,7 +107,7 @@ func main() {
 	_ = vxa.Codecs()
 	// -chaos and -ablate-opt are opt-in only: chaos arms the global
 	// fault registry and must never contaminate the clean figures.
-	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*load && !*ablateOpt && !*chaos
+	all := !*t1 && !*t2 && !*f7 && !*ov && !*pl && !*par && !*sv && !*load && !*fleet && !*ablateOpt && !*chaos
 	if *baseline != "" && !*load {
 		*f7 = true // the compare mode needs a fresh Figure 7 run
 	}
@@ -204,19 +211,45 @@ func main() {
 		fmt.Println()
 	}
 	if *load || all {
-		rows, err := bench.LoadBench(*rate, *duration, *conc)
+		var rows []bench.LoadRow
+		var err error
+		if *target != "" {
+			rows, err = bench.LoadBenchTarget(*target, *rate, *duration, *conc)
+			fmt.Printf("Server load against %s: open-loop Poisson arrivals, %v req/s for %v per codec, %d client slots\n",
+				*target, *rate, *duration, *conc)
+		} else {
+			rows, err = bench.LoadBench(*rate, *duration, *conc)
+			fmt.Printf("Server load: open-loop Poisson arrivals, %v req/s for %v per codec, %d client slots\n",
+				*rate, *duration, *conc)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		rep.ServerLoad = rows
-		fmt.Printf("Server load: open-loop Poisson arrivals, %v req/s for %v per codec, %d client slots\n",
-			*rate, *duration, *conc)
-		fmt.Printf("  %-8s %6s %5s %12s %12s %12s %12s %11s\n",
-			"decoder", "reqs", "errs", "p50", "p90", "p99", "max", "allocs/op")
+		fmt.Printf("  %-8s %6s %5s %5s %5s %6s %12s %12s %12s %12s %11s\n",
+			"decoder", "reqs", "errs", "shed", "held", "trunc", "p50", "p90", "p99", "max", "allocs/op")
 		for _, r := range rows {
-			fmt.Printf("  %-8s %6d %5d %12v %12v %12v %12v %11.0f\n",
-				r.Codec, r.Requests, r.Errors, r.P50.Round(10e3), r.P90.Round(10e3),
+			fmt.Printf("  %-8s %6d %5d %5d %5d %6d %12v %12v %12v %12v %11.0f\n",
+				r.Codec, r.Requests, r.Errors, r.Sheds, r.Held, r.Truncated,
+				r.P50.Round(10e3), r.P90.Round(10e3),
 				r.P99.Round(10e3), r.Max.Round(10e3), r.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+	if *fleet || all {
+		rows, err := bench.FleetBench(*rate, *duration, *conc, *fleetShards)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ServerFleet = rows
+		fmt.Printf("Fleet: vxrouter overhead, direct shard vs routed fleet of %d (%v req/s for %v per codec)\n",
+			*fleetShards, *rate, *duration)
+		fmt.Printf("  %-8s %6s %5s %12s %12s %12s %12s %9s\n",
+			"decoder", "reqs", "errs", "direct p50", "routed p50", "direct p99", "routed p99", "overhead")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %6d %5d %12v %12v %12v %12v %8.1f%%\n",
+				r.Codec, r.Requests, r.Errors, r.DirectP50.Round(10e3), r.RouterP50.Round(10e3),
+				r.DirectP99.Round(10e3), r.RouterP99.Round(10e3), 100*r.OverheadP50)
 		}
 		fmt.Println()
 	}

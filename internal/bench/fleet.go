@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"vxa/internal/router"
+	"vxa/internal/server"
+)
+
+// FleetRow is one codec's router-overhead measurement: the same
+// open-loop schedule driven once straight at a vxad shard and once
+// through vxrouter fronting a small fleet, on the warm loopback path.
+// The interesting number is OverheadP50 — what the extra hop (routing
+// key computation, health bookkeeping, proxying the stream) costs at
+// the median when nothing is failing. The tail comparison rides along,
+// but on a loaded loopback host it is queueing noise more than router
+// cost; EXPERIMENTS.md has the caveats.
+type FleetRow struct {
+	Codec       string        `json:"codec"`
+	Backends    int           `json:"backends"`
+	Requests    int           `json:"requests"`
+	Errors      int           `json:"errors"`
+	Sheds       int           `json:"sheds"`
+	Truncated   int           `json:"truncated"`
+	DirectP50   time.Duration `json:"direct_p50_ns"`
+	DirectP99   time.Duration `json:"direct_p99_ns"`
+	RouterP50   time.Duration `json:"router_p50_ns"`
+	RouterP99   time.Duration `json:"router_p99_ns"`
+	OverheadP50 float64       `json:"overhead_p50"` // RouterP50/DirectP50 - 1
+}
+
+// FleetBench measures vxrouter's proxy overhead: per codec, an
+// open-loop pass against a single fresh vxad (the direct baseline,
+// identical to LoadBench's setup) and an identical pass through a
+// router over `shards` fresh vxad shards. /v1/decode keys on the codec
+// name, so the router sends every request of a pass to that codec's
+// home shard — exactly the steady-state warm path whose overhead the
+// fleet design promises to keep small.
+func FleetBench(rate float64, dur time.Duration, conc, shards int) ([]FleetRow, error) {
+	if err := validateLoad(rate, dur); err != nil {
+		return nil, err
+	}
+	if conc < 1 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		shards = 3
+	}
+	ws, err := serverWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if _, err := w.Codec.DecoderELF(); err != nil {
+			return nil, err
+		}
+	}
+	var rows []FleetRow
+	for _, w := range ws {
+		direct, err := loadOne(w, rate, dur, conc)
+		if err != nil {
+			return nil, err
+		}
+		routed, err := fleetOne(w, rate, dur, conc, shards)
+		if err != nil {
+			return nil, err
+		}
+		row := FleetRow{
+			Codec:     w.Codec.Name,
+			Backends:  shards,
+			Requests:  routed.Requests,
+			Errors:    routed.Errors,
+			Sheds:     routed.Sheds,
+			Truncated: routed.Truncated,
+			DirectP50: direct.P50,
+			DirectP99: direct.P99,
+			RouterP50: routed.P50,
+			RouterP99: routed.P99,
+		}
+		if direct.P50 > 0 {
+			row.OverheadP50 = float64(routed.P50)/float64(direct.P50) - 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fleetOne runs one codec's open-loop pass through a fresh
+// router-over-N-shards topology, all in-process on loopback.
+func fleetOne(w Workload, rate float64, dur time.Duration, conc, shards int) (LoadRow, error) {
+	var backends []string
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		srv := server.New(server.Config{
+			MemSize:      64 << 20,
+			MaxInFlight:  runtime.GOMAXPROCS(0),
+			MaxQueue:     2 * conc,
+			QueueTimeout: time.Minute,
+			ShardID:      fmt.Sprintf("bench-s%d", i),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		cleanup = append(cleanup, ts.Close, srv.Close)
+		backends = append(backends, ts.Listener.Addr().String())
+	}
+	rt, err := router.New(router.Config{Backends: backends})
+	if err != nil {
+		return LoadRow{}, err
+	}
+	cleanup = append(cleanup, rt.Close)
+	front := httptest.NewServer(rt)
+	cleanup = append(cleanup, front.Close)
+
+	url := front.URL + "/v1/decode?codec=" + w.Codec.Name
+	client := &server.Client{HTTP: front.Client()}
+	post := decodePoster(client, url, w.Encoded, len(w.Raw))
+	if out := post(); out != outcomeOK {
+		return LoadRow{}, fmt.Errorf("bench: %s fleet prime: outcome %d", w.Codec.Name, out)
+	}
+	res, err := runOpenLoop(rate, dur, conc, post)
+	if err != nil {
+		return LoadRow{}, fmt.Errorf("bench: %s fleet: %w", w.Codec.Name, err)
+	}
+	return loadRowFrom(w.Codec.Name, rate, dur, conc, res), nil
+}

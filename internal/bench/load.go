@@ -1,7 +1,7 @@
 package bench
 
 import (
-	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,7 +10,6 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"vxa/internal/obs"
@@ -21,7 +20,11 @@ import (
 // latency percentiles under Poisson arrivals at a fixed offered rate,
 // plus whole-process allocations per request (client and server share
 // the process over HTTP loopback, so the figure is the serving stack's
-// end-to-end allocation cost).
+// end-to-end allocation cost). Sanctioned non-200 outcomes are broken
+// out — a shed (503/504/521 with Retry-After), a local hold-down
+// (nothing sent; the client honored earlier backpressure) and an
+// honest truncation are the protocol working, not failures, and only
+// Errors counts the unsanctioned remainder.
 type LoadRow struct {
 	Codec        string        `json:"codec"`
 	TargetRate   float64       `json:"target_rate_per_sec"`
@@ -30,6 +33,9 @@ type LoadRow struct {
 	Concurrency  int           `json:"concurrency"`
 	Requests     int           `json:"requests"`
 	Errors       int           `json:"errors"`
+	Sheds        int           `json:"sheds"`
+	Held         int           `json:"held"`
+	Truncated    int           `json:"truncated"`
 	Mean         time.Duration `json:"mean_ns"`
 	P50          time.Duration `json:"p50_ns"`
 	P90          time.Duration `json:"p90_ns"`
@@ -43,19 +49,150 @@ type LoadRow struct {
 // then reflect the code, not the dice).
 const loadSeed = 1
 
-// LoadBench drives vxad's /v1/decode with an open-loop Poisson arrival
-// process at `rate` requests/second for `dur` per codec, with at most
-// `conc` in-flight client requests. Open loop means latency is measured
-// from each request's *scheduled* arrival, not its dispatch: when the
-// server falls behind, the queueing delay lands in the percentiles
-// instead of being hidden by a coordinated-omission client that only
-// asks as fast as the server answers.
-func LoadBench(rate float64, dur time.Duration, conc int) ([]LoadRow, error) {
-	if rate <= 0 {
-		return nil, fmt.Errorf("bench: load rate must be positive (got %v)", rate)
+// loadOutcome classifies one driven request.
+type loadOutcome int
+
+const (
+	outcomeOK loadOutcome = iota
+	outcomeShed
+	outcomeHeld
+	outcomeTruncated
+	outcomeError
+	numOutcomes
+)
+
+// openLoopResult is what the shared engine hands back: the latency
+// distribution plus the outcome tally.
+type openLoopResult struct {
+	Requests     int
+	Outcomes     [numOutcomes]int
+	AchievedRate float64
+	AllocsPerOp  float64
+	Snap         obs.HistSnapshot
+}
+
+// runOpenLoop is the shared open-loop engine: a Poisson arrival
+// process at `rate` requests/second for `dur`, at most `conc` requests
+// in flight, each arrival driven through `post`. Open loop means
+// latency is measured from each request's *scheduled* arrival, not its
+// dispatch: when the server falls behind, the queueing delay lands in
+// the percentiles instead of being hidden by a coordinated-omission
+// client that only asks as fast as the server answers. Held-down
+// arrivals never touch the wire, so they are tallied but not observed
+// into the latency distribution.
+func runOpenLoop(rate float64, dur time.Duration, conc int, post func() loadOutcome) (openLoopResult, error) {
+	// Pre-draw the arrival schedule so the dispatch loop does no
+	// arithmetic under time pressure.
+	rng := rand.New(rand.NewSource(loadSeed))
+	var offsets []time.Duration
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= dur {
+			break
+		}
+		offsets = append(offsets, t)
 	}
-	if dur <= 0 {
-		return nil, fmt.Errorf("bench: load duration must be positive (got %v)", dur)
+	if len(offsets) == 0 {
+		return openLoopResult{}, fmt.Errorf("bench: no arrivals in %v at %v req/s", dur, rate)
+	}
+
+	hist := &obs.Histogram{}
+	var mu sync.Mutex
+	var outcomes [numOutcomes]int
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, off := range offsets {
+		sched := start.Add(off)
+		if sleep := time.Until(sched); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out := post()
+			mu.Lock()
+			outcomes[out]++
+			mu.Unlock()
+			if out != outcomeHeld {
+				hist.Observe(time.Since(sched))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	return openLoopResult{
+		Requests:     len(offsets),
+		Outcomes:     outcomes,
+		AchievedRate: float64(len(offsets)) / elapsed.Seconds(),
+		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(len(offsets)),
+		Snap:         hist.Snapshot(),
+	}, nil
+}
+
+// decodePoster builds the per-arrival request function: one POST to a
+// /v1/decode endpoint through the shed-aware client, classified into
+// the outcome taxonomy.
+func decodePoster(c *server.Client, url string, encoded []byte, wantLen int) func() loadOutcome {
+	return func() loadOutcome {
+		resp, err := c.Post(url, "application/octet-stream", encoded)
+		if errors.Is(err, server.ErrHeldDown) {
+			return outcomeHeld
+		}
+		if err != nil {
+			return outcomeError
+		}
+		n, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if server.IsShedStatus(resp.StatusCode) {
+			return outcomeShed
+		}
+		if resp.StatusCode != http.StatusOK {
+			return outcomeError
+		}
+		if cerr != nil {
+			return outcomeTruncated // committed 200 cut mid-stream: honest
+		}
+		if int(n) != wantLen {
+			return outcomeError
+		}
+		return outcomeOK
+	}
+}
+
+// loadRowFrom assembles the public row from an engine result.
+func loadRowFrom(codec string, rate float64, dur time.Duration, conc int, res openLoopResult) LoadRow {
+	return LoadRow{
+		Codec:        codec,
+		TargetRate:   rate,
+		AchievedRate: res.AchievedRate,
+		Duration:     dur,
+		Concurrency:  conc,
+		Requests:     res.Requests,
+		Errors:       res.Outcomes[outcomeError],
+		Sheds:        res.Outcomes[outcomeShed],
+		Held:         res.Outcomes[outcomeHeld],
+		Truncated:    res.Outcomes[outcomeTruncated],
+		Mean:         res.Snap.Mean(),
+		P50:          res.Snap.Quantile(0.50),
+		P90:          res.Snap.Quantile(0.90),
+		P99:          res.Snap.Quantile(0.99),
+		Max:          time.Duration(res.Snap.Max),
+		AllocsPerOp:  res.AllocsPerOp,
+	}
+}
+
+// LoadBench drives vxad's /v1/decode with the open-loop engine, one
+// fresh in-process server per codec.
+func LoadBench(rate float64, dur time.Duration, conc int) ([]LoadRow, error) {
+	if err := validateLoad(rate, dur); err != nil {
+		return nil, err
 	}
 	if conc < 1 {
 		conc = 2 * runtime.GOMAXPROCS(0)
@@ -80,6 +217,61 @@ func LoadBench(rate float64, dur time.Duration, conc int) ([]LoadRow, error) {
 	return rows, nil
 }
 
+// LoadBenchTarget drives an already-running vxad or vxrouter at
+// `target` (e.g. "http://127.0.0.1:7787") with the same open-loop
+// schedule, instead of spinning an in-process server. This is how the
+// fleet smoke tests exercise a real router+shards topology: the
+// process under load is external, so AllocsPerOp reflects only the
+// client side and the interesting columns are the percentiles and the
+// outcome tally.
+func LoadBenchTarget(target string, rate float64, dur time.Duration, conc int) ([]LoadRow, error) {
+	if err := validateLoad(rate, dur); err != nil {
+		return nil, err
+	}
+	if conc < 1 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	ws, err := serverWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	var rows []LoadRow
+	for _, w := range ws {
+		url := target + "/v1/decode?codec=" + w.Codec.Name
+		client := &server.Client{}
+		// Prime the target's snapshot cache so the measured regime is the
+		// steady state; a shed prime is tolerated (the run itself will
+		// classify), anything else fatal.
+		if resp, err := client.Post(url, "application/octet-stream", w.Encoded); err != nil {
+			if !errors.Is(err, server.ErrHeldDown) {
+				return nil, fmt.Errorf("bench: %s prime against %s: %w", w.Codec.Name, target, err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && !server.IsShedStatus(resp.StatusCode) {
+				return nil, fmt.Errorf("bench: %s prime against %s: status %d", w.Codec.Name, target, resp.StatusCode)
+			}
+		}
+		res, err := runOpenLoop(rate, dur, conc, decodePoster(client, url, w.Encoded, len(w.Raw)))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Codec.Name, err)
+		}
+		rows = append(rows, loadRowFrom(w.Codec.Name, rate, dur, conc, res))
+	}
+	return rows, nil
+}
+
+func validateLoad(rate float64, dur time.Duration) error {
+	if rate <= 0 {
+		return fmt.Errorf("bench: load rate must be positive (got %v)", rate)
+	}
+	if dur <= 0 {
+		return fmt.Errorf("bench: load duration must be positive (got %v)", dur)
+	}
+	return nil
+}
+
 // loadOne runs one codec's open-loop pass against a fresh server.
 func loadOne(w Workload, rate float64, dur time.Duration, conc int) (LoadRow, error) {
 	// The client's conc slots are the only throttle: the server queue is
@@ -93,91 +285,20 @@ func loadOne(w Workload, rate float64, dur time.Duration, conc int) (LoadRow, er
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	client := ts.Client()
 	url := ts.URL + "/v1/decode?codec=" + w.Codec.Name
+	client := &server.Client{HTTP: ts.Client()}
 
-	post := func() error {
-		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(w.Encoded))
-		if err != nil {
-			return err
-		}
-		n, err := io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %d", resp.StatusCode)
-		}
-		if int(n) != len(w.Raw) {
-			return fmt.Errorf("decoded %d bytes, want %d", n, len(w.Raw))
-		}
-		return nil
-	}
+	post := decodePoster(client, url, w.Encoded, len(w.Raw))
 	// Prime the snapshot cache: the load regime is the steady state, not
 	// the one-time miss path (ServerBench measures that split).
-	if err := post(); err != nil {
-		return LoadRow{}, fmt.Errorf("bench: %s prime: %w", w.Codec.Name, err)
+	if out := post(); out != outcomeOK {
+		return LoadRow{}, fmt.Errorf("bench: %s prime: outcome %d", w.Codec.Name, out)
 	}
-
-	// Pre-draw the Poisson arrival schedule so the dispatch loop does no
-	// arithmetic under time pressure.
-	rng := rand.New(rand.NewSource(loadSeed))
-	var offsets []time.Duration
-	for t := time.Duration(0); ; {
-		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-		if t >= dur {
-			break
-		}
-		offsets = append(offsets, t)
+	res, err := runOpenLoop(rate, dur, conc, post)
+	if err != nil {
+		return LoadRow{}, fmt.Errorf("bench: %s: %w", w.Codec.Name, err)
 	}
-	if len(offsets) == 0 {
-		return LoadRow{}, fmt.Errorf("bench: %s: no arrivals in %v at %v req/s", w.Codec.Name, dur, rate)
-	}
-
-	hist := &obs.Histogram{}
-	var errCount atomic.Int64
-	sem := make(chan struct{}, conc)
-	var wg sync.WaitGroup
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	for _, off := range offsets {
-		sched := start.Add(off)
-		if sleep := time.Until(sched); sleep > 0 {
-			time.Sleep(sleep)
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := post(); err != nil {
-				errCount.Add(1)
-			}
-			hist.Observe(time.Since(sched))
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&m1)
-
-	snap := hist.Snapshot()
-	return LoadRow{
-		Codec:        w.Codec.Name,
-		TargetRate:   rate,
-		AchievedRate: float64(len(offsets)) / elapsed.Seconds(),
-		Duration:     dur,
-		Concurrency:  conc,
-		Requests:     len(offsets),
-		Errors:       int(errCount.Load()),
-		Mean:         snap.Mean(),
-		P50:          snap.Quantile(0.50),
-		P90:          snap.Quantile(0.90),
-		P99:          snap.Quantile(0.99),
-		Max:          time.Duration(snap.Max),
-		AllocsPerOp:  float64(m1.Mallocs-m0.Mallocs) / float64(len(offsets)),
-	}, nil
+	return loadRowFrom(w.Codec.Name, rate, dur, conc, res), nil
 }
 
 // LoadRegression is one codec's p99 comparison against a baseline load

@@ -1,8 +1,10 @@
 // Package fault is a seeded, deterministic fault-injection registry
-// for the vxad serving path. Five injection points cover the stack's
+// for the vxad serving path. Seven injection points cover the stack's
 // externally-visible failure surfaces: archive payload reads, decoder
-// snapshot builds, VM lease acquisition, guest syscalls, and response
-// writes. The registry is disarmed by default and the disarmed fast
+// snapshot builds, VM lease acquisition, guest syscalls, response
+// writes, and — across the process boundary — backend dials and
+// backend response reads (the vxrouter -> shard network legs). The
+// registry is disarmed by default and the disarmed fast
 // path is a single atomic load, so shipping the hooks in production
 // code is free; tests, the chaos soak, and `vxbench -chaos` arm it
 // with a seed and a per-call injection rate.
@@ -38,12 +40,21 @@ const (
 	GuestSyscall
 	// ResponseWrite fails a write of response bytes toward the client.
 	ResponseWrite
+	// BackendDial fails a network dial toward a backend shard (the
+	// vxrouter -> vxad connection setup). Dial faults are always
+	// pre-first-byte, so a router seeing one may fail the attempt over
+	// to another shard.
+	BackendDial
+	// BackendRead fails a read of a backend shard's response bytes.
+	// Fired before the first byte it is a clean failover; fired
+	// mid-stream it forces the honest-truncation path.
+	BackendRead
 
 	// NumPoints is the number of injection sites.
-	NumPoints = int(ResponseWrite) + 1
+	NumPoints = int(BackendRead) + 1
 )
 
-var pointNames = [NumPoints]string{"read", "snapshot", "lease", "syscall", "write"}
+var pointNames = [NumPoints]string{"read", "snapshot", "lease", "syscall", "write", "dial", "netread"}
 
 func (p Point) String() string {
 	if int(p) < NumPoints {

@@ -110,6 +110,33 @@ func TestArmFromSpec(t *testing.T) {
 	}
 }
 
+// The cross-process points (backend dial, backend response read) are
+// part of the registry surface: named, spec-addressable, and covered by
+// points=all.
+func TestBackendPoints(t *testing.T) {
+	defer Disarm()
+	if BackendDial.String() != "dial" || BackendRead.String() != "netread" {
+		t.Fatalf("point names: dial=%q netread=%q", BackendDial, BackendRead)
+	}
+	if err := ArmFromSpec("rate=1,seed=2,points=dial+netread"); err != nil {
+		t.Fatal(err)
+	}
+	if Inject(BackendDial) == nil || Inject(BackendRead) == nil {
+		t.Fatal("armed backend points did not inject at rate=1")
+	}
+	if Inject(ResponseWrite) != nil {
+		t.Fatal("write point should not be armed by points=dial+netread")
+	}
+	Arm(Config{Seed: 2, Rate: 1, Points: AllPoints()})
+	if Inject(BackendDial) == nil || Inject(BackendRead) == nil {
+		t.Fatal("points=all must cover the backend points")
+	}
+	st := Stats()
+	if len(st.Points) != NumPoints {
+		t.Fatalf("stats carry %d points, want %d", len(st.Points), NumPoints)
+	}
+}
+
 // The Reader wrapper returns the injected fault to its consumer and
 // pins it for the host via Err, even if the consumer keeps reading.
 func TestReader(t *testing.T) {

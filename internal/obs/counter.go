@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterVec is a family of monotonic counters keyed by one label value
+// (a backend id, an outcome class, ...). Series are created on first
+// Add; increments on an existing series are a lock-free atomic add, so
+// a CounterVec sits on request hot paths the way a bare atomic.Uint64
+// does. The router uses these for its per-backend route/retry/hedge
+// accounting.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Uint64
+}
+
+// Add increments the label's series by n, creating it on first use.
+func (c *CounterVec) Add(label string, n uint64) {
+	c.mu.RLock()
+	ctr := c.m[label]
+	c.mu.RUnlock()
+	if ctr == nil {
+		c.mu.Lock()
+		if c.m == nil {
+			c.m = make(map[string]*atomic.Uint64)
+		}
+		if ctr = c.m[label]; ctr == nil {
+			ctr = &atomic.Uint64{}
+			c.m[label] = ctr
+		}
+		c.mu.Unlock()
+	}
+	ctr.Add(n)
+}
+
+// Inc increments the label's series by one.
+func (c *CounterVec) Inc(label string) { c.Add(label, 1) }
+
+// Get returns the label's current count (zero for an unknown label).
+func (c *CounterVec) Get(label string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ctr := c.m[label]; ctr != nil {
+		return ctr.Load()
+	}
+	return 0
+}
+
+// Total returns the sum across every series.
+func (c *CounterVec) Total() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var t uint64
+	for _, ctr := range c.m {
+		t += ctr.Load()
+	}
+	return t
+}
+
+// Snapshot returns the current label -> count map (a copy). Labels that
+// were never incremented past zero still appear: a zero-valued series
+// was still explicitly created, and monitoring wants to see it.
+func (c *CounterVec) Snapshot() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(c.m))
+	for k, ctr := range c.m {
+		out[k] = ctr.Load()
+	}
+	return out
+}
+
+// Labels returns the series labels in sorted order, for deterministic
+// exposition.
+func (c *CounterVec) Labels() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterVec writes the vector as one counter family with `label` as
+// the label key, series in sorted label order.
+func (p *PromWriter) CounterVec(name, help, label string, c *CounterVec) {
+	for _, l := range c.Labels() {
+		p.Counter(name, help, map[string]string{label: l}, float64(c.Get(l)))
+	}
+}

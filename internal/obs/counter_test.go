@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	var c CounterVec
+	if c.Get("a") != 0 || c.Total() != 0 || c.Snapshot() != nil {
+		t.Fatal("zero-value CounterVec should read as empty")
+	}
+	c.Inc("a")
+	c.Add("b", 5)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Total() != 7 {
+		t.Fatalf("counts a=%d b=%d total=%d", c.Get("a"), c.Get("b"), c.Total())
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 5 || len(snap) != 2 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if got := c.Labels(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("labels %v, want sorted [a b]", got)
+	}
+}
+
+// Concurrent first-use creation and increments must not lose counts
+// (run under -race in CI).
+func TestCounterVecConcurrent(t *testing.T) {
+	var c CounterVec
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%2))
+			for i := 0; i < per; i++ {
+				c.Inc(label)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Total() != workers*per {
+		t.Fatalf("total %d, want %d", c.Total(), workers*per)
+	}
+}
+
+func TestPromCounterVec(t *testing.T) {
+	var c CounterVec
+	c.Add("s2", 3)
+	c.Add("s1", 1)
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.CounterVec("vxr_routed_total", "Requests routed per backend.", "backend", &c)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := b.String()
+	want := []string{
+		"# TYPE vxr_routed_total counter",
+		`vxr_routed_total{backend="s1"} 1`,
+		`vxr_routed_total{backend="s2"} 3`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Count(out, "# TYPE") != 1 {
+		t.Fatalf("TYPE header must appear once:\n%s", out)
+	}
+	if strings.Index(out, `backend="s1"`) > strings.Index(out, `backend="s2"`) {
+		t.Fatalf("series must be in sorted label order:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+// Package router implements vxrouter, the fault-tolerant front end
+// over a fleet of vxad shards. Requests are routed by rendezvous
+// (highest-random-weight) hashing on the decoder content hash — the
+// same content address the shards' snapshot caches are keyed by — so
+// every archive embedding a given decoder lands on the shard whose
+// SnapCache already holds that decoder's pristine snapshot and warm
+// translation cache. Each shard's cache stays hot and small, and when
+// the usable set changes (a shard dies, drains, or rejoins) only the
+// keys that ranked the lost shard first move; everything else stays
+// put.
+//
+// On top of the ring the router layers per-backend health (readyz
+// polling plus in-band outcomes feeding a circuit breaker), bounded
+// retries with exponential backoff and jitter across the ring order,
+// and latency hedging: a second attempt launched on the next-ranked
+// shard once the first has outlived the observed p99, loser canceled.
+// Failover is only ever attempted before the first response byte has
+// been forwarded; after that a broken stream is truncated honestly,
+// never spliced.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is the rendezvous-hash view of the fleet: an ordered preference
+// list per key over a fixed member set. Membership is the configured
+// fleet; liveness is the health layer's concern (a dead shard stays a
+// member so its keys rendezvous straight back when it returns).
+type Ring struct {
+	mu  sync.RWMutex
+	ids []string
+	hb  []uint64 // precomputed member hashes, index-aligned with ids
+}
+
+// NewRing builds a ring over the backend ids (order irrelevant).
+func NewRing(ids []string) *Ring {
+	r := &Ring{}
+	r.SetBackends(ids)
+	return r
+}
+
+// SetBackends replaces the member set.
+func (r *Ring) SetBackends(ids []string) {
+	hb := make([]uint64, len(ids))
+	for i, id := range ids {
+		hb[i] = hash64(id)
+	}
+	r.mu.Lock()
+	r.ids = append([]string(nil), ids...)
+	r.hb = hb
+	r.mu.Unlock()
+}
+
+// Backends returns the member set.
+func (r *Ring) Backends() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.ids...)
+}
+
+// Rank returns every member ordered by descending rendezvous score for
+// key: element 0 is the key's home shard, element 1 the first failover
+// choice, and so on. The order is stable for a fixed member set, and
+// removing one member deletes one element from every key's ranking
+// without reordering the rest — the minimal-movement property the
+// snapshot caches depend on.
+func (r *Ring) Rank(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	hk := hash64(key)
+	type scored struct {
+		id    string
+		score uint64
+	}
+	ss := make([]scored, len(r.ids))
+	for i, id := range r.ids {
+		ss[i] = scored{id: id, score: mix64(r.hb[i] ^ hk)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].id < ss[j].id // total order even on (vanishing) score ties
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.id
+	}
+	return out
+}
+
+// Home returns the key's top-ranked member ("" on an empty ring).
+func (r *Ring) Home(key string) string {
+	rank := r.Rank(key)
+	if len(rank) == 0 {
+		return ""
+	}
+	return rank[0]
+}
+
+// hash64 hashes a string to 64 bits (FNV-1a; mix64 supplies the
+// avalanche FNV lacks in its low bits).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection, so
+// per-(key,member) scores behave as independent uniform draws — which
+// is exactly the rendezvous-hashing balance argument.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

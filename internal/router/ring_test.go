@@ -1,0 +1,116 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func synthBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7788", i+1)
+	}
+	return out
+}
+
+// Rendezvous hashing's whole pitch is statistical balance with zero
+// coordination: across 8 synthetic backends every shard's share of
+// 20k keys must land within ±15% of fair.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 8, 20000
+	r := NewRing(synthBackends(backends))
+	counts := make(map[string]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.Home(fmt.Sprintf("decoder\x00%d", i))]++
+	}
+	if len(counts) != backends {
+		t.Fatalf("only %d of %d backends ever ranked first", len(counts), backends)
+	}
+	fair := float64(keys) / backends
+	for id, n := range counts {
+		if dev := (float64(n) - fair) / fair; dev < -0.15 || dev > 0.15 {
+			t.Errorf("backend %s holds %d keys (%.1f%% from fair %g)", id, n, 100*dev, fair)
+		}
+	}
+}
+
+// Minimal movement is what the snapshot caches depend on: removing one
+// member may move only the keys that member owned (each to its old
+// second choice), and re-adding it must restore the original map
+// exactly — a rejoining shard's cache is still warm for its old keys.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 5000
+	ids := synthBackends(8)
+	r := NewRing(ids)
+	victim := ids[3]
+
+	home := make(map[string]string, keys)
+	second := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		rank := r.Rank(k)
+		home[k] = rank[0]
+		second[k] = rank[1]
+	}
+
+	var without []string
+	for _, id := range ids {
+		if id != victim {
+			without = append(without, id)
+		}
+	}
+	r.SetBackends(without)
+	moved := 0
+	for k, h := range home {
+		got := r.Home(k)
+		if h != victim {
+			if got != h {
+				t.Fatalf("key %s moved %s -> %s though its home never left", k, h, got)
+			}
+			continue
+		}
+		moved++
+		if got != second[k] {
+			t.Fatalf("orphaned key %s went to %s, want its old second choice %s", k, got, second[k])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; balance test should have caught this")
+	}
+
+	r.SetBackends(ids)
+	for k, h := range home {
+		if got := r.Home(k); got != h {
+			t.Fatalf("key %s did not remap back (%s, want %s)", k, got, h)
+		}
+	}
+}
+
+// Rank is a stable permutation of the member set with Home as its head.
+func TestRingRankProperties(t *testing.T) {
+	ids := synthBackends(5)
+	r := NewRing(ids)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		rank := r.Rank(k)
+		if len(rank) != len(ids) {
+			t.Fatalf("rank size %d, want %d", len(rank), len(ids))
+		}
+		seen := make(map[string]bool, len(rank))
+		for _, id := range rank {
+			if seen[id] {
+				t.Fatalf("rank for %s repeats %s", k, id)
+			}
+			seen[id] = true
+		}
+		if rank[0] != r.Home(k) {
+			t.Fatalf("Home disagrees with Rank[0] for %s", k)
+		}
+		again := r.Rank(k)
+		for i := range rank {
+			if rank[i] != again[i] {
+				t.Fatalf("rank for %s not stable", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A shed response must start a hold-down window: the client returns
+// the 503 for classification, then refuses to touch the wire until the
+// Retry-After elapses, then flows again.
+func TestClientHoldDown(t *testing.T) {
+	var hits atomic.Int64
+	var shed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if shed.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	c := &Client{HTTP: ts.Client()}
+	resp, err := c.Post(ts.URL, "application/octet-stream", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy post: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+
+	shed.Store(true)
+	resp, err = c.Post(ts.URL, "application/octet-stream", nil)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed post: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+	wireHits := hits.Load()
+
+	// Inside the window: refused locally, nothing sent.
+	for i := 0; i < 3; i++ {
+		_, err = c.Post(ts.URL, "application/octet-stream", nil)
+		if !errors.Is(err, ErrHeldDown) {
+			t.Fatalf("post %d inside hold-down: err %v, want ErrHeldDown", i, err)
+		}
+		var he *HeldError
+		if !errors.As(err, &he) || he.Remaining <= 0 {
+			t.Fatalf("held error %v should carry remaining time", err)
+		}
+	}
+	if hits.Load() != wireHits {
+		t.Fatalf("held-down posts reached the wire (%d -> %d hits)", wireHits, hits.Load())
+	}
+	st := c.Stats()
+	if st.Sheds != 1 || st.Held != 3 {
+		t.Fatalf("stats %+v, want 1 shed / 3 held", st)
+	}
+
+	// Past the window: the client flows again.
+	shed.Store(false)
+	time.Sleep(1100 * time.Millisecond)
+	resp, err = c.Post(ts.URL, "application/octet-stream", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post after hold-down: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// 521 quarantine responses carry a decoder-scoped Retry-After; the
+// client honors it the same way (its traffic is per-target anyway).
+func TestClientQuarantineHoldDown(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(StatusDecoderQuarantined)
+	}))
+	defer ts.Close()
+	c := &Client{HTTP: ts.Client()}
+	resp, err := c.Post(ts.URL, "application/octet-stream", nil)
+	if err != nil || resp.StatusCode != StatusDecoderQuarantined {
+		t.Fatalf("quarantined post: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+	if _, err = c.Post(ts.URL, "application/octet-stream", nil); !errors.Is(err, ErrHeldDown) {
+		t.Fatalf("want hold-down after 521, got %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false}, {"3", 3 * time.Second, true}, {"0", 0, true},
+		{"-1", 0, false}, {"soon", 0, false},
+	} {
+		h := http.Header{}
+		if tc.v != "" {
+			h.Set("Retry-After", tc.v)
+		}
+		d, ok := ParseRetryAfter(h)
+		if d != tc.want || ok != tc.ok {
+			t.Fatalf("ParseRetryAfter(%q) = %v,%v want %v,%v", tc.v, d, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// A shed without Retry-After still holds for the flat second — the
+// convention every vxad shed response follows.
+func TestClientDefaultHold(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+	}))
+	defer ts.Close()
+	c := &Client{HTTP: ts.Client()}
+	resp, err := c.Post(ts.URL, "application/octet-stream", nil)
+	if err != nil || resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired post: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+	if _, err = c.Post(ts.URL, "application/octet-stream", nil); !errors.Is(err, ErrHeldDown) {
+		t.Fatalf("want default 1s hold-down, got %v", err)
+	}
+}

@@ -112,6 +112,11 @@ type Config struct {
 	// re-persisted. Defaults to DefaultArtifactFlushInterval; only
 	// meaningful with Artifacts set.
 	ArtifactFlushInterval time.Duration
+	// ShardID identifies this daemon within a routed fleet. When set,
+	// every response carries it in the X-Vxa-Shard header and /readyz
+	// names it, so routed traffic stays attributable in logs, metrics
+	// and the load harness. vxad defaults it to the listen address.
+	ShardID string
 }
 
 // Server defaults.
@@ -430,6 +435,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	hist := s.epHist[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if s.cfg.ShardID != "" {
+			w.Header().Set(ShardHeader, s.cfg.ShardID)
+		}
 		info := &reqInfo{}
 		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
 		ctx, sp := obs.WithSpan(ctx)
@@ -531,6 +539,7 @@ func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapse
 // hangups appear under StatusClasses and Admission instead.
 type Metrics struct {
 	UptimeSeconds    float64                  `json:"uptime_seconds"`
+	Shard            string                   `json:"shard,omitempty"`
 	Ready            bool                     `json:"ready"`
 	Draining         bool                     `json:"draining"`
 	Requests         uint64                   `json:"requests"`
@@ -555,6 +564,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 	ready, _ := s.Readiness()
 	m := Metrics{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Shard:            s.cfg.ShardID,
 		Ready:            ready,
 		Draining:         s.draining.Load(),
 		Requests:         s.requests.Load(),
@@ -677,8 +687,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	json.NewEncoder(w).Encode(struct {
 		Ready   bool     `json:"ready"`
+		Shard   string   `json:"shard,omitempty"`
 		Reasons []string `json:"reasons,omitempty"`
-	}{ready, reasons})
+	}{ready, s.cfg.ShardID, reasons})
 }
 
 // wantsPrometheus reports whether the scrape asked for text exposition:
@@ -834,6 +845,11 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // ---------- request plumbing ----------
+
+// ShardHeader is the response header naming the shard that served a
+// request (Config.ShardID). The router forwards it untouched, so a
+// client two hops away can still attribute its bytes to a process.
+const ShardHeader = "X-Vxa-Shard"
 
 // StatusClientClosedRequest is the (nginx-convention) status recorded
 // when the client's own context canceled the work mid-request; the

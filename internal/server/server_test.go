@@ -367,3 +367,67 @@ func TestServerShedsWhenSaturated(t *testing.T) {
 		t.Fatal("saturated server shed nothing")
 	}
 }
+
+// A ShardID must stamp every reply — success, error and health paths
+// alike — and surface in the readyz document, so routed traffic is
+// attributable wherever it lands.
+func TestShardIdentityHeader(t *testing.T) {
+	s := New(Config{MemSize: 16 << 20, ShardID: "shard-7"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(ShardHeader); got != "shard-7" {
+		t.Fatalf("healthz %s = %q, want shard-7", ShardHeader, got)
+	}
+
+	// An error response still names its shard.
+	resp, _ = post(t, ts.URL+"/v1/decode", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing codec: status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ShardHeader); got != "shard-7" {
+		t.Fatalf("error reply %s = %q, want shard-7", ShardHeader, got)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/decode?codec=deflate", encodeDeflate(t, testText(1<<10)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(ShardHeader); got != "shard-7" {
+		t.Fatalf("decode reply %s = %q, want shard-7", ShardHeader, got)
+	}
+
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Ready bool   `json:"ready"`
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(rz.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if !doc.Ready || doc.Shard != "shard-7" {
+		t.Fatalf("readyz = %+v, want ready shard-7", doc)
+	}
+
+	// Without a ShardID the header is absent, not empty.
+	s2 := New(Config{MemSize: 16 << 20})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := resp.Header[ShardHeader]; ok {
+		t.Fatalf("unconfigured shard id still set %s", ShardHeader)
+	}
+}
