@@ -64,7 +64,7 @@ func main() {
 	fleetShards := flag.Int("shards", 3, "fleet size for -fleet")
 	chaos := flag.Bool("chaos", false, "drive vxad with fault injection armed and report containment/recovery figures")
 	ablate := flag.Bool("ablate", false, "include the fragment-cache ablation in -fig7")
-	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks)")
+	ablateOpt := flag.Bool("ablate-opt", false, "measure each optimizer pass's contribution (flag elision, fusion, superblocks, tier-2)")
 	streams := flag.Int("streams", 16, "streams per codec for -pool")
 	entries := flag.Int("entries", 16, "archive entries for -parallel")
 	warm := flag.Int("warm", 16, "warm requests per codec for -server")
@@ -286,13 +286,14 @@ func main() {
 		}
 		rep.Ablation = rows
 		fmt.Println("Optimizer ablation: vx32 decode time with each pass disabled")
-		fmt.Printf("  %-8s %12s %12s %12s %12s %12s %9s %8s %5s\n",
-			"decoder", "full", "-elide", "-fuse", "-superblk", "none", "elided", "fused", "sb")
+		fmt.Printf("  %-8s %12s %12s %12s %12s %12s %12s %9s %8s %5s %5s\n",
+			"decoder", "full", "-elide", "-fuse", "-superblk", "-tier2", "none", "elided", "fused", "sb", "t2")
 		for _, r := range rows {
-			fmt.Printf("  %-8s %12v %12v %12v %12v %12v %9d %8d %5d\n",
+			fmt.Printf("  %-8s %12v %12v %12v %12v %12v %12v %9d %8d %5d %5d\n",
 				r.Codec, r.Full.Round(10e3), r.NoFlagElision.Round(10e3),
-				r.NoFusion.Round(10e3), r.NoSuperblocks.Round(10e3), r.NoOpt.Round(10e3),
-				r.FlagsElided, r.UopsFused, r.SuperblocksFormed)
+				r.NoFusion.Round(10e3), r.NoSuperblocks.Round(10e3),
+				r.NoTier2.Round(10e3), r.NoOpt.Round(10e3),
+				r.FlagsElided, r.UopsFused, r.SuperblocksFormed, r.Tier2Compiled)
 		}
 		fmt.Println()
 	}
@@ -304,12 +305,13 @@ func main() {
 			fatal(err)
 		}
 		rep.Fig7 = rows
-		fmt.Printf("  %-8s %10s %12s %12s %12s %10s %9s %9s %11s\n",
-			"decoder", "input", "native", "vx32", "translate", "slowdown", "vs-nat", "MIPS", "flags/kuop")
+		fmt.Printf("  %-8s %10s %12s %12s %12s %10s %9s %9s %11s %6s\n",
+			"decoder", "input", "native", "vx32", "translate", "slowdown", "vs-nat", "MIPS", "flags/kuop", "t2")
 		for _, r := range rows {
-			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %12v %9.1fx %8.4fx %9.1f %11.1f",
+			line := fmt.Sprintf("  %-8s %8.0fKB %12v %12v %12v %9.1fx %8.4fx %9.1f %11.1f %5.0f%%",
 				r.Codec, kb(r.InputBytes), r.Native.Round(10e3), r.VX32.Round(10e3),
-				r.Translate.Round(10e3), r.Slowdown, r.SpeedupVsNative, r.GuestMIPS, r.FlagsPerKuop)
+				r.Translate.Round(10e3), r.Slowdown, r.SpeedupVsNative, r.GuestMIPS, r.FlagsPerKuop,
+				100*r.Tier2StepShare)
 			if r.VX32NoCache > 0 {
 				line += fmt.Sprintf("   (no-cache %v, %.1fx vs cached)",
 					r.VX32NoCache.Round(10e3), float64(r.VX32NoCache)/float64(r.VX32))

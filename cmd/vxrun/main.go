@@ -154,6 +154,13 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"vxrun: optimizer: %d uops fused, %d flag records elided, %d superblocks formed\n",
 				st.UopsFused, st.FlagsElided, st.SuperblocksFormed)
+			t2share := 0.0
+			if st.Steps > 0 {
+				t2share = 100 * float64(st.Tier2Steps) / float64(st.Steps)
+			}
+			fmt.Fprintf(os.Stderr,
+				"vxrun: tier2: %d traces compiled, %d trace runs, %d demotions, %.1f%% of steps\n",
+				st.Tier2Compiled, st.Tier2Executed, st.Tier2Demotions, t2share)
 		}
 		return
 	}

@@ -89,6 +89,8 @@ type Fig7Row struct {
 	UopsExecuted    uint64        `json:"uops_executed"`
 	BlocksChained   uint64        `json:"blocks_chained"`
 	FlagsPerKuop    float64       `json:"flags_materialized_per_kuop"` // lazily materialized flag bits per 1000 uops
+	Tier2Compiled   uint64        `json:"tier2_compiled"`              // superblock traces promoted to compiled form
+	Tier2StepShare  float64       `json:"tier2_step_share"`            // fraction of guest instructions retired in tier-2 traces
 }
 
 // Fig7 measures native vs virtualized decode time for every codec.
@@ -119,6 +121,10 @@ func Fig7(withAblation bool) ([]Fig7Row, error) {
 		row.BlocksChained = stats.BlocksChained
 		if stats.UopsExecuted > 0 {
 			row.FlagsPerKuop = 1000 * float64(stats.FlagsMaterialized) / float64(stats.UopsExecuted)
+		}
+		row.Tier2Compiled = stats.Tier2Compiled
+		if stats.Steps > 0 {
+			row.Tier2StepShare = float64(stats.Tier2Steps) / float64(stats.Steps)
 		}
 		if withAblation {
 			_, durNC, err := runVX(w, vm.Config{MemSize: 64 << 20, NoBlockCache: true})
@@ -168,10 +174,13 @@ type AblationRow struct {
 	NoFlagElision     time.Duration `json:"no_flag_elision_ns"`
 	NoFusion          time.Duration `json:"no_fusion_ns"`
 	NoSuperblocks     time.Duration `json:"no_superblocks_ns"`
+	NoTier2           time.Duration `json:"no_tier2_ns"`
 	NoOpt             time.Duration `json:"no_opt_ns"`
 	FlagsElided       uint64        `json:"flags_elided"`       // full pipeline
 	UopsFused         uint64        `json:"uops_fused"`         // full pipeline
 	SuperblocksFormed uint64        `json:"superblocks_formed"` // full pipeline
+	Tier2Compiled     uint64        `json:"tier2_compiled"`     // full pipeline
+	Tier2Executed     uint64        `json:"tier2_executed"`     // full pipeline
 }
 
 // Ablation measures every codec under each optimizer-pass ablation.
@@ -185,6 +194,7 @@ func Ablation() ([]AblationRow, error) {
 		{NoFlagElision: true},
 		{NoFusion: true},
 		{NoSuperblocks: true},
+		{NoTier2: true},
 		{NoFlagElision: true, NoFusion: true, NoSuperblocks: true},
 	}
 	var rows []AblationRow
@@ -202,6 +212,8 @@ func Ablation() ([]AblationRow, error) {
 				row.FlagsElided = stats.FlagsElided
 				row.UopsFused = stats.UopsFused
 				row.SuperblocksFormed = stats.SuperblocksFormed
+				row.Tier2Compiled = stats.Tier2Compiled
+				row.Tier2Executed = stats.Tier2Executed
 			case 1:
 				row.NoFlagElision = dur
 			case 2:
@@ -209,6 +221,8 @@ func Ablation() ([]AblationRow, error) {
 			case 3:
 				row.NoSuperblocks = dur
 			case 4:
+				row.NoTier2 = dur
+			case 5:
 				row.NoOpt = dur
 			}
 		}

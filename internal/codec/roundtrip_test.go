@@ -151,3 +151,69 @@ func TestRoundTripGolden(t *testing.T) {
 		t.Fatalf("codec set changed: %d tested, %d goldens (run with -update)", len(got), len(want))
 	}
 }
+
+// TestRoundTripGoldenTier2Configs holds the committed goldens under
+// every tier-2 configuration: forced hot (every superblock promotes on
+// its first entry, for both the native and the closure backend) and
+// forced off. Output bytes AND the uop count must match the golden
+// exactly in all three — the compiled tier executes the same micro-ops
+// with the same accounting as the tier-1 dispatch loop, so the tier
+// split is invisible in every architectural observation.
+func TestRoundTripGoldenTier2Configs(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestRoundTripGolden with -update to generate)", err)
+	}
+	var want map[string]roundTripGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	legs := []struct {
+		name string
+		env  map[string]string
+	}{
+		{"tier2-hot", map[string]string{"VXA_TIER2_HOT": "1"}},
+		{"tier2-hot-closure", map[string]string{"VXA_TIER2_HOT": "1", "VXA_TIER2_BACKEND": "closure"}},
+		{"tier2-off", map[string]string{"VXA_NO_TIER2": "1"}},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			for k, v := range leg.env {
+				t.Setenv(k, v)
+			}
+			for _, c := range codec.All() {
+				if c.Encode == nil {
+					continue
+				}
+				w, ok := want[c.Name]
+				if !ok {
+					continue // TestRoundTripGolden reports the stale golden set
+				}
+				input := roundTripInput(c)
+				var enc bytes.Buffer
+				if err := c.Encode(&enc, input); err != nil {
+					t.Fatal(err)
+				}
+				elf, err := c.DecoderELF()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out bytes.Buffer
+				stats, err := codec.RunDecoderELFToStats(context.Background(), c.Name, elf,
+					bytes.NewReader(enc.Bytes()), int64(enc.Len()), &out, vm.Config{MemSize: 64 << 20})
+				if err != nil {
+					t.Fatalf("%s: %v", c.Name, err)
+				}
+				sum := sha256.Sum256(out.Bytes())
+				if got := hex.EncodeToString(sum[:]); got != w.OutputSHA256 {
+					t.Errorf("%s: output hash %s, golden %s", c.Name, got, w.OutputSHA256)
+				}
+				if stats.UopsExecuted != w.UopsExecuted {
+					t.Errorf("%s: %d uops executed, golden %d", c.Name, stats.UopsExecuted, w.UopsExecuted)
+				}
+			}
+		})
+	}
+}

@@ -174,6 +174,10 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 			"vxad_breaker_probes_total",
 			`vxad_decoder_failures_total{class="trap"}`,
 			`vxad_decoder_failures_total{class="watchdog"}`,
+			"vxad_engine_steps_total",
+			"vxad_engine_tier2_compiled_total",
+			"vxad_engine_tier2_executed_total",
+			"vxad_engine_tier2_demotions_total",
 		} {
 			if !strings.Contains(text, want) {
 				t.Errorf("%s: missing %q in exposition", mode.name, want)

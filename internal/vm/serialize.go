@@ -24,8 +24,10 @@ import (
 // translation), or the guest-visible restore semantics.
 //
 // History: 2 added the absorbed-superblock section after the block
-// section.
-const EngineVersion uint32 = 2
+// section. 3 added the NoTier2 policy bit to the header; tier-2
+// compiled traces themselves are never serialized — they are rebuilt
+// per-VM from the persisted superblocks once those re-prove hot.
+const EngineVersion uint32 = 3
 
 // snapMagic brands a serialized snapshot payload.
 const snapMagic = "VXSN"
@@ -47,6 +49,7 @@ const (
 	sbNoSB
 	sbNoFuse
 	sbNoFlagElide
+	sbNoT2
 )
 
 // instWireLen and uopWireLen are the fixed per-record sizes of the
@@ -137,7 +140,8 @@ func (s *Snapshot) Serialize() ([]byte, error) {
 	out[60] = packBits(s.cf, sfCF) | packBits(s.zf, sfZF) | packBits(s.sf, sfSF) |
 		packBits(s.of, sfOF) | packBits(s.pf, sfPF)
 	out[61] = packBits(s.noCache, sbNoCache) | packBits(s.noSB, sbNoSB) |
-		packBits(s.optCfg.NoFuse, sbNoFuse) | packBits(s.optCfg.NoFlagElide, sbNoFlagElide)
+		packBits(s.optCfg.NoFuse, sbNoFuse) | packBits(s.optCfg.NoFlagElide, sbNoFlagElide) |
+		packBits(s.noT2, sbNoT2)
 	le.PutUint64(out[64:], uint64(s.fuel))
 	le.PutUint64(out[72:], uint64(s.wallBudget))
 	le.PutUint32(out[80:], uint32(len(s.low)))
@@ -385,6 +389,7 @@ func Deserialize(data []byte) (*Snapshot, error) {
 		bits[0]&sfSF != 0, bits[0]&sfOF != 0, bits[0]&sfPF != 0
 	s.noCache = bits[1]&sbNoCache != 0
 	s.noSB = bits[1]&sbNoSB != 0
+	s.noT2 = bits[1]&sbNoT2 != 0
 	s.optCfg = uop.OptConfig{NoFuse: bits[1]&sbNoFuse != 0, NoFlagElide: bits[1]&sbNoFlagElide != 0}
 	s.fuel = int64(c.u64())
 	s.wallBudget = time.Duration(c.u64())

@@ -38,6 +38,7 @@ type Snapshot struct {
 	fuel                    int64
 	noCache                 bool
 	noSB                    bool
+	noT2                    bool
 	optCfg                  uop.OptConfig
 	wallBudget              time.Duration
 
@@ -80,6 +81,7 @@ func (v *VM) Snapshot() *Snapshot {
 		fuel:       v.fuel,
 		noCache:    v.noCache,
 		noSB:       v.noSB,
+		noT2:       v.noT2,
 		optCfg:     v.optCfg,
 		wallBudget: v.wallBudget,
 		blocks:     make(map[uint32]*block, len(v.blocks)),
@@ -169,6 +171,12 @@ func (s *Snapshot) restore(v *VM) {
 	v.fuel = s.fuel
 	v.noCache = s.noCache
 	v.noSB = s.noSB
+	// Tier-2 policy follows the snapshot, but the process-wide kill
+	// switch and promotion threshold are re-read here: a snapshot taken
+	// in one process may materialize in another (Deserialize), and the
+	// env knobs describe the running process, not the captured image.
+	v.noT2 = s.noT2 || envNoTier2()
+	v.t2Hot = t2HotThreshold()
 	v.optCfg = s.optCfg
 	v.wallBudget = s.wallBudget
 	v.wallDeadline = 0

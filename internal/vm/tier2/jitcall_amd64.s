@@ -1,0 +1,19 @@
+//go:build amd64 && linux
+
+#include "textflag.h"
+
+// func jitcall(code uintptr, m *Machine) int32
+//
+// Enters emitted trace code with the Machine pointer in DI. The emitted
+// code follows a private convention: DI = *Machine for the whole run,
+// SI = guest memory base (loaded by the trace prologue), AX/CX/DX/R8-R11
+// scratch, exit status returned in AX. It never calls back into Go,
+// never grows the stack beyond this frame plus one return address, and
+// preserves all callee-saved registers (including R14/g), so NOSPLIT is
+// safe and the goroutine state stays coherent across the call.
+TEXT ·jitcall(SB), NOSPLIT, $0-20
+	MOVQ code+0(FP), AX
+	MOVQ m+8(FP), DI
+	CALL AX
+	MOVL AX, ret+16(FP)
+	RET

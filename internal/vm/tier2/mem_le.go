@@ -1,0 +1,21 @@
+//go:build amd64 || 386 || arm64 || ppc64le || wasm
+
+package tier2
+
+import "unsafe"
+
+// Guest word access, kept in lockstep with vm's uexec_le.go: on
+// little-endian hosts with architecturally guaranteed unaligned access,
+// one machine load/store instead of four byte accesses. The leading
+// index expression keeps Go-level memory safety; callers have already
+// done the sandbox check.
+
+func le32(m []byte, addr uint32) uint32 {
+	_ = m[addr+3]
+	return *(*uint32)(unsafe.Pointer(&m[addr]))
+}
+
+func st32(m []byte, addr, val uint32) {
+	_ = m[addr+3]
+	*(*uint32)(unsafe.Pointer(&m[addr])) = val
+}

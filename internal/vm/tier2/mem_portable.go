@@ -1,0 +1,20 @@
+//go:build !(amd64 || 386 || arm64 || ppc64le || wasm)
+
+package tier2
+
+// Portable guest word access, kept in lockstep with vm's
+// uexec_portable.go: correct for big-endian hosts and platforms without
+// guaranteed unaligned word access.
+
+func le32(m []byte, addr uint32) uint32 {
+	mm := m[addr : addr+4]
+	return uint32(mm[0]) | uint32(mm[1])<<8 | uint32(mm[2])<<16 | uint32(mm[3])<<24
+}
+
+func st32(m []byte, addr, val uint32) {
+	mm := m[addr : addr+4]
+	mm[0] = byte(val)
+	mm[1] = byte(val >> 8)
+	mm[2] = byte(val >> 16)
+	mm[3] = byte(val >> 24)
+}

@@ -1,0 +1,13 @@
+//go:build !(amd64 && linux)
+
+package tier2
+
+import "vxa/internal/vm/uop"
+
+// Platforms without a native emitter: tier-2 stays off by default (the
+// closure backend is a portable semantic reference, not a speedup over
+// the tier-1 dispatch loop) and is selectable with
+// VXA_TIER2_BACKEND=closure for the differential test wall.
+const nativeAvailable = false
+
+func nativeCompile(us []uop.Uop, entry uint32, m *Machine, t *Trace) bool { return false }

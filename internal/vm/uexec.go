@@ -557,6 +557,9 @@ func (v *VM) sbLeave(br *bref, us []uop.Uop, i int) {
 		// The dominant path the profile promised is not dominant:
 		// detach the superblock and restart profiling from scratch
 		// (bounded by sbMaxReforms attempts per block).
+		if br.t2 != nil {
+			v.stats.Tier2Demotions++
+		}
 		o.sb = nil
 		o.sbTried = o.sbForms >= sbMaxReforms
 		o.heat, o.takenCnt, o.fallCnt = 0, 0, 0
@@ -683,6 +686,33 @@ blocks:
 		if sb := br.sb; sb != nil {
 			if v.fuel >= sb.b.cost {
 				sb.sbEntries++
+				// Tier-2 dispatch: a compiled trace replaces the whole
+				// uop walk below; its exit re-joins here with the next
+				// bref resolved and brk possibly moved (syscall exits).
+				if t := sb.t2; t != nil {
+					nb, err := v.runTier2(sb, t)
+					if err != nil {
+						return err
+					}
+					br = nb
+					brk = v.brk
+					continue blocks
+				}
+				if !sb.t2Tried && !v.noT2 {
+					sb.heat++
+					if sb.heat >= v.t2Hot {
+						v.compileTier2(sb)
+						if t := sb.t2; t != nil {
+							nb, err := v.runTier2(sb, t)
+							if err != nil {
+								return err
+							}
+							br = nb
+							brk = v.brk
+							continue blocks
+						}
+					}
+				}
 				br = sb
 			}
 		} else if !br.sbTried && !v.noSB {

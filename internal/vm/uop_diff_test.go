@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
+	"vxa/internal/vm/tier2"
 	"vxa/internal/x86"
 )
 
@@ -933,7 +935,36 @@ func TestSuperblockSnapshotReset(t *testing.T) {
 // site, the final architectural state, the memory image — including
 // the per-block-boundary checkpoint trace — must agree exactly, over
 // 10k+ steps per seed.
-func TestDiffSoakMultiBlock(t *testing.T) {
+func TestDiffSoakMultiBlock(t *testing.T) { runDiffSoakMultiBlock(t) }
+
+// TestDiffSoakTier2Forced reruns the multi-block soak with the tier-2
+// engine forced to both extremes: every superblock promoted on first
+// entry (native and closure backends) and the tier disabled outright.
+// The soak's exactness assertions — trap EIP, steps==fuel accounting,
+// registers, flags, memory image — must hold identically in all three,
+// which is the wall that keeps compiled traces architecturally
+// indistinguishable from the dispatch loop.
+func TestDiffSoakTier2Forced(t *testing.T) {
+	legs := []struct {
+		name string
+		env  map[string]string
+	}{
+		{"hot-native", map[string]string{"VXA_TIER2_HOT": "1"}},
+		{"hot-closure", map[string]string{"VXA_TIER2_HOT": "1", "VXA_TIER2_BACKEND": "closure"}},
+		{"off", map[string]string{"VXA_NO_TIER2": "1"}},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			for k, v := range leg.env {
+				t.Setenv(k, v)
+			}
+			runDiffSoakMultiBlock(t)
+		})
+	}
+}
+
+func runDiffSoakMultiBlock(t *testing.T) {
 	seeds := []int64{101, 202, 303, 404, 505, 606}
 	if testing.Short() {
 		seeds = seeds[:2]
@@ -978,6 +1009,28 @@ func TestDiffSoakMultiBlock(t *testing.T) {
 			// it, hence the +1.
 			if steps := v1.Stats().Steps; steps != uint64(refSteps)+1 {
 				t.Errorf("steps accounting diverged: %d (uop) vs %d+1 (ref)", steps, refSteps)
+			}
+			// When the forced-hot wall is running, the comparison above
+			// must actually have covered compiled traces — a soak that
+			// silently stayed on tier-1 would prove nothing. The one
+			// legitimate escape: a seed whose every superblock holds a
+			// micro-op unsupported by design (a KindGeneric/KindString
+			// interpreter escape), which no tier-2 backend compiles.
+			if os.Getenv("VXA_TIER2_HOT") == "1" && !envNoTier2() &&
+				v1.Stats().Tier2Executed == 0 {
+				for _, br := range v1.blocks {
+					if br.sb == nil {
+						continue
+					}
+					if i, k := tier2.Unsupported(br.sb.b.uops); i < 0 {
+						t.Errorf("tier-2 forced hot but no compiled trace ran (%d compiled), "+
+							"yet superblock %#x has no unsupported micro-op",
+							v1.Stats().Tier2Compiled, br.sb.b.uops[0].EIP)
+					} else {
+						t.Logf("superblock %#x stays on tier-1 by design: uop %d is %v",
+							br.sb.b.uops[0].EIP, i, k)
+					}
+				}
 			}
 
 			for r := 0; r < 8; r++ {

@@ -33,6 +33,7 @@ import (
 	"io"
 	"time"
 
+	"vxa/internal/vm/tier2"
 	"vxa/internal/vm/uop"
 	"vxa/internal/x86"
 )
@@ -155,6 +156,12 @@ type Config struct {
 	// NoSuperblocks disables hot-path superblock formation (per-pass
 	// ablation; see superblock.go).
 	NoSuperblocks bool
+	// NoTier2 disables the tier-2 compiled backend (per-tier ablation;
+	// see internal/vm/tier2): hot superblocks keep executing on the
+	// tier-1 uop dispatch loop instead of being fused into compiled
+	// closure traces. Carried by snapshots like NoSuperblocks. The
+	// VXA_NO_TIER2 environment variable forces it on process-wide.
+	NoTier2 bool
 
 	// WallBudget is the wall-clock watchdog: the maximum real time one
 	// RunStream may take, enforced at block-chain boundaries on the
@@ -178,6 +185,10 @@ type Stats struct {
 	FlagsElided       uint64 `json:"flags_elided"`       // lazy-flag records removed at translate time (dead-flag pass)
 	UopsFused         uint64 `json:"uops_fused"`         // fused micro-ops created at translate time (each replaces 2-3)
 	SuperblocksFormed uint64 `json:"superblocks_formed"` // hot-path superblocks assembled from edge profiles
+	Tier2Compiled     uint64 `json:"tier2_compiled"`     // superblock traces fused into tier-2 closure programs
+	Tier2Executed     uint64 `json:"tier2_executed"`     // tier-2 trace iterations run (one full superblock pass each)
+	Tier2Steps        uint64 `json:"tier2_steps"`        // guest instructions retired inside tier-2 traces (subset of Steps)
+	Tier2Demotions    uint64 `json:"tier2_demotions"`    // compiled traces dropped with their superblock (stale profile teardown)
 	TranslateNS       uint64 `json:"translate_ns"`       // nanoseconds spent decoding+lowering fragments (0 with NoBlockCache)
 	ExecuteNS         uint64 `json:"execute_ns"`         // nanoseconds spent running translated code (Run wall time minus translation)
 	Syscalls          uint64 `json:"syscalls"`
@@ -224,8 +235,16 @@ type VM struct {
 	fuel    int64
 	noCache bool
 	noSB    bool
-	optCfg  uop.OptConfig
-	blocks  map[uint32]*bref
+	noT2    bool
+	// t2Hot is the superblock-entry count that triggers tier-2
+	// compilation (t2HotDefault, overridable via VXA_TIER2_HOT).
+	t2Hot uint32
+	// t2m is this VM's tier-2 machine-state view, allocated on first
+	// compile and never reallocated: compiled closures capture pointers
+	// into it (see tier2.Machine).
+	t2m    *tier2.Machine
+	optCfg uop.OptConfig
+	blocks map[uint32]*bref
 
 	// Cooperative cancellation (RunContext). cancel is the context's
 	// done channel, nil when the run is uncancellable — the common case,
@@ -301,6 +320,16 @@ type bref struct {
 	sbExits   uint64
 	sbForms   uint8
 	sbTried   bool
+
+	// Tier-2 dispatch slot (superblock brefs only): the compiled closure
+	// trace for this superblock, installed once its entry count crosses
+	// the tier-2 heat threshold. On a superblock bref, heat counts
+	// entries toward that promotion. The trace dies with the bref —
+	// Reset, snapshot materialization and profile teardown all demote to
+	// tier-1 by construction — and is never serialized; it is recompiled
+	// from the persisted superblock when the trace runs hot again.
+	t2      *tier2.Trace
+	t2Tried bool
 }
 
 // sbIndEntry is one return guard's monomorphic inline cache: the last
@@ -341,6 +370,8 @@ func New(cfg Config) (*VM, error) {
 		fuel:       cfg.Fuel,
 		noCache:    cfg.NoBlockCache,
 		noSB:       cfg.NoSuperblocks,
+		noT2:       cfg.NoTier2 || envNoTier2(),
+		t2Hot:      t2HotThreshold(),
 		wallBudget: cfg.WallBudget,
 		optCfg:     uop.OptConfig{NoFuse: cfg.NoFusion, NoFlagElide: cfg.NoFlagElision},
 		blocks:     make(map[uint32]*bref),

@@ -449,6 +449,10 @@ func addVMStats(dst *vm.Stats, after, before vm.Stats) {
 	dst.FlagsElided += after.FlagsElided - before.FlagsElided
 	dst.UopsFused += after.UopsFused - before.UopsFused
 	dst.SuperblocksFormed += after.SuperblocksFormed - before.SuperblocksFormed
+	dst.Tier2Compiled += after.Tier2Compiled - before.Tier2Compiled
+	dst.Tier2Executed += after.Tier2Executed - before.Tier2Executed
+	dst.Tier2Steps += after.Tier2Steps - before.Tier2Steps
+	dst.Tier2Demotions += after.Tier2Demotions - before.Tier2Demotions
 	dst.TranslateNS += after.TranslateNS - before.TranslateNS
 	dst.ExecuteNS += after.ExecuteNS - before.ExecuteNS
 	dst.Syscalls += after.Syscalls - before.Syscalls
